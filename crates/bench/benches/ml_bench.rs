@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the ML substrate: training and prediction costs of
+//! the Table IV classifiers on a synthetic 58-feature dataset shaped like
+//! the pseudo-honeypot training matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ph_ml::boost::{BoostConfig, GradientBoosting};
+use ph_ml::data::Dataset;
+use ph_ml::forest::{RandomForest, RandomForestConfig};
+use ph_ml::knn::{KNearestNeighbors, KnnConfig};
+use ph_ml::svm::{LinearSvm, SvmConfig};
+use ph_ml::tree::{DecisionTree, DecisionTreeConfig};
+use ph_ml::Classifier;
+
+/// Synthetic 58-feature dataset: positive class separable with noise.
+fn dataset(n: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..58)
+                .map(|j| {
+                    (((i * 31 + j * 17) % 97) as f64) / 97.0
+                        + if i % 3 == 0 { 0.4 } else { 0.0 }
+                })
+                .collect()
+        })
+        .collect();
+    let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    Dataset::new(rows, labels).expect("valid dataset")
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = dataset(1_000);
+    let mut group = c.benchmark_group("train_1000x58");
+    group.sample_size(10);
+    group.bench_function("decision_tree", |b| {
+        b.iter(|| DecisionTree::fit(&DecisionTreeConfig::default(), black_box(&data)))
+    });
+    group.bench_function("random_forest_20", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                &RandomForestConfig {
+                    num_trees: 20,
+                    ..Default::default()
+                },
+                black_box(&data),
+                7,
+            )
+        })
+    });
+    group.bench_function("svm", |b| {
+        b.iter(|| LinearSvm::fit(&SvmConfig::default(), black_box(&data), 7))
+    });
+    group.bench_function("boosting_30", |b| {
+        b.iter(|| {
+            GradientBoosting::fit(
+                &BoostConfig {
+                    num_stages: 30,
+                    ..Default::default()
+                },
+                black_box(&data),
+                7,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = dataset(1_000);
+    let forest = RandomForest::fit(
+        &RandomForestConfig {
+            num_trees: 70,
+            ..Default::default()
+        },
+        &data,
+        7,
+    );
+    let knn = KNearestNeighbors::fit(&KnnConfig::default(), &data);
+    let row = data.row(1).to_vec();
+    c.bench_function("predict_rf70", |b| b.iter(|| forest.predict(black_box(&row))));
+    c.bench_function("predict_knn_1000", |b| b.iter(|| knn.predict(black_box(&row))));
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

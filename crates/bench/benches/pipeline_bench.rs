@@ -1,0 +1,95 @@
+//! End-to-end pipeline benchmarks: simulator stepping, node selection,
+//! streaming monitoring, feature extraction — the per-hour costs of running
+//! a pseudo-honeypot campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ph_core::attributes::SampleAttribute;
+use ph_core::features::FeatureExtractor;
+use ph_core::monitor::{Runner, RunnerConfig};
+use ph_core::selection::{select_network, SelectorConfig};
+use ph_twitter_sim::engine::{Engine, SimConfig};
+
+fn sim_config() -> SimConfig {
+    SimConfig {
+        seed: 77,
+        num_organic: 2_000,
+        num_campaigns: 5,
+        accounts_per_campaign: 10,
+        ..Default::default()
+    }
+}
+
+fn bench_engine_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("step_hour_2000_accounts", |b| {
+        let mut engine = Engine::new(sim_config());
+        b.iter(|| engine.step_hour());
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut engine = Engine::new(sim_config());
+    engine.run_hours(3);
+    let slots = SampleAttribute::standard_slots();
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    group.bench_function("standard_network_123_slots", |b| {
+        b.iter(|| {
+            select_network(
+                black_box(&engine),
+                black_box(&slots),
+                &SelectorConfig::default(),
+                3,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_monitoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor");
+    group.sample_size(10);
+    group.bench_function("run_5h_standard_network", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(sim_config());
+            let runner = Runner::new(RunnerConfig::default());
+            runner.run(&mut engine, 5)
+        })
+    });
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut engine = Engine::new(sim_config());
+    let runner = Runner::new(RunnerConfig::default());
+    let report = runner.run(&mut engine, 5);
+    assert!(!report.collected.is_empty());
+    let mut group = c.benchmark_group("features");
+    group.sample_size(10);
+    group.bench_function(
+        format!("extract_58_features_x{}", report.collected.len()),
+        |b| {
+            b.iter(|| {
+                let mut fx = FeatureExtractor::new();
+                let rest = engine.rest();
+                for collected in &report.collected {
+                    black_box(fx.extract(collected, &rest));
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_step,
+    bench_selection,
+    bench_monitoring,
+    bench_feature_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the similarity-sketch substrate: the per-item costs
+//! behind the clustering pass of the labeling pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ph_sketch::dhash::DHash128;
+use ph_sketch::image::GrayImage;
+use ph_sketch::minhash::MinHasher;
+use ph_sketch::namepattern::NamePattern;
+use ph_sketch::shingle::{normalize, trigram_shingles};
+
+fn bench_dhash(c: &mut Criterion) {
+    let img = GrayImage::from_fn(48, 48, |x, y| ((x * 7 + y * 13) % 256) as u8);
+    c.bench_function("dhash_48x48", |b| b.iter(|| DHash128::of(black_box(&img))));
+    let (h1, h2) = (
+        DHash128::from_parts(0xdead_beef, 0x1234),
+        DHash128::from_parts(0xbeef_dead, 0x4321),
+    );
+    c.bench_function("dhash_hamming", |b| {
+        b.iter(|| black_box(h1).hamming_distance(black_box(h2)))
+    });
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let img = GrayImage::from_fn(96, 96, |x, y| ((x * 3 + y * 5) % 256) as u8);
+    c.bench_function("resize_96_to_9", |b| b.iter(|| black_box(&img).resize(9, 9)));
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let hasher = MinHasher::new(64, 7);
+    let text = normalize("win big jackpot today limited spots visit http://x.example now");
+    c.bench_function("minhash_signature_64", |b| {
+        b.iter(|| hasher.signature_of_text(black_box(&text)))
+    });
+    let s1 = hasher.signature_of_text(&text);
+    let s2 = hasher.signature_of_text("completely different description text here");
+    c.bench_function("minhash_estimate", |b| {
+        b.iter(|| black_box(&s1).estimate_jaccard(black_box(&s2)))
+    });
+}
+
+fn bench_text(c: &mut Criterion) {
+    let raw = "Check THIS out!! 🚀 https://spam.example/x the best deal in town for you";
+    c.bench_function("normalize", |b| b.iter(|| normalize(black_box(raw))));
+    let norm = normalize(raw);
+    c.bench_function("trigram_shingles", |b| {
+        b.iter(|| trigram_shingles(black_box(&norm)))
+    });
+    c.bench_function("name_pattern", |b| {
+        b.iter(|| NamePattern::of(black_box("Mykhaylo_bowning42")))
+    });
+}
+
+criterion_group!(benches, bench_dhash, bench_resize, bench_minhash, bench_text);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation: mention-only monitoring vs a full firehose (§III-E).
+//!
+//! The paper collects only the direct interactive ("mention") stream
+//! crossing the node set, arguing that the full stream is mostly benign
+//! and expensive to process. This bench quantifies that trade-off: tweets
+//! processed vs spam found, for the node-filtered stream vs an
+//! everything-stream.
+
+use ph_bench::{banner, ExperimentScale};
+use ph_core::attributes::SampleAttribute;
+use ph_core::monitor::{Runner, RunnerConfig};
+use ph_twitter_sim::AccountId;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    banner("Ablation — mention-filtered monitoring vs full firehose");
+    println!("{} hours each\n", scale.hours);
+
+    // Variant 1: the pseudo-honeypot's node-filtered stream.
+    let mut engine = scale.build_engine();
+    let runner = Runner::new(RunnerConfig {
+        slots: SampleAttribute::standard_slots(),
+        seed: scale.seed,
+        ..Default::default()
+    });
+    let filtered = runner.run(&mut engine, scale.hours);
+    let oracle = engine.ground_truth();
+    let filtered_spam = filtered
+        .collected
+        .iter()
+        .filter(|c| oracle.is_spam(&c.tweet))
+        .count();
+    let filtered_total = filtered.collected.len();
+
+    // Variant 2: subscribe to every account — the firehose.
+    let mut engine = scale.build_engine();
+    let streaming = engine.streaming();
+    let everyone: Vec<AccountId> = (0..engine.rest().num_accounts() as u32)
+        .map(AccountId)
+        .collect();
+    let sub = streaming.track_mentions(everyone);
+    let mut firehose_total = 0usize;
+    let mut firehose_spam = 0usize;
+    for _ in 0..scale.hours {
+        engine.step_hour();
+        let oracle = engine.ground_truth();
+        for tweet in streaming.poll(sub).expect("open subscription") {
+            firehose_total += 1;
+            if oracle.is_spam(&tweet) {
+                firehose_spam += 1;
+            }
+        }
+    }
+
+    println!(
+        "{:<22} {:>12} {:>10} {:>18}",
+        "Stream", "Tweets", "Spam", "Spam per kilotweet"
+    );
+    for (name, total, spam) in [
+        ("mention-filtered", filtered_total, filtered_spam),
+        ("full firehose", firehose_total, firehose_spam),
+    ] {
+        println!(
+            "{:<22} {:>12} {:>10} {:>18.1}",
+            name,
+            total,
+            spam,
+            1000.0 * spam as f64 / total.max(1) as f64
+        );
+    }
+    println!(
+        "\nworkload ratio: the filtered stream processes {:.1}% of the firehose's tweets",
+        100.0 * filtered_total as f64 / firehose_total.max(1) as f64
+    );
+    println!(
+        "note: at simulator scale the node set covers a large share of a small \
+         network, so the workload reduction is modest; on real Twitter the same \
+         2,400-node filter processes a vanishing fraction of the firehose, which \
+         is the paper's point."
+    );
+}

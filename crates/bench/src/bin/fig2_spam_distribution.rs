@@ -1,0 +1,64 @@
+//! Regenerates Figure 2: the fraction of spammers vs the number of spam
+//! messages they post — a power law where >80% of captured spammers post a
+//! single spam and <0.03% post more than 10.
+
+use std::collections::HashMap;
+
+use ph_bench::{banner, csv_path_from_args, full_protocol, CsvTable, ExperimentScale};
+use ph_twitter_sim::AccountId;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    banner("Figure 2 — fraction of spammers vs number of spam messages");
+
+    let run = full_protocol(&scale);
+    let mut per_spammer: HashMap<AccountId, u64> = HashMap::new();
+    for (c, &spam) in run.report.collected.iter().zip(&run.predictions) {
+        if spam {
+            *per_spammer.entry(c.tweet.author).or_insert(0) += 1;
+        }
+    }
+    let total = per_spammer.len();
+    if total == 0 {
+        println!("no spammers captured — increase --hours");
+        return;
+    }
+
+    let mut histogram: HashMap<u64, usize> = HashMap::new();
+    for &count in per_spammer.values() {
+        *histogram.entry(count).or_insert(0) += 1;
+    }
+    let mut counts: Vec<u64> = histogram.keys().copied().collect();
+    counts.sort_unstable();
+
+    let mut csv = CsvTable::new(["spams", "spammers", "fraction"]);
+    println!("{:>12} {:>12} {:>14}", "# spams", "# spammers", "fraction");
+    for c in &counts {
+        let n = histogram[c];
+        println!(
+            "{:>12} {:>12} {:>14.6}",
+            c,
+            n,
+            n as f64 / total as f64
+        );
+        csv.push_row([
+            c.to_string(),
+            n.to_string(),
+            format!("{:.6}", n as f64 / total as f64),
+        ]);
+    }
+    if let Some(path) = csv_path_from_args() {
+        csv.write_to(&path).expect("write csv");
+        println!("(series written to {})", path.display());
+    }
+    let singletons = histogram.get(&1).copied().unwrap_or(0) as f64 / total as f64;
+    let heavy = per_spammer.values().filter(|&&c| c > 10).count() as f64 / total as f64;
+    println!(
+        "\nfraction posting exactly 1 spam: {:.1}% (paper: >80%)",
+        100.0 * singletons
+    );
+    println!(
+        "fraction posting more than 10:  {:.3}% (paper: <0.03%)",
+        100.0 * heavy
+    );
+}

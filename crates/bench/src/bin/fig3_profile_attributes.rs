@@ -1,0 +1,42 @@
+//! Regenerates Figure 3 (a–k): collected tweets, classified spams and
+//! spammers under every sample value of each profile attribute. The
+//! reproduced shapes: more friends/followers/lists/favorites/statuses →
+//! more spammers; age peaks near 1,000 days; low friend/follower ratios
+//! attract more.
+
+use ph_bench::{banner, full_protocol, ExperimentScale};
+use ph_core::attributes::{ProfileAttribute, SampleAttribute};
+use ph_core::pge::per_slot_stats;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    banner("Figure 3 — tweets / spams / spammers per profile-attribute sample value");
+
+    let run = full_protocol(&scale);
+    let stats = per_slot_stats(&run.report.collected, &run.predictions);
+
+    for (panel, &attr) in ProfileAttribute::ALL.iter().enumerate() {
+        println!(
+            "\n({}) {}",
+            (b'a' + panel as u8) as char,
+            attr.label()
+        );
+        println!(
+            "  {:>12} {:>10} {:>10} {:>10}",
+            "sample", "tweets", "spams", "spammers"
+        );
+        for &value in attr.sample_values() {
+            let slot = SampleAttribute::profile(attr, value);
+            let (tweets, spams, spammers) = stats
+                .get(&slot)
+                .map(|s| (s.tweets, s.spams, s.num_spammers() as u64))
+                .unwrap_or((0, 0, 0));
+            let sample = if value.fract().abs() < 1e-9 {
+                format!("{}", value as i64)
+            } else {
+                format!("{value:.3}")
+            };
+            println!("  {sample:>12} {tweets:>10} {spams:>10} {spammers:>10}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerates Figure 4: tweets / spams / spammers plus the spammer ratio
+//! (captured spammers over total observed users) for each hashtag-based
+//! attribute. Paper shape: social / general / tech / business capture the
+//! most spammers.
+
+use std::collections::HashSet;
+
+use ph_bench::{banner, full_protocol, ExperimentScale};
+use ph_core::attributes::AttributeKind;
+use ph_core::pge::per_attribute_stats;
+use ph_twitter_sim::{AccountId, TopicCategory};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    banner("Figure 4 — hashtag-based attributes");
+
+    let run = full_protocol(&scale);
+    let stats = per_attribute_stats(&run.report.collected, &run.predictions);
+
+    // Users observed per attribute (the denominator of the spammer-ratio
+    // line in the figure).
+    let mut users_per_kind: std::collections::HashMap<AttributeKind, HashSet<AccountId>> =
+        std::collections::HashMap::new();
+    for c in &run.report.collected {
+        users_per_kind
+            .entry(c.slot.kind)
+            .or_default()
+            .insert(c.tweet.author);
+    }
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>14}",
+        "Category", "Tweets", "Spams", "Spammers", "Users", "Spammer ratio"
+    );
+    let mut kinds: Vec<AttributeKind> = TopicCategory::ALL
+        .iter()
+        .map(|&c| AttributeKind::Hashtag(Some(c)))
+        .collect();
+    kinds.push(AttributeKind::Hashtag(None));
+    for kind in kinds {
+        let (tweets, spams, spammers) = stats
+            .get(&kind)
+            .map(|s| (s.tweets, s.spams, s.num_spammers()))
+            .unwrap_or((0, 0, 0));
+        let users = users_per_kind.get(&kind).map_or(0, HashSet::len);
+        let ratio = if users == 0 {
+            0.0
+        } else {
+            100.0 * spammers as f64 / users as f64
+        };
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>10} {:>13.2}%",
+            kind.label(),
+            tweets,
+            spams,
+            spammers,
+            users,
+            ratio
+        );
+    }
+}

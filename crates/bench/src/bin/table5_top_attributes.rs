@@ -1,0 +1,45 @@
+//! Regenerates Table V: the top-10 attributes by spammers captured during
+//! the full measurement run (paper: *average of lists* first, then *lists
+//! count*, *friends&followers*, …).
+
+use ph_bench::{banner, fmt_count, full_protocol, ExperimentScale};
+use ph_core::pge::per_attribute_stats;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    banner("Table V — top 10 attributes by captured spammers");
+    println!(
+        "measurement run: standard network, {} hours, hourly switching\n",
+        scale.hours
+    );
+
+    let run = full_protocol(&scale);
+    let stats = per_attribute_stats(&run.report.collected, &run.predictions);
+    let mut rows: Vec<_> = stats.into_iter().collect();
+    rows.sort_by(|a, b| {
+        b.1.num_spammers()
+            .cmp(&a.1.num_spammers())
+            .then_with(|| b.1.spams.cmp(&a.1.spams))
+    });
+
+    println!(
+        "{:<5} {:<34} {:>10} {:>10} {:>10}",
+        "Index", "Attribute", "Tweets", "Spams", "Spammers"
+    );
+    for (i, (kind, s)) in rows.iter().take(10).enumerate() {
+        println!(
+            "{:<5} {:<34} {:>10} {:>10} {:>10}",
+            i + 1,
+            kind.label(),
+            fmt_count(s.tweets),
+            fmt_count(s.spams),
+            fmt_count(s.num_spammers() as u64)
+        );
+    }
+    let total_spam = run.predictions.iter().filter(|&&p| p).count();
+    println!(
+        "\ntotals: {} collected tweets, {} classified spams",
+        fmt_count(run.report.collected.len() as u64),
+        fmt_count(total_spam as u64)
+    );
+}

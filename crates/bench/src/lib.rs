@@ -1,0 +1,423 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Every binary in this crate follows the same two-phase protocol the paper
+//! uses (§V):
+//!
+//! 1. **Ground-truth phase** — a small random-attribute network monitors
+//!    for a while; its collection is labeled by the §IV-B pipeline and
+//!    trains the detector (Tables III/IV).
+//! 2. **Measurement phase** — the full Table I/II network (or the advanced
+//!    / baseline variants) monitors; the detector classifies the stream;
+//!    per-attribute statistics, PGE rankings and comparisons are computed
+//!    (Tables V–VII, Figures 2–6).
+//!
+//! Binaries accept `--scale small|default|paper` plus `--hours`,
+//! `--gt-hours` and `--seed` overrides, and default to sizes that finish in
+//! seconds while preserving the paper's shapes. EXPERIMENTS.md records the
+//! outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ph_core::attributes::SampleAttribute;
+use ph_core::detector::{build_training_data, DetectorConfig, SpamDetector};
+use ph_core::labeling::pipeline::{label_collection, GroundTruthDataset, PipelineConfig};
+use ph_core::monitor::{MonitorReport, Runner, RunnerConfig};
+use ph_core::selection::SelectorConfig;
+use ph_ml::data::Dataset;
+use ph_ml::forest::RandomForestConfig;
+use ph_twitter_sim::engine::{Engine, SimConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Organic population size.
+    pub organic: usize,
+    /// Number of spam campaigns.
+    pub campaigns: usize,
+    /// Accounts per campaign.
+    pub per_campaign: usize,
+    /// Ground-truth (training) monitoring hours.
+    pub gt_hours: u64,
+    /// Measurement monitoring hours.
+    pub hours: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Trees in the production forest (70 at paper scale).
+    pub forest_trees: usize,
+}
+
+impl ExperimentScale {
+    /// Seconds-scale run for CI and quick iteration.
+    pub fn small() -> Self {
+        Self {
+            organic: 3_000,
+            campaigns: 8,
+            per_campaign: 30,
+            gt_hours: 30,
+            hours: 40,
+            seed: 42,
+            forest_trees: 20,
+        }
+    }
+
+    /// The default benchmarking scale (~a minute per binary in release).
+    pub fn default_scale() -> Self {
+        Self {
+            organic: 8_000,
+            campaigns: 14,
+            per_campaign: 55,
+            gt_hours: 60,
+            hours: 120,
+            seed: 42,
+            forest_trees: 40,
+        }
+    }
+
+    /// Paper-shaped scale: the full 700-hour / 2,400-node protocol
+    /// (minutes of CPU; use for EXPERIMENTS.md regeneration).
+    pub fn paper() -> Self {
+        Self {
+            organic: 15_000,
+            campaigns: 25,
+            per_campaign: 70,
+            gt_hours: 300,
+            hours: 700,
+            seed: 42,
+            forest_trees: 70,
+        }
+    }
+
+    /// Parses `--scale/--hours/--gt-hours/--seed` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = Self::small();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1) {
+                        scale = match v.as_str() {
+                            "small" => Self::small(),
+                            "default" => Self::default_scale(),
+                            "paper" => Self::paper(),
+                            other => {
+                                eprintln!("unknown scale '{other}', using small");
+                                Self::small()
+                            }
+                        };
+                        i += 1;
+                    }
+                }
+                "--hours" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        scale.hours = v;
+                        i += 1;
+                    }
+                }
+                "--gt-hours" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        scale.gt_hours = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        scale.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        scale
+    }
+
+    /// The simulator configuration at this scale.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            seed: self.seed,
+            num_organic: self.organic,
+            num_campaigns: self.campaigns,
+            accounts_per_campaign: self.per_campaign,
+            ..Default::default()
+        }
+    }
+
+    /// Builds a fresh engine.
+    pub fn build_engine(&self) -> Engine {
+        Engine::new(self.sim_config())
+    }
+
+    /// The detector configuration at this scale.
+    pub fn detector_config(&self) -> DetectorConfig {
+        DetectorConfig {
+            forest: RandomForestConfig {
+                num_trees: self.forest_trees,
+                ..DetectorConfig::default().forest
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// The paper's ground-truth protocol (§V-C): a 100-node network with
+/// attributes randomly drawn from Table I monitors for `gt_hours`; its
+/// collection is pipeline-labeled.
+pub fn ground_truth_phase(
+    engine: &mut Engine,
+    scale: &ExperimentScale,
+) -> (MonitorReport, GroundTruthDataset) {
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x6007);
+    let mut slots = SampleAttribute::standard_slots();
+    slots.shuffle(&mut rng);
+    slots.truncate(10); // 10 slots × 10 accounts = the paper's 100 nodes
+    let runner = Runner::new(RunnerConfig {
+        slots,
+        selector: SelectorConfig::default(),
+        switch_interval_hours: 1,
+        seed: scale.seed ^ 0x17ab,
+    });
+    let report = runner.run(engine, scale.gt_hours);
+    // The paper collected in March 2018 and labeled in September: by
+    // labeling time Twitter's suspension process had months to catch up.
+    // Age the network before checking suspension flags.
+    engine.run_hours(scale.gt_hours / 2);
+    let dataset = label_collection(&report.collected, engine, &PipelineConfig::default());
+    (report, dataset)
+}
+
+/// Ground-truth phase plus detector training. Returns the training matrix
+/// too (Table IV runs cross-validation on it).
+pub fn trained_detector(
+    engine: &mut Engine,
+    scale: &ExperimentScale,
+) -> (GroundTruthDataset, Dataset, SpamDetector) {
+    let (report, ground_truth) = ground_truth_phase(engine, scale);
+    let (data, _) = build_training_data(
+        &report.collected,
+        &ground_truth.labels,
+        engine,
+        ph_core::features::DEFAULT_TAU,
+    );
+    let detector = SpamDetector::train(&scale.detector_config(), &data);
+    (ground_truth, data, detector)
+}
+
+/// The measurement phase: the full standard network monitors for
+/// `scale.hours` with hourly switching.
+pub fn standard_run(engine: &mut Engine, scale: &ExperimentScale) -> MonitorReport {
+    let runner = Runner::new(RunnerConfig {
+        slots: SampleAttribute::standard_slots(),
+        selector: SelectorConfig::default(),
+        switch_interval_hours: 1,
+        seed: scale.seed ^ 0x2bad,
+    });
+    runner.run(engine, scale.hours)
+}
+
+/// A completed two-phase protocol: trained detector, measurement run and
+/// its classification.
+pub struct FullRun {
+    /// The engine after both phases (REST/oracle lookups stay valid).
+    pub engine: Engine,
+    /// Table III summary from the ground-truth phase.
+    pub ground_truth: GroundTruthDataset,
+    /// The trained detector.
+    pub detector: SpamDetector,
+    /// The measurement-phase monitoring report.
+    pub report: MonitorReport,
+    /// Per-tweet spam predictions over `report.collected`.
+    pub predictions: Vec<bool>,
+}
+
+/// Runs the full two-phase protocol at the given scale.
+pub fn full_protocol(scale: &ExperimentScale) -> FullRun {
+    let mut engine = scale.build_engine();
+    let (ground_truth, _data, detector) = trained_detector(&mut engine, scale);
+    let report = standard_run(&mut engine, scale);
+    let outcome = detector.classify_collection(&report.collected, &engine);
+    FullRun {
+        engine,
+        ground_truth,
+        detector,
+        report,
+        predictions: outcome.predictions,
+    }
+}
+
+/// A small tabular result that can be rendered as CSV (for plotting the
+/// regenerated figures outside the terminal).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CsvTable {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must match the header width.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes fields containing commas, quotes
+    /// or newlines; doubles embedded quotes).
+    pub fn to_csv(&self) -> String {
+        let escape = |field: &str| -> String {
+            if field.contains(',') || field.contains('"') || field.contains('\n') {
+                format!("\"{}\"", field.replace('"', "\"\""))
+            } else {
+                field.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV next to the terminal output when binaries are run
+    /// with `--csv <path>`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Parses an optional `--csv <path>` argument.
+pub fn csv_path_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--csv")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+}
+
+/// Prints a horizontal rule + title, shared by all binaries.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Formats a count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let (s, d, p) = (
+            ExperimentScale::small(),
+            ExperimentScale::default_scale(),
+            ExperimentScale::paper(),
+        );
+        assert!(s.organic < d.organic && d.organic < p.organic);
+        assert!(s.hours < d.hours && d.hours < p.hours);
+        assert_eq!(p.forest_trees, 70);
+    }
+
+    #[test]
+    fn csv_rendering_escapes_fields() {
+        let mut t = CsvTable::new(["a", "b,c"]);
+        t.push_row(["1", "plain"]);
+        t.push_row(["2", "with \"quotes\" and, comma"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,\"b,c\"");
+        assert_eq!(lines[1], "1,plain");
+        assert_eq!(lines[2], "2,\"with \"\"quotes\"\" and, comma\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn csv_ragged_row_panics() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn fmt_count_inserts_separators() {
+        assert_eq!(fmt_count(5), "5");
+        assert_eq!(fmt_count(1_234), "1,234");
+        assert_eq!(fmt_count(5_618_476), "5,618,476");
+    }
+
+    #[test]
+    fn ground_truth_phase_produces_training_data() {
+        let scale = ExperimentScale {
+            organic: 500,
+            campaigns: 3,
+            per_campaign: 6,
+            gt_hours: 20,
+            hours: 5,
+            seed: 9,
+            forest_trees: 5,
+        };
+        let mut engine = scale.build_engine();
+        let (report, dataset) = ground_truth_phase(&mut engine, &scale);
+        assert!(!report.collected.is_empty());
+        assert_eq!(
+            dataset.labels.tweet_labels.len(),
+            report.collected.len()
+        );
+        assert!(dataset.summary.total_spams > 0, "no spam labeled");
+    }
+}

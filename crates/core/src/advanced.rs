@@ -1,0 +1,100 @@
+//! The advanced pseudo-honeypot system (§V-E): re-deploy over the top-10
+//! attributes by PGE, 10 nodes each — 100 nodes total.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attributes::SampleAttribute;
+use crate::monitor::RunnerConfig;
+use crate::pge::PgeEntry;
+use crate::selection::SelectorConfig;
+
+/// Configuration of an advanced build.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdvancedConfig {
+    /// How many top-PGE slots to redeploy over (paper: 10).
+    pub top_slots: usize,
+    /// Nodes per slot (paper: 10, for 100 nodes total).
+    pub nodes_per_slot: usize,
+}
+
+impl Default for AdvancedConfig {
+    fn default() -> Self {
+        Self {
+            top_slots: 10,
+            nodes_per_slot: 10,
+        }
+    }
+}
+
+/// Picks the top slots from a PGE ranking.
+///
+/// # Panics
+///
+/// Panics if the ranking holds fewer entries than requested.
+pub fn top_slots(ranking: &[PgeEntry], k: usize) -> Vec<SampleAttribute> {
+    assert!(
+        ranking.len() >= k,
+        "ranking has {} entries, need {k}",
+        ranking.len()
+    );
+    ranking.iter().take(k).map(|e| e.slot).collect()
+}
+
+/// Builds the runner configuration of the advanced system from a PGE
+/// ranking produced by a standard (exploration) run.
+pub fn advanced_runner_config(
+    ranking: &[PgeEntry],
+    config: &AdvancedConfig,
+    seed: u64,
+) -> RunnerConfig {
+    RunnerConfig {
+        slots: top_slots(ranking, config.top_slots),
+        selector: SelectorConfig {
+            accounts_per_slot: config.nodes_per_slot,
+            ..Default::default()
+        },
+        switch_interval_hours: 1,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::ProfileAttribute;
+
+    fn ranking() -> Vec<PgeEntry> {
+        (0..12)
+            .map(|i| PgeEntry {
+                slot: SampleAttribute::profile(
+                    ProfileAttribute::ALL[i % 11],
+                    (i + 1) as f64,
+                ),
+                spammers: 100 - i,
+                node_hours: 10.0,
+                pge: (100 - i) as f64 / 10.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn top_slots_takes_the_head() {
+        let top = top_slots(&ranking(), 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], ranking()[0].slot);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 20")]
+    fn too_few_entries_panics() {
+        let _ = top_slots(&ranking(), 20);
+    }
+
+    #[test]
+    fn advanced_config_builds_100_node_plan() {
+        let cfg = advanced_runner_config(&ranking(), &AdvancedConfig::default(), 3);
+        assert_eq!(cfg.slots.len(), 10);
+        assert_eq!(cfg.selector.accounts_per_slot, 10);
+        assert_eq!(cfg.switch_interval_hours, 1);
+    }
+}

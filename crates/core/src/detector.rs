@@ -1,0 +1,282 @@
+//! The learning-based spam detector (§IV-C): model selection over the five
+//! Table IV algorithms and the Random Forest production classifier
+//! (70 trees, depth cap 700).
+
+use std::collections::HashSet;
+
+use ph_ml::cv::{compare_algorithms, CrossValidation};
+use ph_ml::data::Dataset;
+use ph_ml::forest::{RandomForest, RandomForestConfig};
+use ph_ml::tree::DecisionTreeConfig;
+use ph_ml::{Algorithm, Classifier};
+use ph_twitter_sim::engine::Engine;
+use ph_twitter_sim::AccountId;
+use serde::{Deserialize, Serialize};
+
+use crate::features::FeatureExtractor;
+use crate::labeling::LabeledCollection;
+use crate::monitor::CollectedTweet;
+
+/// Detector configuration. Defaults follow the paper: RF with 70 trees,
+/// each capped at depth 700.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// The algorithm deployed (the paper selects RF by cross-validation).
+    pub algorithm: PaperAlgorithm,
+    /// RF parameters used when `algorithm` is RF.
+    pub forest: RandomForestConfig,
+    /// Training seed.
+    pub seed: u64,
+    /// τ of the environment score.
+    pub tau: f64,
+}
+
+/// Serde-friendly mirror of [`ph_ml::Algorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PaperAlgorithm {
+    /// Decision tree.
+    DecisionTree,
+    /// k-nearest neighbours.
+    KNearestNeighbors,
+    /// Linear SVM.
+    LinearSvm,
+    /// Gradient boosting.
+    GradientBoosting,
+    /// Random forest (paper's choice).
+    RandomForest,
+}
+
+impl From<PaperAlgorithm> for Algorithm {
+    fn from(a: PaperAlgorithm) -> Algorithm {
+        match a {
+            PaperAlgorithm::DecisionTree => Algorithm::DecisionTree,
+            PaperAlgorithm::KNearestNeighbors => Algorithm::KNearestNeighbors,
+            PaperAlgorithm::LinearSvm => Algorithm::LinearSvm,
+            PaperAlgorithm::GradientBoosting => Algorithm::GradientBoosting,
+            PaperAlgorithm::RandomForest => Algorithm::RandomForest,
+        }
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: PaperAlgorithm::RandomForest,
+            forest: RandomForestConfig {
+                num_trees: 70,
+                tree: DecisionTreeConfig {
+                    max_depth: 700,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            seed: 13,
+            tau: crate::features::DEFAULT_TAU,
+        }
+    }
+}
+
+/// Builds the training matrix from a labeled collection: features are
+/// extracted in stream order with environment-score feedback from the
+/// labels (the online update of §IV-A). Unlabeled tweets (partial manual
+/// coverage) are skipped.
+///
+/// Returns the dataset plus the collected-index of each row.
+///
+/// # Panics
+///
+/// Panics if no labeled tweets exist.
+pub fn build_training_data(
+    collected: &[CollectedTweet],
+    labels: &LabeledCollection,
+    engine: &Engine,
+    tau: f64,
+) -> (Dataset, Vec<usize>) {
+    let rest = engine.rest();
+    let mut extractor = FeatureExtractor::with_tau(tau);
+    let mut rows = Vec::new();
+    let mut ys = Vec::new();
+    let mut indices = Vec::new();
+    for (i, c) in collected.iter().enumerate() {
+        let features = extractor.extract(c, &rest);
+        if let Some(label) = labels.tweet_labels[i] {
+            rows.push(features);
+            ys.push(label.spam);
+            indices.push(i);
+            extractor.record_verdict(c.slot, label.spam);
+        }
+    }
+    let dataset = Dataset::new(rows, ys).expect("labeled collection is non-empty and rectangular");
+    (dataset, indices)
+}
+
+/// Cross-validates all five Table IV algorithms on a training set.
+pub fn model_selection(data: &Dataset, folds: usize, seed: u64) -> Vec<CrossValidation> {
+    compare_algorithms(data, folds, seed)
+}
+
+/// The outcome of classifying a monitored collection.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassificationOutcome {
+    /// Per-tweet spam predictions, parallel to the collection.
+    pub predictions: Vec<bool>,
+    /// Accounts with at least one spam-predicted tweet.
+    pub spammers: HashSet<AccountId>,
+}
+
+impl ClassificationOutcome {
+    /// Number of tweets classified spam.
+    pub fn num_spam(&self) -> usize {
+        self.predictions.iter().filter(|&&p| p).count()
+    }
+
+    /// Number of classified spammer accounts.
+    pub fn num_spammers(&self) -> usize {
+        self.spammers.len()
+    }
+}
+
+/// The trained production detector.
+pub struct SpamDetector {
+    model: Box<dyn Classifier>,
+    tau: f64,
+}
+
+impl std::fmt::Debug for SpamDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpamDetector").field("tau", &self.tau).finish()
+    }
+}
+
+impl SpamDetector {
+    /// Trains the configured algorithm on a training set.
+    pub fn train(config: &DetectorConfig, data: &Dataset) -> Self {
+        let model: Box<dyn Classifier> = match config.algorithm {
+            PaperAlgorithm::RandomForest => {
+                Box::new(RandomForest::fit(&config.forest, data, config.seed))
+            }
+            other => Algorithm::from(other).fit_default(data, config.seed),
+        };
+        Self {
+            model,
+            tau: config.tau,
+        }
+    }
+
+    /// Classifies a monitored collection in stream order, feeding each
+    /// verdict back into the environment score as the paper's detector
+    /// does ("update its spam features automatically … once there are new
+    /// spams captured").
+    pub fn classify_collection(
+        &self,
+        collected: &[CollectedTweet],
+        engine: &Engine,
+    ) -> ClassificationOutcome {
+        let rest = engine.rest();
+        let mut extractor = FeatureExtractor::with_tau(self.tau);
+        let mut outcome = ClassificationOutcome::default();
+        for c in collected {
+            let features = extractor.extract(c, &rest);
+            let spam = self.model.predict(&features);
+            extractor.record_verdict(c.slot, spam);
+            outcome.predictions.push(spam);
+            if spam {
+                outcome.spammers.insert(c.tweet.author);
+            }
+        }
+        outcome
+    }
+
+    /// Classifies one pre-extracted feature vector.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.model.predict(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{ProfileAttribute, SampleAttribute};
+    use crate::labeling::pipeline::{label_collection, PipelineConfig};
+    use crate::monitor::{Runner, RunnerConfig};
+    use ph_twitter_sim::engine::SimConfig;
+
+    fn pipeline_run() -> (Engine, Vec<CollectedTweet>, LabeledCollection) {
+        let mut engine = Engine::new(SimConfig {
+            seed: 71,
+            num_organic: 600,
+            num_campaigns: 4,
+            accounts_per_campaign: 8,
+            suspension_rate_per_hour: 0.02,
+            ..Default::default()
+        });
+        let runner = Runner::new(RunnerConfig {
+            slots: vec![
+                SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0),
+                SampleAttribute::profile(ProfileAttribute::FollowersCount, 10_000.0),
+            ],
+            ..Default::default()
+        });
+        let report = runner.run(&mut engine, 50);
+        let dataset = label_collection(&report.collected, &engine, &PipelineConfig::default());
+        (engine, report.collected, dataset.labels)
+    }
+
+    #[test]
+    fn training_data_has_58_features() {
+        let (engine, collected, labels) = pipeline_run();
+        let (data, indices) = build_training_data(&collected, &labels, &engine, 0.01);
+        assert_eq!(data.num_features(), crate::features::FEATURE_COUNT);
+        assert_eq!(data.len(), indices.len());
+        assert!(data.num_positive() > 0, "no positive training examples");
+        assert!(data.num_positive() < data.len(), "all-positive training set");
+    }
+
+    #[test]
+    fn detector_separates_spam_well() {
+        let (engine, collected, labels) = pipeline_run();
+        let (data, _) = build_training_data(&collected, &labels, &engine, 0.01);
+        let detector = SpamDetector::train(
+            &DetectorConfig {
+                // Smaller forest for test speed; quality is still high.
+                forest: RandomForestConfig {
+                    num_trees: 15,
+                    ..DetectorConfig::default().forest
+                },
+                ..Default::default()
+            },
+            &data,
+        );
+        let outcome = detector.classify_collection(&collected, &engine);
+        assert_eq!(outcome.predictions.len(), collected.len());
+        let gt = engine.ground_truth();
+        let correct = collected
+            .iter()
+            .zip(&outcome.predictions)
+            .filter(|(c, &p)| p == gt.is_spam(&c.tweet))
+            .count();
+        let accuracy = correct as f64 / collected.len() as f64;
+        assert!(accuracy > 0.9, "detector accuracy {accuracy:.3}");
+        assert!(outcome.num_spammers() > 0);
+    }
+
+    #[test]
+    fn model_selection_runs_all_five() {
+        let (engine, collected, labels) = pipeline_run();
+        let (data, _) = build_training_data(&collected, &labels, &engine, 0.01);
+        // Subsample for speed if large.
+        let results = model_selection(&data, 3, 5);
+        assert_eq!(results.len(), 5);
+        let rf = results.last().unwrap();
+        assert_eq!(rf.algorithm_name, "RF");
+        assert!(rf.mean.accuracy > 0.85, "RF accuracy {:.3}", rf.mean.accuracy);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = DetectorConfig::default();
+        assert_eq!(c.forest.num_trees, 70);
+        assert_eq!(c.forest.tree.max_depth, 700);
+        assert_eq!(c.algorithm, PaperAlgorithm::RandomForest);
+    }
+}

@@ -1,0 +1,459 @@
+//! Pass 2: clustering-based labeling.
+//!
+//! Groups accounts by profile-image dHash (banded LSH + Hamming verify),
+//! screen-name Σ-sequences, and description MinHash; groups tweets by
+//! near-duplicate content inside 1-day windows; then propagates spam labels
+//! through the groups per the paper's two rules:
+//!
+//! 1. if a user in a group is suspended (or already labeled a spammer), all
+//!    users in the group are spammers;
+//! 2. if a tweet in a group is labeled spam (or authored by a spammer), all
+//!    tweets in the group are spam and their authors spammers.
+
+use std::collections::{HashMap, HashSet};
+
+use ph_sketch::dhash::DHash128;
+use ph_sketch::lsh::{bands_of_signature, bands_of_u128, BandIndex};
+use ph_sketch::shingle::normalize;
+use ph_sketch::{MinHasher, UnionFind};
+use ph_twitter_sim::engine::RestApi;
+use ph_twitter_sim::AccountId;
+use serde::{Deserialize, Serialize};
+
+use crate::labeling::{AccountLabel, LabelMethod, LabeledCollection, TweetLabel};
+use crate::monitor::CollectedTweet;
+
+/// Clustering thresholds (defaults follow the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringConfig {
+    /// Images within this Hamming distance are near-duplicates (paper: 5,
+    /// strict less-than).
+    pub image_distance_threshold: u32,
+    /// Minimum members for a screen-name pattern group (paper: 5).
+    pub name_group_min: usize,
+    /// Estimated-Jaccard threshold for near-duplicate descriptions.
+    pub description_similarity: f64,
+    /// Estimated-Jaccard threshold for near-duplicate tweets.
+    pub tweet_similarity: f64,
+    /// Tweet near-duplicate window (paper: 1 day).
+    pub tweet_window_hours: u64,
+    /// Minimum raw tweet length checked for duplication (paper: 20 chars).
+    pub min_tweet_chars: usize,
+    /// MinHash signature width.
+    pub minhash_width: usize,
+    /// MinHash seed.
+    pub minhash_seed: u64,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        Self {
+            image_distance_threshold: 5,
+            name_group_min: 5,
+            // The paper treats descriptions as identical when their minimum
+            // hash values coincide — i.e., near-exact matching. A loose
+            // threshold would chain template-ish organic bios into giant
+            // components that one false suspension could condemn wholesale.
+            description_similarity: 0.9,
+            tweet_similarity: 0.8,
+            tweet_window_hours: 24,
+            min_tweet_chars: 20,
+            minhash_width: 64,
+            minhash_seed: 17,
+        }
+    }
+}
+
+/// Diagnostics from one clustering pass.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Multi-member account groups found (by any signal).
+    pub account_groups: usize,
+    /// Multi-member tweet groups found.
+    pub tweet_groups: usize,
+    /// Spammer accounts newly labeled by propagation.
+    pub newly_labeled_spammers: usize,
+    /// Spam tweets newly labeled by propagation.
+    pub newly_labeled_spam: usize,
+}
+
+/// Applies the clustering pass. Labels only entries that are still
+/// unlabeled; earlier passes take precedence.
+pub fn apply(
+    collected: &[CollectedTweet],
+    rest: &RestApi<'_>,
+    config: &ClusteringConfig,
+    labels: &mut LabeledCollection,
+) -> ClusterReport {
+    debug_assert_eq!(collected.len(), labels.tweet_labels.len());
+    let mut report = ClusterReport::default();
+
+    // ---- Account universe -------------------------------------------------
+    let mut authors: Vec<AccountId> = collected.iter().map(|c| c.tweet.author).collect();
+    authors.sort_unstable();
+    authors.dedup();
+    let author_index: HashMap<AccountId, usize> = authors
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let mut account_uf = UnionFind::new(authors.len());
+
+    cluster_by_image(&authors, rest, config, &mut account_uf);
+    cluster_by_name(&authors, rest, config, &mut account_uf);
+    cluster_by_description(&authors, rest, config, &mut account_uf);
+
+    let account_groups = account_uf.components_with_min_size(2);
+    report.account_groups = account_groups.len();
+
+    // ---- Tweet universe ----------------------------------------------------
+    let mut tweet_uf = UnionFind::new(collected.len());
+    cluster_tweets(collected, config, &mut tweet_uf);
+    let tweet_groups = tweet_uf.components_with_min_size(2);
+    report.tweet_groups = tweet_groups.len();
+
+    // ---- Propagation to fixpoint -------------------------------------------
+    let mut spammers: HashSet<AccountId> = labels
+        .account_labels
+        .iter()
+        .filter(|(_, l)| l.spammer)
+        .map(|(&id, _)| id)
+        .collect();
+    let mut spam_tweets: HashSet<usize> = labels
+        .tweet_labels
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.is_some_and(|l| l.spam))
+        .map(|(i, _)| i)
+        .collect();
+
+    loop {
+        let mut changed = false;
+        // Rule 1: "if a user in one group is suspended [or otherwise known
+        // spam], we label all users in this group as spammers". Account
+        // labels flow through account groups — their *other* tweets are
+        // left for the later rule-based / manual passes, per the paper.
+        for group in &account_groups {
+            if group.iter().any(|&i| spammers.contains(&authors[i])) {
+                for &i in group {
+                    changed |= spammers.insert(authors[i]);
+                }
+            }
+        }
+        // Rule 2: "if a tweet in one group is labeled [spam], we label its
+        // users and all tweets in this group as spammers and spams".
+        for group in &tweet_groups {
+            if group.iter().any(|&i| spam_tweets.contains(&i)) {
+                for &i in group {
+                    changed |= spam_tweets.insert(i);
+                    changed |= spammers.insert(collected[i].tweet.author);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- Write back (first-label-wins) --------------------------------------
+    for idx in spam_tweets {
+        let slot = &mut labels.tweet_labels[idx];
+        if slot.is_none() {
+            *slot = Some(TweetLabel {
+                spam: true,
+                method: LabelMethod::Clustering,
+            });
+            report.newly_labeled_spam += 1;
+        }
+    }
+    for id in spammers {
+        use std::collections::hash_map::Entry;
+        if let Entry::Vacant(e) = labels.account_labels.entry(id) {
+            e.insert(AccountLabel {
+                spammer: true,
+                method: LabelMethod::Clustering,
+            });
+            report.newly_labeled_spammers += 1;
+        }
+    }
+    let _ = author_index; // retained for clarity of the universe mapping
+    report
+}
+
+/// Image clustering: 8-band LSH over the 128-bit dHash. A pair within
+/// Hamming distance < 5 differs in ≤ 4 bits, so at least 4 of the 8
+/// 16-bit bands match exactly — banding is recall-lossless here.
+fn cluster_by_image(
+    authors: &[AccountId],
+    rest: &RestApi<'_>,
+    config: &ClusteringConfig,
+    uf: &mut UnionFind,
+) {
+    let hashes: Vec<Option<DHash128>> = authors
+        .iter()
+        .map(|&id| {
+            let p = rest.profile(id)?;
+            // Default (egg) avatars are identical platform-wide and carry
+            // no campaign signal; skip them.
+            if p.default_profile_image {
+                None
+            } else {
+                Some(DHash128::of(&p.profile_image))
+            }
+        })
+        .collect();
+    let mut index = BandIndex::new();
+    for (i, hash) in hashes.iter().enumerate() {
+        let Some(h) = hash else { continue };
+        let bits = ((h.horizontal_bits() as u128) << 64) | h.vertical_bits() as u128;
+        index.insert(i, bands_of_u128(bits, 8));
+    }
+    for (i, j) in index.candidate_pairs() {
+        if let (Some(hi), Some(hj)) = (hashes[i], hashes[j]) {
+            if hi.hamming_distance(hj) < config.image_distance_threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+}
+
+/// Screen-name grouping (groups of ≥ `name_group_min`).
+///
+/// The paper learns regular expressions with literal substrings (merchant
+/// patterns); pure Σ-sequences are too generic — any `name+digits` shape
+/// would pool unrelated organic users. The key is therefore the Σ-sequence
+/// *plus* the lowercase 3-character prefix, approximating the constant stem
+/// a learned regex would pin down.
+fn cluster_by_name(
+    authors: &[AccountId],
+    rest: &RestApi<'_>,
+    config: &ClusteringConfig,
+    uf: &mut UnionFind,
+) {
+    use ph_sketch::NamePattern;
+    let mut groups: HashMap<(NamePattern, String), Vec<usize>> = HashMap::new();
+    for (i, &id) in authors.iter().enumerate() {
+        let Some(profile) = rest.profile(id) else {
+            continue;
+        };
+        let name = &profile.screen_name;
+        let prefix: String = name.chars().take(3).flat_map(char::to_lowercase).collect();
+        groups
+            .entry((NamePattern::of(name), prefix))
+            .or_default()
+            .push(i);
+    }
+    for members in groups.into_values() {
+        if members.len() < config.name_group_min {
+            continue;
+        }
+        for w in members.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+}
+
+/// Description MinHash grouping: 16 bands × 4 rows, verified at the
+/// configured similarity.
+fn cluster_by_description(
+    authors: &[AccountId],
+    rest: &RestApi<'_>,
+    config: &ClusteringConfig,
+    uf: &mut UnionFind,
+) {
+    let hasher = MinHasher::new(config.minhash_width, config.minhash_seed);
+    let signatures: Vec<Option<ph_sketch::MinHashSignature>> = authors
+        .iter()
+        .map(|&id| {
+            let p = rest.profile(id)?;
+            let normalized = normalize(&p.description);
+            if normalized.len() < 10 {
+                return None; // too short to be a meaningful template
+            }
+            Some(hasher.signature_of_text(&normalized))
+        })
+        .collect();
+    let mut index = BandIndex::new();
+    for (i, sig) in signatures.iter().enumerate() {
+        let Some(s) = sig else { continue };
+        index.insert(i, bands_of_signature(s.as_slice(), 4));
+    }
+    for (i, j) in index.candidate_pairs() {
+        if let (Some(si), Some(sj)) = (&signatures[i], &signatures[j]) {
+            if si.estimate_jaccard(sj) >= config.description_similarity {
+                uf.union(i, j);
+            }
+        }
+    }
+}
+
+/// Near-duplicate tweets inside rolling 1-day windows, MinHash-verified.
+fn cluster_tweets(collected: &[CollectedTweet], config: &ClusteringConfig, uf: &mut UnionFind) {
+    let hasher = MinHasher::new(config.minhash_width, config.minhash_seed ^ 0x5eed);
+    // The 1-day window participates in the band key so only same-window
+    // tweets become candidates.
+    let mut index = BandIndex::new();
+    let mut signatures: Vec<Option<ph_sketch::MinHashSignature>> =
+        Vec::with_capacity(collected.len());
+    for (i, c) in collected.iter().enumerate() {
+        if c.tweet.text.chars().count() < config.min_tweet_chars {
+            signatures.push(None);
+            continue;
+        }
+        let normalized = normalize(&c.tweet.text);
+        if normalized.is_empty() {
+            signatures.push(None);
+            continue;
+        }
+        let sig = hasher.signature_of_text(&normalized);
+        let window = c.hour / config.tweet_window_hours.max(1);
+        index.insert(
+            i,
+            bands_of_signature(sig.as_slice(), 4)
+                .into_iter()
+                .map(|(band, key)| (band, key ^ window.wrapping_mul(0x9e37_79b9))),
+        );
+        signatures.push(Some(sig));
+    }
+    for (i, j) in index.candidate_pairs() {
+        // Same-window check: the band-key mixing makes cross-window
+        // collisions unlikely but not impossible.
+        let wi = collected[i].hour / config.tweet_window_hours.max(1);
+        let wj = collected[j].hour / config.tweet_window_hours.max(1);
+        if wi != wj {
+            continue;
+        }
+        if let (Some(si), Some(sj)) = (&signatures[i], &signatures[j]) {
+            if si.estimate_jaccard(sj) >= config.tweet_similarity {
+                uf.union(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{ProfileAttribute, SampleAttribute};
+    use crate::labeling::suspended;
+    use crate::monitor::{Runner, RunnerConfig};
+    use ph_twitter_sim::engine::{Engine, SimConfig};
+
+    fn monitored_engine() -> (Engine, Vec<CollectedTweet>) {
+        let mut engine = Engine::new(SimConfig {
+            seed: 31,
+            num_organic: 500,
+            num_campaigns: 4,
+            accounts_per_campaign: 10,
+            suspension_rate_per_hour: 0.03,
+            ..Default::default()
+        });
+        let runner = Runner::new(RunnerConfig {
+            slots: vec![
+                SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0),
+                SampleAttribute::profile(ProfileAttribute::FollowersCount, 10_000.0),
+                SampleAttribute::profile(ProfileAttribute::FriendsCount, 10_000.0),
+            ],
+            ..Default::default()
+        });
+        let report = runner.run(&mut engine, 40);
+        (engine, report.collected)
+    }
+
+    #[test]
+    fn clustering_expands_suspension_seeds() {
+        let (engine, collected) = monitored_engine();
+        assert!(!collected.is_empty());
+        let mut labels = LabeledCollection {
+            tweet_labels: vec![None; collected.len()],
+            ..Default::default()
+        };
+        suspended::apply(&collected, &engine.rest(), &mut labels);
+        let before = labels.num_spammers();
+        let report = apply(
+            &collected,
+            &engine.rest(),
+            &ClusteringConfig::default(),
+            &mut labels,
+        );
+        let after = labels.num_spammers();
+        assert!(
+            after >= before,
+            "clustering must never remove spammer labels"
+        );
+        // With 4 campaigns of 10 templated accounts, the clusters must
+        // propagate beyond the suspended seeds.
+        assert!(
+            report.newly_labeled_spammers > 0,
+            "clustering labeled no new spammers (groups: {}, seeds: {before})",
+            report.account_groups
+        );
+    }
+
+    #[test]
+    fn clustering_finds_campaign_account_groups() {
+        let (engine, collected) = monitored_engine();
+        let mut labels = LabeledCollection {
+            tweet_labels: vec![None; collected.len()],
+            ..Default::default()
+        };
+        let report = apply(
+            &collected,
+            &engine.rest(),
+            &ClusteringConfig::default(),
+            &mut labels,
+        );
+        assert!(report.account_groups > 0, "no account clusters found");
+    }
+
+    #[test]
+    fn propagated_labels_are_mostly_true_spammers() {
+        let (engine, collected) = monitored_engine();
+        let mut labels = LabeledCollection {
+            tweet_labels: vec![None; collected.len()],
+            ..Default::default()
+        };
+        suspended::apply(&collected, &engine.rest(), &mut labels);
+        apply(
+            &collected,
+            &engine.rest(),
+            &ClusteringConfig::default(),
+            &mut labels,
+        );
+        let gt = engine.ground_truth();
+        let labeled: Vec<_> = labels
+            .account_labels
+            .iter()
+            .filter(|(_, l)| l.spammer)
+            .collect();
+        assert!(!labeled.is_empty());
+        let correct = labeled
+            .iter()
+            .filter(|(&id, _)| gt.is_spammer(id))
+            .count();
+        let precision = correct as f64 / labeled.len() as f64;
+        assert!(
+            precision > 0.8,
+            "cluster-propagated labels too noisy: precision {precision:.2}"
+        );
+    }
+
+    #[test]
+    fn without_seeds_nothing_propagates_from_accounts_alone() {
+        // No suspended seeds and no rule labels: propagation can only start
+        // from pre-labeled spam, so the pass labels nothing.
+        let (engine, collected) = monitored_engine();
+        let mut labels = LabeledCollection {
+            tweet_labels: vec![None; collected.len()],
+            ..Default::default()
+        };
+        let report = apply(
+            &collected,
+            &engine.rest(),
+            &ClusteringConfig::default(),
+            &mut labels,
+        );
+        assert_eq!(report.newly_labeled_spam, 0);
+        assert_eq!(report.newly_labeled_spammers, 0);
+    }
+}

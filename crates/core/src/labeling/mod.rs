@@ -1,0 +1,256 @@
+//! Ground-truth labeling (§IV-B): suspended-account check → clustering →
+//! rule-based labeling → manual refinement, with Table III accounting.
+
+pub mod clustering;
+pub mod manual;
+pub mod pipeline;
+pub mod rules;
+pub mod suspended;
+
+use std::collections::HashMap;
+
+use ph_twitter_sim::AccountId;
+use serde::{Deserialize, Serialize};
+
+/// Which pass produced a label — the rows of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LabelMethod {
+    /// Author account is suspended.
+    Suspended,
+    /// Campaign-cluster propagation.
+    Clustering,
+    /// Keyword/URL/seed-account rules.
+    RuleBased,
+    /// Simulated manual checking.
+    Manual,
+}
+
+impl LabelMethod {
+    /// All methods in Table III row order.
+    pub const ALL: [LabelMethod; 4] = [
+        LabelMethod::Suspended,
+        LabelMethod::Clustering,
+        LabelMethod::RuleBased,
+        LabelMethod::Manual,
+    ];
+
+    /// Row label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            LabelMethod::Suspended => "Suspended",
+            LabelMethod::Clustering => "Clustering",
+            LabelMethod::RuleBased => "Rule Based",
+            LabelMethod::Manual => "Human Labeling",
+        }
+    }
+}
+
+impl std::fmt::Display for LabelMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A tweet-level label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TweetLabel {
+    /// Spam or ham.
+    pub spam: bool,
+    /// Which pass decided.
+    pub method: LabelMethod,
+}
+
+/// An account-level label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccountLabel {
+    /// Spammer or normal.
+    pub spammer: bool,
+    /// Which pass decided.
+    pub method: LabelMethod,
+}
+
+/// The outcome of the full labeling pipeline over one collected dataset.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LabeledCollection {
+    /// Per-tweet labels, parallel to the input collection (`None` when the
+    /// manual pass was configured with partial coverage).
+    pub tweet_labels: Vec<Option<TweetLabel>>,
+    /// Account labels for every author observed.
+    pub account_labels: HashMap<AccountId, AccountLabel>,
+}
+
+impl LabeledCollection {
+    /// Number of tweets labeled spam.
+    pub fn num_spam(&self) -> usize {
+        self.tweet_labels
+            .iter()
+            .filter(|l| l.is_some_and(|l| l.spam))
+            .count()
+    }
+
+    /// Number of accounts labeled spammer.
+    pub fn num_spammers(&self) -> usize {
+        self.account_labels.values().filter(|l| l.spammer).count()
+    }
+
+    /// Spam tweets attributed to one pass.
+    pub fn spam_by_method(&self, method: LabelMethod) -> usize {
+        self.tweet_labels
+            .iter()
+            .filter(|l| l.is_some_and(|l| l.spam && l.method == method))
+            .count()
+    }
+
+    /// Spammer accounts attributed to one pass.
+    pub fn spammers_by_method(&self, method: LabelMethod) -> usize {
+        self.account_labels
+            .values()
+            .filter(|l| l.spammer && l.method == method)
+            .count()
+    }
+}
+
+/// One row of the Table III summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodRow {
+    /// The pass.
+    pub method: LabelMethod,
+    /// Spam tweets first labeled by this pass.
+    pub spams: usize,
+    /// As a percentage of all collected tweets.
+    pub spam_pct_of_tweets: f64,
+    /// Spammer accounts first labeled by this pass.
+    pub spammers: usize,
+    /// As a percentage of all observed users.
+    pub spammer_pct_of_users: f64,
+}
+
+/// The Table III summary: per-method yields plus totals.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LabelingSummary {
+    /// Rows in Table III order.
+    pub rows: Vec<MethodRow>,
+    /// Total collected tweets.
+    pub total_tweets: usize,
+    /// Total observed users.
+    pub total_users: usize,
+    /// Total labeled spams.
+    pub total_spams: usize,
+    /// Total labeled spammers.
+    pub total_spammers: usize,
+}
+
+impl LabelingSummary {
+    /// Builds the summary from a labeled collection.
+    pub fn from_labels(labels: &LabeledCollection, total_tweets: usize) -> Self {
+        let total_users = labels.account_labels.len();
+        let rows = LabelMethod::ALL
+            .iter()
+            .map(|&method| {
+                let spams = labels.spam_by_method(method);
+                let spammers = labels.spammers_by_method(method);
+                MethodRow {
+                    method,
+                    spams,
+                    spam_pct_of_tweets: pct(spams, total_tweets),
+                    spammers,
+                    spammer_pct_of_users: pct(spammers, total_users),
+                }
+            })
+            .collect();
+        Self {
+            rows,
+            total_tweets,
+            total_users,
+            total_spams: labels.num_spam(),
+            total_spammers: labels.num_spammers(),
+        }
+    }
+}
+
+fn pct(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_labels_match_paper_rows() {
+        let labels: Vec<&str> = LabelMethod::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Suspended", "Clustering", "Rule Based", "Human Labeling"]
+        );
+    }
+
+    #[test]
+    fn collection_counting() {
+        let mut c = LabeledCollection {
+            tweet_labels: vec![
+                Some(TweetLabel {
+                    spam: true,
+                    method: LabelMethod::Suspended,
+                }),
+                Some(TweetLabel {
+                    spam: false,
+                    method: LabelMethod::Manual,
+                }),
+                None,
+            ],
+            account_labels: HashMap::new(),
+        };
+        c.account_labels.insert(
+            AccountId(1),
+            AccountLabel {
+                spammer: true,
+                method: LabelMethod::Clustering,
+            },
+        );
+        assert_eq!(c.num_spam(), 1);
+        assert_eq!(c.num_spammers(), 1);
+        assert_eq!(c.spam_by_method(LabelMethod::Suspended), 1);
+        assert_eq!(c.spam_by_method(LabelMethod::Manual), 0);
+        assert_eq!(c.spammers_by_method(LabelMethod::Clustering), 1);
+    }
+
+    #[test]
+    fn summary_percentages() {
+        let mut c = LabeledCollection::default();
+        c.tweet_labels = vec![
+            Some(TweetLabel {
+                spam: true,
+                method: LabelMethod::Suspended,
+            }),
+            Some(TweetLabel {
+                spam: false,
+                method: LabelMethod::Manual,
+            }),
+        ];
+        c.account_labels.insert(
+            AccountId(1),
+            AccountLabel {
+                spammer: true,
+                method: LabelMethod::Suspended,
+            },
+        );
+        c.account_labels.insert(
+            AccountId(2),
+            AccountLabel {
+                spammer: false,
+                method: LabelMethod::Manual,
+            },
+        );
+        let s = LabelingSummary::from_labels(&c, 2);
+        assert_eq!(s.total_spams, 1);
+        assert_eq!(s.total_spammers, 1);
+        let suspended = &s.rows[0];
+        assert!((suspended.spam_pct_of_tweets - 50.0).abs() < 1e-12);
+        assert!((suspended.spammer_pct_of_users - 50.0).abs() < 1e-12);
+    }
+}

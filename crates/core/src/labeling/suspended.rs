@@ -1,0 +1,113 @@
+//! Pass 1: suspended-account labeling.
+//!
+//! Twitter suspends accounts that violate its rules; the paper bootstraps
+//! labeling from these flags. Note that "a suspended account is not
+//! necessarily a spam account" — the simulator wrongly suspends a small
+//! rate of organic accounts, and the later manual pass is what catches the
+//! residue in the paper; here the pass faithfully labels *everything* a
+//! suspension implies, mirroring the paper's rough first cut.
+
+use std::collections::HashSet;
+
+use ph_twitter_sim::engine::RestApi;
+use ph_twitter_sim::AccountId;
+
+use crate::labeling::{AccountLabel, LabelMethod, LabeledCollection, TweetLabel};
+use crate::monitor::CollectedTweet;
+
+/// Applies the suspended-account pass over unlabeled entries of `labels`.
+///
+/// Every author currently suspended becomes a spammer; all their collected
+/// tweets become spam.
+pub fn apply(
+    collected: &[CollectedTweet],
+    rest: &RestApi<'_>,
+    labels: &mut LabeledCollection,
+) {
+    debug_assert_eq!(collected.len(), labels.tweet_labels.len());
+    let mut suspended_authors: HashSet<AccountId> = HashSet::new();
+    for c in collected {
+        let author = c.tweet.author;
+        if rest.is_suspended(author) {
+            suspended_authors.insert(author);
+        }
+    }
+    for (c, slot) in collected.iter().zip(labels.tweet_labels.iter_mut()) {
+        if slot.is_none() && suspended_authors.contains(&c.tweet.author) {
+            *slot = Some(TweetLabel {
+                spam: true,
+                method: LabelMethod::Suspended,
+            });
+        }
+    }
+    for author in suspended_authors {
+        labels.account_labels.entry(author).or_insert(AccountLabel {
+            spammer: true,
+            method: LabelMethod::Suspended,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{ProfileAttribute, SampleAttribute};
+    use crate::monitor::{Runner, RunnerConfig};
+    use ph_twitter_sim::engine::{Engine, SimConfig};
+
+    #[test]
+    fn suspended_authors_get_labeled() {
+        let mut engine = Engine::new(SimConfig {
+            seed: 21,
+            num_organic: 400,
+            num_campaigns: 3,
+            accounts_per_campaign: 8,
+            suspension_rate_per_hour: 0.2,
+            ..Default::default()
+        });
+        let runner = Runner::new(RunnerConfig {
+            slots: vec![SampleAttribute::profile(
+                ProfileAttribute::ListsPerDay,
+                1.0,
+            )],
+            ..Default::default()
+        });
+        let report = runner.run(&mut engine, 30);
+        let mut labels = LabeledCollection {
+            tweet_labels: vec![None; report.collected.len()],
+            ..Default::default()
+        };
+        apply(&report.collected, &engine.rest(), &mut labels);
+        // With an aggressive suspension rate some spammers must be caught.
+        assert!(
+            labels.num_spammers() > 0,
+            "no suspended spammers found in 30h"
+        );
+        // Every label produced by this pass is attributed to it.
+        for l in labels.tweet_labels.iter().flatten() {
+            assert_eq!(l.method, LabelMethod::Suspended);
+            assert!(l.spam);
+        }
+        // Tweets of suspended authors are all labeled.
+        let rest = engine.rest();
+        for (c, l) in report.collected.iter().zip(&labels.tweet_labels) {
+            assert_eq!(rest.is_suspended(c.tweet.author), l.is_some());
+        }
+    }
+
+    #[test]
+    fn does_not_overwrite_existing_labels() {
+        let engine = Engine::new(SimConfig {
+            seed: 22,
+            num_organic: 50,
+            num_campaigns: 1,
+            accounts_per_campaign: 2,
+            ..Default::default()
+        });
+        let collected: Vec<CollectedTweet> = Vec::new();
+        let mut labels = LabeledCollection::default();
+        apply(&collected, &engine.rest(), &mut labels);
+        assert!(labels.tweet_labels.is_empty());
+        assert!(labels.account_labels.is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! Pseudo-honeypot monitoring (§III-E): hourly-switched streaming
+//! collection of the tweets crossing the node set.
+//!
+//! The runner owns the selection/switch/poll loop: every `switch_interval`
+//! hours it re-selects the node set (portability, §III-D), re-points the
+//! streaming filter, steps the engine, and tags every collected tweet with
+//! the slot of the node it crossed — the key that all per-attribute
+//! statistics (Tables V–VI, Figures 3–5) aggregate over.
+
+use std::collections::HashMap;
+
+use ph_twitter_sim::engine::Engine;
+use ph_twitter_sim::{AccountId, Tweet};
+use serde::{Deserialize, Serialize};
+
+use crate::attributes::SampleAttribute;
+use crate::network::PseudoHoneypotNetwork;
+use crate::selection::{select_network, SelectorConfig};
+
+/// Which of the paper's three collection categories a tweet falls into
+/// (§III-E). Categories (2) and (3) are distinguished only *after*
+/// classification, so the monitor records them jointly as `MentionOfNode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TweetCategory {
+    /// Category (1): activity of a pseudo-honeypot account itself.
+    NodeActivity,
+    /// Categories (2)/(3): another account mentioning a node.
+    MentionOfNode,
+}
+
+/// One collected tweet with its monitoring context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectedTweet {
+    /// The tweet as delivered by the streaming API.
+    pub tweet: Tweet,
+    /// Collection category.
+    pub category: TweetCategory,
+    /// The node the tweet crossed: the mentioned node for
+    /// [`TweetCategory::MentionOfNode`], the author for
+    /// [`TweetCategory::NodeActivity`].
+    pub node: AccountId,
+    /// The slot that node was selected for at collection time.
+    pub slot: SampleAttribute,
+    /// Hour (since simulation start) of collection.
+    pub hour: u64,
+}
+
+/// Everything a monitoring run produced.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// Collected tweets in delivery order.
+    pub collected: Vec<CollectedTweet>,
+    /// Node-hours accumulated per slot (`G_i · T_i` of the PGE formula).
+    pub node_hours: HashMap<SampleAttribute, f64>,
+    /// Total hours monitored.
+    pub hours: u64,
+    /// Tweets shed by the streaming buffer (0 unless overloaded).
+    pub dropped: u64,
+}
+
+impl MonitorReport {
+    /// Distinct accounts observed (authors of collected tweets).
+    pub fn unique_authors(&self) -> usize {
+        let mut ids: Vec<AccountId> = self.collected.iter().map(|c| c.tweet.author).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Collected tweets whose category is `MentionOfNode`.
+    pub fn mentions(&self) -> impl Iterator<Item = &CollectedTweet> {
+        self.collected
+            .iter()
+            .filter(|c| c.category == TweetCategory::MentionOfNode)
+    }
+}
+
+/// Configuration of a monitoring run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// Slots to select each round (defaults to the full Table I/II plan).
+    pub slots: Vec<SampleAttribute>,
+    /// Selection parameters.
+    pub selector: SelectorConfig,
+    /// Hours between node-set switches (paper: 1).
+    pub switch_interval_hours: u64,
+    /// Seed for selection rotation.
+    pub seed: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            slots: SampleAttribute::standard_slots(),
+            selector: SelectorConfig::default(),
+            switch_interval_hours: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// The monitoring runner. See the module docs for the loop structure.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    config: RunnerConfig,
+}
+
+impl Runner {
+    /// Creates a runner.
+    pub fn new(config: RunnerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.config
+    }
+
+    /// Monitors `engine` for `hours` hours, switching the node set every
+    /// `switch_interval_hours`.
+    pub fn run(&self, engine: &mut Engine, hours: u64) -> MonitorReport {
+        self.run_with_networks(engine, hours, |engine, round| {
+            select_network(
+                engine,
+                &self.config.slots,
+                &self.config.selector,
+                self.config.seed.wrapping_add(round),
+            )
+        })
+    }
+
+    /// Monitors with an externally supplied network per switch round —
+    /// used by the baselines (random node sets, fixed honeypot sets).
+    pub fn run_with_networks<F>(
+        &self,
+        engine: &mut Engine,
+        hours: u64,
+        mut make_network: F,
+    ) -> MonitorReport
+    where
+        F: FnMut(&Engine, u64) -> PseudoHoneypotNetwork,
+    {
+        let streaming = engine.streaming();
+        let subscription = streaming.track_mentions([]);
+        let mut report = MonitorReport::default();
+        let mut membership: HashMap<AccountId, SampleAttribute> = HashMap::new();
+        let mut round = 0u64;
+
+        for hour_index in 0..hours {
+            if hour_index % self.config.switch_interval_hours.max(1) == 0 {
+                let network = make_network(engine, round);
+                round += 1;
+                membership = network.membership();
+                streaming
+                    .set_filter(subscription, membership.keys().copied())
+                    .expect("subscription is open");
+                // Accrue node-hours for the coming interval.
+                let interval = self
+                    .config
+                    .switch_interval_hours
+                    .max(1)
+                    .min(hours - hour_index) as f64;
+                for (slot, count) in network.slot_sizes() {
+                    *report.node_hours.entry(slot).or_insert(0.0) += count as f64 * interval;
+                }
+            }
+            let hour = engine.now().whole_hours();
+            engine.step_hour();
+            for tweet in streaming.poll(subscription).expect("subscription is open") {
+                let collected = Self::categorize(tweet, &membership, hour);
+                if let Some(c) = collected {
+                    report.collected.push(c);
+                }
+            }
+            report.hours += 1;
+        }
+        report.dropped = streaming.dropped(subscription).unwrap_or(0);
+        streaming.close(subscription);
+        report
+    }
+
+    /// Tags one delivered tweet with node/slot context.
+    fn categorize(
+        tweet: Tweet,
+        membership: &HashMap<AccountId, SampleAttribute>,
+        hour: u64,
+    ) -> Option<CollectedTweet> {
+        // Mention of a node takes precedence (categories (2)/(3)); a node's
+        // own posts are category (1).
+        if let Some((&node, &slot)) = tweet
+            .mentions
+            .iter()
+            .find_map(|m| membership.get_key_value(m))
+        {
+            return Some(CollectedTweet {
+                tweet,
+                category: TweetCategory::MentionOfNode,
+                node,
+                slot,
+                hour,
+            });
+        }
+        if let Some((&node, &slot)) = membership.get_key_value(&tweet.author) {
+            return Some(CollectedTweet {
+                tweet,
+                category: TweetCategory::NodeActivity,
+                node,
+                slot,
+                hour,
+            });
+        }
+        // Raced a filter switch: delivered under the previous node set.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::ProfileAttribute;
+    use ph_twitter_sim::engine::SimConfig;
+
+    fn engine() -> Engine {
+        Engine::new(SimConfig {
+            seed: 5,
+            num_organic: 800,
+            num_campaigns: 3,
+            accounts_per_campaign: 8,
+            ..Default::default()
+        })
+    }
+
+    fn small_runner(seed: u64) -> Runner {
+        Runner::new(RunnerConfig {
+            slots: vec![
+                SampleAttribute::profile(ProfileAttribute::FriendsCount, 1_000.0),
+                SampleAttribute::profile(ProfileAttribute::FollowersCount, 1_000.0),
+                SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0),
+            ],
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn run_collects_tweets_crossing_nodes() {
+        let mut e = engine();
+        let report = small_runner(1).run(&mut e, 12);
+        assert_eq!(report.hours, 12);
+        assert!(!report.collected.is_empty(), "nothing collected");
+        for c in &report.collected {
+            match c.category {
+                TweetCategory::NodeActivity => assert_eq!(c.tweet.author, c.node),
+                TweetCategory::MentionOfNode => {
+                    assert!(c.tweet.mentions_account(c.node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_hours_accrue_per_slot() {
+        let mut e = engine();
+        let report = small_runner(2).run(&mut e, 6);
+        // 3 slots × up to 10 nodes × 6 hours.
+        let total: f64 = report.node_hours.values().sum();
+        assert!(total > 0.0);
+        assert!(total <= 3.0 * 10.0 * 6.0 + 1e-9);
+    }
+
+    #[test]
+    fn switching_rotates_node_sets() {
+        let mut e1 = engine();
+        let hourly = Runner::new(RunnerConfig {
+            switch_interval_hours: 1,
+            ..small_runner(3).config().clone()
+        });
+        let r1 = hourly.run(&mut e1, 8);
+        // Nodes observed across hours should include more distinct accounts
+        // than a single selection round (rotation).
+        let mut nodes: Vec<AccountId> = r1.collected.iter().map(|c| c.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert!(
+            nodes.len() > 10,
+            "hourly switching produced only {} distinct nodes",
+            nodes.len()
+        );
+    }
+
+    #[test]
+    fn spam_is_collected() {
+        let mut e = engine();
+        let report = small_runner(4).run(&mut e, 20);
+        let gt = e.ground_truth();
+        let spam = report
+            .collected
+            .iter()
+            .filter(|c| gt.is_spam(&c.tweet))
+            .count();
+        assert!(spam > 0, "honeypot caught no spam in 20 hours");
+    }
+
+    #[test]
+    fn unique_authors_counts_distinct() {
+        let mut e = engine();
+        let report = small_runner(5).run(&mut e, 10);
+        assert!(report.unique_authors() > 0);
+        assert!(report.unique_authors() <= report.collected.len());
+    }
+
+    #[test]
+    fn run_with_external_networks_uses_them() {
+        let mut e = engine();
+        let fixed = crate::selection::select_random_network(&e, 50, 9);
+        let runner = Runner::new(RunnerConfig {
+            switch_interval_hours: 1_000, // never re-switch within the run
+            ..RunnerConfig::default()
+        });
+        let report = runner.run_with_networks(&mut e, 6, |_, _| fixed.clone());
+        let allowed: std::collections::HashSet<AccountId> =
+            fixed.account_ids().into_iter().collect();
+        for c in &report.collected {
+            assert!(allowed.contains(&c.node));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The pseudo-honeypot network: a set of selected parasitic accounts, each
+//! assigned to the selection slot it satisfies.
+
+use std::collections::HashMap;
+
+use ph_twitter_sim::AccountId;
+use serde::{Deserialize, Serialize};
+
+use crate::attributes::SampleAttribute;
+
+/// One selected node: the harnessed account and the slot that selected it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeAssignment {
+    /// The parasitic account.
+    pub account: AccountId,
+    /// The slot (attribute + sample value) it was selected for.
+    pub slot: SampleAttribute,
+}
+
+/// A pseudo-honeypot network — the paper's hourly-switched node set
+/// (2,400 nodes in the standard build: 10 accounts × 110 profile sample
+/// slots + 100 × 13 topical slots).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PseudoHoneypotNetwork {
+    nodes: Vec<NodeAssignment>,
+    /// Slots that could not be filled to their quota, with the missing
+    /// count (diagnostics; the paper's population always fills them).
+    shortfalls: Vec<(SampleAttribute, usize)>,
+}
+
+impl PseudoHoneypotNetwork {
+    /// Builds a network from explicit assignments.
+    pub fn new(nodes: Vec<NodeAssignment>, shortfalls: Vec<(SampleAttribute, usize)>) -> Self {
+        Self { nodes, shortfalls }
+    }
+
+    /// All assignments.
+    pub fn nodes(&self) -> &[NodeAssignment] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes were selected.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Unfilled quota diagnostics.
+    pub fn shortfalls(&self) -> &[(SampleAttribute, usize)] {
+        &self.shortfalls
+    }
+
+    /// Distinct harnessed account ids (a node is selected for exactly one
+    /// slot, so this is just the node list order).
+    pub fn account_ids(&self) -> Vec<AccountId> {
+        self.nodes.iter().map(|n| n.account).collect()
+    }
+
+    /// Per-slot node counts (the `G_i` of the PGE formula).
+    pub fn slot_sizes(&self) -> HashMap<SampleAttribute, usize> {
+        let mut sizes: HashMap<SampleAttribute, usize> = HashMap::new();
+        for node in &self.nodes {
+            *sizes.entry(node.slot).or_insert(0) += 1;
+        }
+        sizes
+    }
+
+    /// The slot a given account was selected for, if it is a node.
+    pub fn slot_of(&self, account: AccountId) -> Option<&SampleAttribute> {
+        self.nodes
+            .iter()
+            .find(|n| n.account == account)
+            .map(|n| &n.slot)
+    }
+
+    /// Fast membership/slot lookup table.
+    pub fn membership(&self) -> HashMap<AccountId, SampleAttribute> {
+        self.nodes.iter().map(|n| (n.account, n.slot)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{ProfileAttribute, TrendAttribute};
+
+    fn network() -> PseudoHoneypotNetwork {
+        let slot_a = SampleAttribute::profile(ProfileAttribute::FriendsCount, 10.0);
+        let slot_b = SampleAttribute::trending(TrendAttribute::TrendingUp);
+        PseudoHoneypotNetwork::new(
+            vec![
+                NodeAssignment {
+                    account: AccountId(1),
+                    slot: slot_a,
+                },
+                NodeAssignment {
+                    account: AccountId(2),
+                    slot: slot_a,
+                },
+                NodeAssignment {
+                    account: AccountId(3),
+                    slot: slot_b,
+                },
+            ],
+            vec![(slot_b, 7)],
+        )
+    }
+
+    #[test]
+    fn membership_and_lookup() {
+        let n = network();
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.account_ids(), vec![AccountId(1), AccountId(2), AccountId(3)]);
+        assert_eq!(
+            n.slot_of(AccountId(3)),
+            Some(&SampleAttribute::trending(TrendAttribute::TrendingUp))
+        );
+        assert_eq!(n.slot_of(AccountId(9)), None);
+    }
+
+    #[test]
+    fn slot_sizes_count_assignments() {
+        let n = network();
+        let sizes = n.slot_sizes();
+        assert_eq!(
+            sizes[&SampleAttribute::profile(ProfileAttribute::FriendsCount, 10.0)],
+            2
+        );
+        assert_eq!(
+            sizes[&SampleAttribute::trending(TrendAttribute::TrendingUp)],
+            1
+        );
+    }
+
+    #[test]
+    fn shortfalls_are_reported() {
+        let n = network();
+        assert_eq!(n.shortfalls().len(), 1);
+        assert_eq!(n.shortfalls()[0].1, 7);
+    }
+
+    #[test]
+    fn empty_network() {
+        let n = PseudoHoneypotNetwork::default();
+        assert!(n.is_empty());
+        assert!(n.slot_sizes().is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-attribute statistics and the Pseudo-honeypot Garner Efficiency
+//! metric (§V-E):
+//!
+//! ```text
+//! PGE_i = N_i / (G_i · T_i)
+//! ```
+//!
+//! spammers garnered per pseudo-honeypot node per hour, the quantity
+//! Tables VI and VII rank.
+
+use std::collections::{HashMap, HashSet};
+
+use ph_twitter_sim::AccountId;
+use serde::{Deserialize, Serialize};
+
+use crate::attributes::{AttributeKind, SampleAttribute};
+use crate::monitor::{CollectedTweet, MonitorReport};
+
+/// Tweets / spams / spammers observed under one aggregation key.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SlotStats {
+    /// Tweets collected.
+    pub tweets: u64,
+    /// Tweets classified (or labeled) spam.
+    pub spams: u64,
+    /// Distinct accounts behind those spam tweets.
+    pub spammers: HashSet<AccountId>,
+}
+
+impl SlotStats {
+    /// Number of distinct spammers.
+    pub fn num_spammers(&self) -> usize {
+        self.spammers.len()
+    }
+}
+
+/// Aggregates per selection slot (attribute + sample value).
+///
+/// # Panics
+///
+/// Panics if `spam_flags` is not parallel to `collected`.
+pub fn per_slot_stats(
+    collected: &[CollectedTweet],
+    spam_flags: &[bool],
+) -> HashMap<SampleAttribute, SlotStats> {
+    assert_eq!(collected.len(), spam_flags.len(), "flags not parallel");
+    let mut out: HashMap<SampleAttribute, SlotStats> = HashMap::new();
+    for (c, &spam) in collected.iter().zip(spam_flags) {
+        let stats = out.entry(c.slot).or_default();
+        stats.tweets += 1;
+        if spam {
+            stats.spams += 1;
+            stats.spammers.insert(c.tweet.author);
+        }
+    }
+    out
+}
+
+/// Aggregates per attribute (all sample values pooled) — the granularity of
+/// Table V and Figures 3–5.
+pub fn per_attribute_stats(
+    collected: &[CollectedTweet],
+    spam_flags: &[bool],
+) -> HashMap<AttributeKind, SlotStats> {
+    assert_eq!(collected.len(), spam_flags.len(), "flags not parallel");
+    let mut out: HashMap<AttributeKind, SlotStats> = HashMap::new();
+    for (c, &spam) in collected.iter().zip(spam_flags) {
+        let stats = out.entry(c.slot.kind).or_default();
+        stats.tweets += 1;
+        if spam {
+            stats.spams += 1;
+            stats.spammers.insert(c.tweet.author);
+        }
+    }
+    out
+}
+
+/// One ranked PGE row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PgeEntry {
+    /// The slot.
+    pub slot: SampleAttribute,
+    /// `N_i`: distinct spammers garnered under the slot.
+    pub spammers: usize,
+    /// `G_i · T_i`: node-hours spent on the slot.
+    pub node_hours: f64,
+    /// The PGE value.
+    pub pge: f64,
+}
+
+/// Computes the PGE ranking (descending) over a monitoring report and a
+/// parallel spam-flag vector.
+pub fn pge_ranking(report: &MonitorReport, spam_flags: &[bool]) -> Vec<PgeEntry> {
+    pge_ranking_with_min(report, spam_flags, 0.0)
+}
+
+/// Like [`pge_ranking`], dropping slots with fewer than `min_node_hours`
+/// node-hours of observation. Short runs leave barely-filled slots whose
+/// one lucky capture would otherwise top the ranking; the paper's 700-hour
+/// run does not have this problem, scaled-down regenerations do.
+pub fn pge_ranking_with_min(
+    report: &MonitorReport,
+    spam_flags: &[bool],
+    min_node_hours: f64,
+) -> Vec<PgeEntry> {
+    let per_slot = per_slot_stats(&report.collected, spam_flags);
+    let mut entries: Vec<PgeEntry> = per_slot
+        .into_iter()
+        .filter_map(|(slot, stats)| {
+            let node_hours = report.node_hours.get(&slot).copied().unwrap_or(0.0);
+            if node_hours <= 0.0 || node_hours < min_node_hours {
+                return None;
+            }
+            let spammers = stats.num_spammers();
+            Some(PgeEntry {
+                slot,
+                spammers,
+                node_hours,
+                pge: spammers as f64 / node_hours,
+            })
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        b.pge
+            .total_cmp(&a.pge)
+            .then_with(|| b.spammers.cmp(&a.spammers))
+            .then_with(|| a.slot.key().cmp(&b.slot.key()))
+    });
+    entries
+}
+
+/// Overall PGE of a whole run: distinct spammers per node-hour, the
+/// quantity compared against honeypot systems in Table VII.
+pub fn overall_pge(report: &MonitorReport, spam_flags: &[bool]) -> f64 {
+    assert_eq!(report.collected.len(), spam_flags.len(), "flags not parallel");
+    let spammers: HashSet<AccountId> = report
+        .collected
+        .iter()
+        .zip(spam_flags)
+        .filter(|&(_, &spam)| spam)
+        .map(|(c, _)| c.tweet.author)
+        .collect();
+    let node_hours: f64 = report.node_hours.values().sum();
+    if node_hours <= 0.0 {
+        0.0
+    } else {
+        spammers.len() as f64 / node_hours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::ProfileAttribute;
+    use crate::monitor::TweetCategory;
+    use ph_twitter_sim::{SimTime, Tweet, TweetId, TweetKind, TweetSource};
+
+    fn collected(author: u32, slot: SampleAttribute) -> CollectedTweet {
+        CollectedTweet {
+            tweet: Tweet::observed(
+                TweetId(u64::from(author)),
+                AccountId(author),
+                SimTime::EPOCH,
+                TweetKind::Original,
+                TweetSource::Web,
+                "text".into(),
+                vec![],
+                vec![AccountId(0)],
+                vec![],
+                None,
+            ),
+            category: TweetCategory::MentionOfNode,
+            node: AccountId(0),
+            slot,
+            hour: 0,
+        }
+    }
+
+    fn slot_a() -> SampleAttribute {
+        SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0)
+    }
+
+    fn slot_b() -> SampleAttribute {
+        SampleAttribute::profile(ProfileAttribute::FriendsCount, 10.0)
+    }
+
+    #[test]
+    fn slot_stats_count_distinct_spammers() {
+        let data = vec![
+            collected(1, slot_a()),
+            collected(1, slot_a()),
+            collected(2, slot_a()),
+            collected(3, slot_b()),
+        ];
+        let flags = vec![true, true, true, false];
+        let stats = per_slot_stats(&data, &flags);
+        assert_eq!(stats[&slot_a()].tweets, 3);
+        assert_eq!(stats[&slot_a()].spams, 3);
+        assert_eq!(stats[&slot_a()].num_spammers(), 2);
+        assert_eq!(stats[&slot_b()].spams, 0);
+    }
+
+    #[test]
+    fn attribute_stats_pool_sample_values() {
+        let other_value = SampleAttribute::profile(ProfileAttribute::ListsPerDay, 0.5);
+        let data = vec![collected(1, slot_a()), collected(2, other_value)];
+        let flags = vec![true, true];
+        let stats = per_attribute_stats(&data, &flags);
+        let kind = AttributeKind::Profile(ProfileAttribute::ListsPerDay);
+        assert_eq!(stats[&kind].tweets, 2);
+        assert_eq!(stats[&kind].num_spammers(), 2);
+    }
+
+    #[test]
+    fn pge_is_spammers_per_node_hour() {
+        let mut report = MonitorReport {
+            collected: vec![collected(1, slot_a()), collected(2, slot_a())],
+            ..Default::default()
+        };
+        report.node_hours.insert(slot_a(), 10.0);
+        let ranking = pge_ranking(&report, &[true, true]);
+        assert_eq!(ranking.len(), 1);
+        assert_eq!(ranking[0].spammers, 2);
+        assert!((ranking[0].pge - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let mut report = MonitorReport {
+            collected: vec![
+                collected(1, slot_a()),
+                collected(2, slot_a()),
+                collected(3, slot_b()),
+            ],
+            ..Default::default()
+        };
+        report.node_hours.insert(slot_a(), 10.0);
+        report.node_hours.insert(slot_b(), 10.0);
+        let ranking = pge_ranking(&report, &[true, true, true]);
+        assert_eq!(ranking[0].slot, slot_a());
+        assert!(ranking[0].pge >= ranking[1].pge);
+    }
+
+    #[test]
+    fn overall_pge_pools_everything() {
+        let mut report = MonitorReport {
+            collected: vec![collected(1, slot_a()), collected(1, slot_b())],
+            ..Default::default()
+        };
+        report.node_hours.insert(slot_a(), 5.0);
+        report.node_hours.insert(slot_b(), 5.0);
+        // Same spammer under two slots counts once overall.
+        let pge = overall_pge(&report, &[true, true]);
+        assert!((pge - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_node_hours_is_zero_pge() {
+        let report = MonitorReport::default();
+        assert_eq!(overall_pge(&report, &[]), 0.0);
+    }
+}

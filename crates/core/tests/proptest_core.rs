@@ -1,0 +1,165 @@
+//! Property-based tests for pseudo-honeypot core invariants.
+
+use proptest::prelude::*;
+
+use ph_core::attributes::{
+    matches_sample, AttributeKind, ProfileAttribute, SampleAttribute, TrendAttribute,
+};
+use ph_core::features::EnvironmentScore;
+use ph_core::monitor::{CollectedTweet, MonitorReport, TweetCategory};
+use ph_core::pge::{overall_pge, per_attribute_stats, per_slot_stats, pge_ranking};
+use ph_twitter_sim::{AccountId, SimTime, Tweet, TweetId, TweetKind, TweetSource};
+
+fn any_slot() -> impl Strategy<Value = SampleAttribute> {
+    prop_oneof![
+        (0usize..11, 0usize..10).prop_map(|(a, v)| {
+            let attr = ProfileAttribute::ALL[a];
+            SampleAttribute::profile(attr, attr.sample_values()[v])
+        }),
+        (0usize..4).prop_map(|t| SampleAttribute::trending(TrendAttribute::ALL[t])),
+        Just(SampleAttribute::hashtag(None)),
+    ]
+}
+
+fn collected(author: u32, slot: SampleAttribute, hour: u64) -> CollectedTweet {
+    CollectedTweet {
+        tweet: Tweet::observed(
+            TweetId(u64::from(author) * 1000 + hour),
+            AccountId(author),
+            SimTime::from_hours(hour),
+            TweetKind::Original,
+            TweetSource::Web,
+            "content".into(),
+            vec![],
+            vec![AccountId(0)],
+            vec![],
+            None,
+        ),
+        category: TweetCategory::MentionOfNode,
+        node: AccountId(0),
+        slot,
+        hour,
+    }
+}
+
+proptest! {
+    /// Sample matching is reflexive on grid values and symmetric-ish in
+    /// tolerance: a value within the band matches, far outside never does.
+    #[test]
+    fn sample_matching_tolerance_band(
+        attr_index in 0usize..11,
+        value_index in 0usize..10,
+        wobble in -0.5f64..0.5,
+    ) {
+        let attr = ProfileAttribute::ALL[attr_index];
+        let target = attr.sample_values()[value_index];
+        prop_assert!(matches_sample(target, target));
+        let value = target * (1.0 + wobble);
+        let within = wobble.abs() <= 0.15;
+        if within {
+            prop_assert!(matches_sample(value, target));
+        }
+        if wobble.abs() > 0.35 && target > 0.2 {
+            prop_assert!(!matches_sample(value, target));
+        }
+    }
+
+    /// Slot keys are injective over the standard slot set.
+    #[test]
+    fn standard_slot_keys_are_unique(_x in 0..1) {
+        let slots = SampleAttribute::standard_slots();
+        let mut keys: Vec<_> = slots.iter().map(SampleAttribute::key).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(before, keys.len());
+    }
+
+    /// Environment score is always τ before any spam, and equals the spam
+    /// fraction afterwards.
+    #[test]
+    fn environment_score_is_a_frequency(
+        slot in any_slot(),
+        verdicts in proptest::collection::vec(any::<bool>(), 0..50),
+        tau in 0.001f64..0.2,
+    ) {
+        let mut env = EnvironmentScore::new(tau);
+        prop_assert_eq!(env.score(&slot), tau);
+        for &v in &verdicts {
+            env.record(slot, v);
+        }
+        let spams = verdicts.iter().filter(|&&v| v).count();
+        if spams == 0 {
+            prop_assert_eq!(env.score(&slot), tau);
+        } else {
+            let expected = spams as f64 / verdicts.len() as f64;
+            prop_assert!((env.score(&slot) - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Per-slot and per-attribute aggregations conserve tweet and spam
+    /// counts; overall PGE never exceeds spam-author count per node-hour.
+    #[test]
+    fn aggregation_conservation(
+        entries in proptest::collection::vec(
+            (1u32..40, 0usize..5, 0u64..30, any::<bool>()),
+            1..80,
+        ),
+    ) {
+        let slots = [
+            SampleAttribute::profile(ProfileAttribute::FriendsCount, 10.0),
+            SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0),
+            SampleAttribute::hashtag(None),
+            SampleAttribute::trending(TrendAttribute::Popular),
+            SampleAttribute::profile(ProfileAttribute::AccountAgeDays, 1000.0),
+        ];
+        let collected_vec: Vec<CollectedTweet> = entries
+            .iter()
+            .map(|&(author, s, hour, _)| collected(author, slots[s], hour))
+            .collect();
+        let flags: Vec<bool> = entries.iter().map(|&(_, _, _, f)| f).collect();
+
+        let per_slot = per_slot_stats(&collected_vec, &flags);
+        let per_attr = per_attribute_stats(&collected_vec, &flags);
+        let slot_tweets: u64 = per_slot.values().map(|s| s.tweets).sum();
+        let attr_tweets: u64 = per_attr.values().map(|s| s.tweets).sum();
+        prop_assert_eq!(slot_tweets as usize, collected_vec.len());
+        prop_assert_eq!(attr_tweets as usize, collected_vec.len());
+        let slot_spams: u64 = per_slot.values().map(|s| s.spams).sum();
+        prop_assert_eq!(slot_spams as usize, flags.iter().filter(|&&f| f).count());
+
+        // PGE consistency over a synthetic report.
+        let mut report = MonitorReport {
+            collected: collected_vec,
+            ..Default::default()
+        };
+        for slot in &slots {
+            report.node_hours.insert(*slot, 10.0);
+        }
+        let ranking = pge_ranking(&report, &flags);
+        for entry in &ranking {
+            prop_assert!(entry.pge >= 0.0);
+            prop_assert!(
+                (entry.pge - entry.spammers as f64 / entry.node_hours).abs() < 1e-12
+            );
+        }
+        // Ranking is monotonically non-increasing.
+        for pair in ranking.windows(2) {
+            prop_assert!(pair[0].pge >= pair[1].pge);
+        }
+        let overall = overall_pge(&report, &flags);
+        prop_assert!(overall >= 0.0);
+    }
+
+    /// Attribute labels are unique and stable.
+    #[test]
+    fn attribute_labels_unique(_x in 0..1) {
+        let mut labels: Vec<String> =
+            AttributeKind::all().iter().map(|k| k.label()).collect();
+        prop_assert_eq!(labels.len(), 24);
+        labels.sort();
+        let before = labels.len();
+        labels.dedup();
+        prop_assert_eq!(before, labels.len());
+    }
+}

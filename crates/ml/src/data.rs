@@ -1,0 +1,368 @@
+//! Dense binary-classification datasets and related utilities.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Errors produced when constructing or manipulating a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Feature matrix and label vector lengths differ.
+    LengthMismatch {
+        /// Number of feature rows supplied.
+        rows: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// Two feature rows have different widths.
+    RaggedRows {
+        /// Width of the first row.
+        expected: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Width of the offending row.
+        found: usize,
+    },
+    /// The dataset contains no rows.
+    Empty,
+    /// A feature value is NaN or infinite.
+    NonFinite {
+        /// Row index of the offending value.
+        row: usize,
+        /// Column index of the offending value.
+        column: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::LengthMismatch { rows, labels } => {
+                write!(f, "feature rows ({rows}) and labels ({labels}) differ in length")
+            }
+            DatasetError::RaggedRows {
+                expected,
+                row,
+                found,
+            } => write!(
+                f,
+                "row {row} has {found} features but the first row has {expected}"
+            ),
+            DatasetError::Empty => write!(f, "dataset contains no rows"),
+            DatasetError::NonFinite { row, column } => {
+                write!(f, "non-finite feature value at row {row}, column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A dense binary-classification dataset: one `f64` feature row per example
+/// plus a boolean label (`true` = positive / spam).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    rows: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shape and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] when the matrix is empty, ragged, contains
+    /// non-finite values, or disagrees with the label count.
+    pub fn new(rows: Vec<Vec<f64>>, labels: Vec<bool>) -> Result<Self, DatasetError> {
+        if rows.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                rows: rows.len(),
+                labels: labels.len(),
+            });
+        }
+        if rows.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let width = rows[0].len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != width {
+                return Err(DatasetError::RaggedRows {
+                    expected: width,
+                    row: i,
+                    found: row.len(),
+                });
+            }
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(DatasetError::NonFinite { row: i, column: j });
+                }
+            }
+        }
+        Ok(Self { rows, labels })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the dataset holds no examples (unreachable for values
+    /// produced by [`Dataset::new`], which rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features per example.
+    pub fn num_features(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Labels (`true` = positive class).
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// One feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn row(&self, index: usize) -> &[f64] {
+        &self.rows[index]
+    }
+
+    /// One label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn label(&self, index: usize) -> bool {
+        self.labels[index]
+    }
+
+    /// Number of positive examples.
+    pub fn num_positive(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Fraction of positive examples.
+    pub fn positive_rate(&self) -> f64 {
+        self.num_positive() as f64 / self.len() as f64
+    }
+
+    /// Selects the sub-dataset at `indices` (cloning rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `indices` is empty.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        assert!(!indices.is_empty(), "subset must be non-empty");
+        Dataset {
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of rows (rounded
+    /// down, at least 1) held out, after a seeded shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < test_fraction < 1` and both sides end up non-empty.
+    pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0, 1)"
+        );
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let test_len = ((self.len() as f64 * test_fraction) as usize).max(1);
+        assert!(test_len < self.len(), "both splits must be non-empty");
+        let (test_idx, train_idx) = indices.split_at(test_len);
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// Per-feature `(mean, standard deviation)` pairs. Degenerate features
+    /// (zero variance) report a standard deviation of 1 so that scaling is a
+    /// no-op for them.
+    pub fn feature_moments(&self) -> Vec<(f64, f64)> {
+        let n = self.len() as f64;
+        let d = self.num_features();
+        let mut moments = vec![(0.0, 0.0); d];
+        for row in &self.rows {
+            for (j, &v) in row.iter().enumerate() {
+                moments[j].0 += v;
+            }
+        }
+        for m in &mut moments {
+            m.0 /= n;
+        }
+        for row in &self.rows {
+            for (j, &v) in row.iter().enumerate() {
+                let d = v - moments[j].0;
+                moments[j].1 += d * d;
+            }
+        }
+        for m in &mut moments {
+            let var = m.1 / n;
+            m.1 = if var > 1e-24 { var.sqrt() } else { 1.0 };
+        }
+        moments
+    }
+}
+
+/// A fitted per-feature standardizer (z-score scaling).
+///
+/// kNN and the linear SVM are scale-sensitive; both fit a `Standardizer` on
+/// their training split and apply it at prediction time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    moments: Vec<(f64, f64)>,
+}
+
+impl Standardizer {
+    /// Fits the scaler to a dataset.
+    pub fn fit(data: &Dataset) -> Self {
+        Self {
+            moments: data.feature_moments(),
+        }
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.moments.len()
+    }
+
+    /// Scales one row into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted dimensionality.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.moments.len(), "feature width mismatch");
+        row.iter()
+            .zip(&self.moments)
+            .map(|(&v, &(mean, std))| (v - mean) / std)
+            .collect()
+    }
+
+    /// Scales every row of a dataset, preserving labels.
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        Dataset {
+            rows: data.rows().iter().map(|r| self.transform(r)).collect(),
+            labels: data.labels().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![
+                vec![0.0, 10.0],
+                vec![1.0, 20.0],
+                vec![2.0, 30.0],
+                vec![3.0, 40.0],
+            ],
+            vec![false, false, true, true],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let err = Dataset::new(vec![vec![1.0]], vec![true, false]).unwrap_err();
+        assert!(matches!(err, DatasetError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(Dataset::new(vec![], vec![]).unwrap_err(), DatasetError::Empty);
+    }
+
+    #[test]
+    fn new_rejects_ragged() {
+        let err =
+            Dataset::new(vec![vec![1.0, 2.0], vec![3.0]], vec![true, false]).unwrap_err();
+        assert!(matches!(err, DatasetError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn new_rejects_nan() {
+        let err = Dataset::new(vec![vec![f64::NAN]], vec![true]).unwrap_err();
+        assert_eq!(err, DatasetError::NonFinite { row: 0, column: 0 });
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_positive(), 2);
+        assert!((d.positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.row(0), &[2.0, 30.0]);
+        assert_eq!(s.label(1), false);
+    }
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let d = toy();
+        let (train, test) = d.train_test_split(0.25, 3);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let d = toy();
+        let (a1, b1) = d.train_test_split(0.5, 9);
+        let (a2, b2) = d.train_test_split(0.5, 9);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn moments_are_mean_and_std() {
+        let d = toy();
+        let m = d.feature_moments();
+        assert!((m[0].0 - 1.5).abs() < 1e-12);
+        assert!((m[1].0 - 25.0).abs() < 1e-12);
+        // Population std of [0,1,2,3] = sqrt(1.25).
+        assert!((m[0].1 - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardizer_centers_and_scales() {
+        let d = toy();
+        let s = Standardizer::fit(&d);
+        let t = s.transform_dataset(&d);
+        let m = t.feature_moments();
+        assert!(m[0].0.abs() < 1e-12);
+        assert!((m[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standardizer_handles_constant_feature() {
+        let d = Dataset::new(vec![vec![5.0], vec![5.0]], vec![true, false]).unwrap();
+        let s = Standardizer::fit(&d);
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Binary-classification metrics: the accuracy / precision / recall /
+//! false-positive-rate quadruple reported in the paper's Table IV.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 2×2 confusion matrix for the positive class "spam".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Spam predicted spam.
+    pub true_positives: usize,
+    /// Ham predicted spam.
+    pub false_positives: usize,
+    /// Ham predicted ham.
+    pub true_negatives: usize,
+    /// Spam predicted ham.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies a matrix from parallel prediction/truth slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(
+            predicted.len(),
+            actual.len(),
+            "prediction/truth length mismatch"
+        );
+        let mut m = ConfusionMatrix::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => m.true_positives += 1,
+                (true, false) => m.false_positives += 1,
+                (false, false) => m.true_negatives += 1,
+                (false, true) => m.false_negatives += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Adds another matrix element-wise (used to pool CV folds).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// `(TP + TN) / total`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.true_positives + self.true_negatives, self.total())
+    }
+
+    /// `TP / (TP + FP)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_positives)
+    }
+
+    /// `TP / (TP + FN)`; 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_negatives)
+    }
+
+    /// `FP / (FP + TN)`; 0 when there are no negatives.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.false_positives, self.false_positives + self.true_negatives)
+    }
+
+    /// Harmonic mean of precision and recall; 0 when either is 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Bundles the four Table IV numbers.
+    pub fn report(&self) -> ClassificationReport {
+        ClassificationReport {
+            accuracy: self.accuracy(),
+            precision: self.precision(),
+            recall: self.recall(),
+            false_positive_rate: self.false_positive_rate(),
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The four numbers of one Table IV row.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Positive-class precision.
+    pub precision: f64,
+    /// Positive-class recall.
+    pub recall: f64,
+    /// False-positive rate.
+    pub false_positive_rate: f64,
+}
+
+impl ClassificationReport {
+    /// Element-wise mean of several reports (CV fold averaging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn mean(reports: &[ClassificationReport]) -> ClassificationReport {
+        assert!(!reports.is_empty(), "cannot average zero reports");
+        let n = reports.len() as f64;
+        ClassificationReport {
+            accuracy: reports.iter().map(|r| r.accuracy).sum::<f64>() / n,
+            precision: reports.iter().map(|r| r.precision).sum::<f64>() / n,
+            recall: reports.iter().map(|r| r.recall).sum::<f64>() / n,
+            false_positive_rate: reports.iter().map(|r| r.false_positive_rate).sum::<f64>() / n,
+        }
+    }
+}
+
+impl fmt::Display for ClassificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accuracy {:.3}, precision {:.3}, recall {:.3}, FPR {:.3}",
+            self.accuracy, self.precision, self.recall, self.false_positive_rate
+        )
+    }
+}
+
+/// One point on a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Score threshold this point corresponds to.
+    pub threshold: f64,
+    /// False-positive rate at the threshold.
+    pub false_positive_rate: f64,
+    /// True-positive rate (recall) at the threshold.
+    pub true_positive_rate: f64,
+}
+
+/// Computes the ROC curve of scored predictions, one point per distinct
+/// score threshold, ordered from (0,0) to (1,1).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or contain a
+/// non-finite score.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "cannot build a ROC curve of nothing");
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "scores must be finite"
+    );
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut curve = vec![RocPoint {
+        threshold: f64::INFINITY,
+        false_positive_rate: 0.0,
+        true_positive_rate: 0.0,
+    }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume every example tied at this threshold.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push(RocPoint {
+            threshold,
+            false_positive_rate: if negatives == 0 {
+                0.0
+            } else {
+                fp as f64 / negatives as f64
+            },
+            true_positive_rate: if positives == 0 {
+                0.0
+            } else {
+                tp as f64 / positives as f64
+            },
+        });
+    }
+    curve
+}
+
+/// Area under the ROC curve by trapezoidal integration. 0.5 ≈ random,
+/// 1.0 = perfect ranking.
+///
+/// # Panics
+///
+/// Propagates the panics of [`roc_curve`].
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    let curve = roc_curve(scores, labels);
+    let mut auc = 0.0;
+    for pair in curve.windows(2) {
+        let dx = pair[1].false_positive_rate - pair[0].false_positive_rate;
+        auc += dx * (pair[0].true_positive_rate + pair[1].true_positive_rate) / 2.0;
+    }
+    auc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // 6 TP, 2 FP, 10 TN, 2 FN
+        ConfusionMatrix {
+            true_positives: 6,
+            false_positives: 2,
+            true_negatives: 10,
+            false_negatives: 2,
+        }
+    }
+
+    #[test]
+    fn from_predictions_tallies_cells() {
+        let predicted = [true, true, false, false, true];
+        let actual = [true, false, false, true, true];
+        let m = ConfusionMatrix::from_predictions(&predicted, &actual);
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.true_negatives, 1);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn metric_formulas() {
+        let m = sample();
+        assert!((m.accuracy() - 16.0 / 20.0).abs() < 1e-12);
+        assert!((m.precision() - 6.0 / 8.0).abs() < 1e-12);
+        assert!((m.recall() - 6.0 / 8.0).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 2.0 / 12.0).abs() < 1e-12);
+        assert!((m.f1() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_denominators_yield_zero() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.false_positive_rate(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_cells() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.true_positives, 12);
+        assert_eq!(a.total(), 40);
+    }
+
+    #[test]
+    fn report_mean_averages_fields() {
+        let r1 = ClassificationReport {
+            accuracy: 1.0,
+            precision: 0.5,
+            recall: 0.0,
+            false_positive_rate: 0.2,
+        };
+        let r2 = ClassificationReport {
+            accuracy: 0.0,
+            precision: 0.5,
+            recall: 1.0,
+            false_positive_rate: 0.4,
+        };
+        let mean = ClassificationReport::mean(&[r1, r2]);
+        assert!((mean.accuracy - 0.5).abs() < 1e-12);
+        assert!((mean.precision - 0.5).abs() < 1e-12);
+        assert!((mean.recall - 0.5).abs() < 1e-12);
+        assert!((mean.false_positive_rate - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slices_panic() {
+        let _ = ConfusionMatrix::from_predictions(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn display_formats_four_numbers() {
+        let text = sample().report().to_string();
+        assert!(text.contains("accuracy 0.800"));
+        assert!(text.contains("FPR 0.167"));
+    }
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_like_ranking_is_half() {
+        // Perfectly interleaved scores.
+        let scores = [0.8, 0.7, 0.6, 0.5, 0.4, 0.3];
+        let labels = [true, false, true, false, true, false];
+        let auc = roc_auc(&scores, &labels);
+        assert!((auc - 0.5).abs() < 0.2, "auc {auc}");
+    }
+
+    #[test]
+    fn tied_scores_are_handled_jointly() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        // All tied: one diagonal step → AUC exactly 0.5.
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_curve_endpoints() {
+        let scores = [0.9, 0.1];
+        let labels = [true, false];
+        let curve = roc_curve(&scores, &labels);
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert_eq!(
+            (first.false_positive_rate, first.true_positive_rate),
+            (0.0, 0.0)
+        );
+        assert_eq!(
+            (last.false_positive_rate, last.true_positive_rate),
+            (1.0, 1.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn roc_length_mismatch_panics() {
+        let _ = roc_curve(&[0.5], &[true, false]);
+    }
+}

@@ -1,0 +1,525 @@
+//! CART trees: the classification tree of Table IV's "DT" row, and the
+//! regression variant that powers gradient boosting.
+//!
+//! Both variants share one split-search core operating on `f64` targets.
+//! For binary 0/1 targets, variance reduction ranks splits identically to
+//! Gini gain (Gini impurity `2p(1-p)` is proportional to the node variance
+//! `p(1-p)`), so the classification tree fits the shared core to 0/1 targets
+//! and thresholds leaf means at 0.5.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::data::Dataset;
+use crate::Classifier;
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth (the paper caps its RF trees at 700).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in each child of a split.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 700,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+/// One node of a fitted tree, stored in a flat arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// Terminal node carrying the mean target of its training samples.
+    Leaf { value: f64 },
+    /// Internal split: rows with `features[feature] <= threshold` go left.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// The shared fitted-tree core used by both public tree types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TreeCore {
+    nodes: Vec<Node>,
+    num_features: usize,
+}
+
+impl TreeCore {
+    fn predict_value(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.num_features,
+            "feature width mismatch with training data"
+        );
+        let mut at = 0;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    fn num_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+}
+
+/// Options driving one tree-growing run.
+struct GrowOptions<'a> {
+    config: &'a DecisionTreeConfig,
+    /// `Some(k)` samples k features per split (random-forest mode).
+    features_per_split: Option<usize>,
+}
+
+/// Grows a regression tree on `targets` over the given row indices.
+fn grow(
+    rows: &[Vec<f64>],
+    targets: &[f64],
+    indices: &[usize],
+    opts: &GrowOptions<'_>,
+    rng: &mut StdRng,
+) -> TreeCore {
+    assert!(!indices.is_empty(), "cannot grow a tree on zero samples");
+    let num_features = rows[0].len();
+    let mut core = TreeCore {
+        nodes: Vec::new(),
+        num_features,
+    };
+    // Explicit stack instead of recursion: the paper's depth cap is 700,
+    // beyond typical thread stack comfort for recursive descent.
+    // Each entry: (node slot, sample indices, depth).
+    core.nodes.push(Node::Leaf { value: 0.0 });
+    let mut stack: Vec<(usize, Vec<usize>, usize)> = vec![(0, indices.to_vec(), 0)];
+    while let Some((slot, node_indices, depth)) = stack.pop() {
+        let mean = node_indices.iter().map(|&i| targets[i]).sum::<f64>()
+            / node_indices.len() as f64;
+        let make_leaf = |core: &mut TreeCore| core.nodes[slot] = Node::Leaf { value: mean };
+        if depth >= opts.config.max_depth
+            || node_indices.len() < opts.config.min_samples_split
+            || is_pure(targets, &node_indices)
+        {
+            make_leaf(&mut core);
+            continue;
+        }
+        let candidates = candidate_features(num_features, opts.features_per_split, rng);
+        match best_split(rows, targets, &node_indices, &candidates, opts.config) {
+            None => make_leaf(&mut core),
+            Some(split) => {
+                let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+                for &i in &node_indices {
+                    if rows[i][split.feature] <= split.threshold {
+                        left_idx.push(i);
+                    } else {
+                        right_idx.push(i);
+                    }
+                }
+                let left_slot = core.nodes.len();
+                core.nodes.push(Node::Leaf { value: 0.0 });
+                let right_slot = core.nodes.len();
+                core.nodes.push(Node::Leaf { value: 0.0 });
+                core.nodes[slot] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left: left_slot,
+                    right: right_slot,
+                };
+                stack.push((left_slot, left_idx, depth + 1));
+                stack.push((right_slot, right_idx, depth + 1));
+            }
+        }
+    }
+    core
+}
+
+fn is_pure(targets: &[f64], indices: &[usize]) -> bool {
+    let first = targets[indices[0]];
+    indices.iter().all(|&i| targets[i] == first)
+}
+
+fn candidate_features(
+    num_features: usize,
+    features_per_split: Option<usize>,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    match features_per_split {
+        Some(k) if k < num_features => sample(rng, num_features, k).into_vec(),
+        _ => (0..num_features).collect(),
+    }
+}
+
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+}
+
+/// Finds the variance-minimizing split over the candidate features, if any
+/// split yields positive gain while respecting `min_samples_leaf`.
+fn best_split(
+    rows: &[Vec<f64>],
+    targets: &[f64],
+    indices: &[usize],
+    candidates: &[usize],
+    config: &DecisionTreeConfig,
+) -> Option<SplitChoice> {
+    let n = indices.len() as f64;
+    let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+    let total_sq: f64 = indices.iter().map(|&i| targets[i] * targets[i]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n;
+    let mut best: Option<(f64, SplitChoice)> = None;
+
+    let mut scratch: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
+    for &feature in candidates {
+        scratch.clear();
+        scratch.extend(indices.iter().map(|&i| (rows[i][feature], targets[i])));
+        scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (k, &(value, target)) in scratch.iter().enumerate().take(scratch.len() - 1) {
+            left_sum += target;
+            left_sq += target * target;
+            let next_value = scratch[k + 1].0;
+            if value == next_value {
+                continue; // cannot split between equal feature values
+            }
+            let left_n = (k + 1) as f64;
+            let right_n = n - left_n;
+            if (left_n as usize) < config.min_samples_leaf
+                || (right_n as usize) < config.min_samples_leaf
+            {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / left_n)
+                + (right_sq - right_sum * right_sum / right_n);
+            let gain = parent_sse - sse;
+            // Zero-gain splits are allowed (XOR-style interactions only pay
+            // off a level deeper); tiny negative values are float noise.
+            if gain >= -1e-9 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                best = Some((
+                    gain,
+                    SplitChoice {
+                        feature,
+                        threshold: midpoint(value, next_value),
+                    },
+                ));
+            }
+        }
+    }
+    best.map(|(_, choice)| choice)
+}
+
+/// Midpoint that is guaranteed to separate `lo < hi` even when they are
+/// adjacent floats (falls back to `lo`).
+fn midpoint(lo: f64, hi: f64) -> f64 {
+    let mid = lo + (hi - lo) / 2.0;
+    if mid > lo && mid < hi {
+        mid
+    } else {
+        lo
+    }
+}
+
+/// A fitted CART classification tree (Gini-equivalent splits, see module
+/// docs).
+///
+/// # Example
+///
+/// ```
+/// use ph_ml::data::Dataset;
+/// use ph_ml::tree::{DecisionTree, DecisionTreeConfig};
+/// use ph_ml::Classifier;
+///
+/// let data = Dataset::new(
+///     vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+///     vec![false, false, true, true],
+/// )?;
+/// let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &data);
+/// assert!(tree.predict(&[2.5]));
+/// assert!(!tree.predict(&[0.5]));
+/// # Ok::<(), ph_ml::data::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    core: TreeCore,
+}
+
+impl DecisionTree {
+    /// Fits a tree to the full dataset.
+    pub fn fit(config: &DecisionTreeConfig, data: &Dataset) -> Self {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        Self::fit_on_indices(config, data, &indices, None, 0)
+    }
+
+    /// Fits a tree over a row subset with optional per-split feature
+    /// subsampling — the entry point used by [`crate::forest::RandomForest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit_on_indices(
+        config: &DecisionTreeConfig,
+        data: &Dataset,
+        indices: &[usize],
+        features_per_split: Option<usize>,
+        seed: u64,
+    ) -> Self {
+        let targets: Vec<f64> = data
+            .labels()
+            .iter()
+            .map(|&l| if l { 1.0 } else { 0.0 })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let core = grow(
+            data.rows(),
+            &targets,
+            indices,
+            &GrowOptions {
+                config,
+                features_per_split,
+            },
+            &mut rng,
+        );
+        Self { core }
+    }
+
+    /// Fraction of positive training samples in the leaf this row lands in.
+    pub fn predict_probability(&self, features: &[f64]) -> f64 {
+        self.core.predict_value(features)
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.core.depth()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.core.num_leaves()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, features: &[f64]) -> bool {
+        self.predict_probability(features) >= 0.5
+    }
+
+    fn predict_score(&self, features: &[f64]) -> f64 {
+        self.predict_probability(features)
+    }
+}
+
+/// A fitted CART regression tree over arbitrary `f64` targets — the weak
+/// learner of [`crate::boost::GradientBoosting`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    core: TreeCore,
+}
+
+impl RegressionTree {
+    /// Fits a regression tree on explicit targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `targets` differ in length or are empty.
+    pub fn fit(config: &DecisionTreeConfig, rows: &[Vec<f64>], targets: &[f64]) -> Self {
+        assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
+        assert!(!rows.is_empty(), "cannot fit on an empty dataset");
+        let indices: Vec<usize> = (0..rows.len()).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let core = grow(
+            rows,
+            targets,
+            &indices,
+            &GrowOptions {
+                config,
+                features_per_split: None,
+            },
+            &mut rng,
+        );
+        Self { core }
+    }
+
+    /// Predicted target for one row.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.core.predict_value(features)
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        self.core.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes() -> Dataset {
+        // Positive iff x in [1, 2) ∪ [3, 4): needs depth ≥ 2.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 10.0]).collect();
+        let labels: Vec<bool> = (0..40).map(|i| (i / 10) % 2 == 1).collect();
+        Dataset::new(rows, labels).unwrap()
+    }
+
+    #[test]
+    fn fits_axis_aligned_boundary_perfectly() {
+        let data = stripes();
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &data);
+        for (row, &label) in data.rows().iter().zip(data.labels()) {
+            assert_eq!(tree.predict(row), label);
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn depth_zero_tree_is_majority_vote() {
+        let data = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![true, true, false],
+        )
+        .unwrap();
+        let tree = DecisionTree::fit(
+            &DecisionTreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+            &data,
+        );
+        assert_eq!(tree.num_leaves(), 1);
+        assert!(tree.predict(&[5.0]));
+        assert!((tree.predict_probability(&[5.0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0]], vec![true, true]).unwrap();
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &data);
+        assert_eq!(tree.depth(), 0);
+        assert!(tree.predict(&[0.0]));
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let data = stripes();
+        let tree = DecisionTree::fit(
+            &DecisionTreeConfig {
+                min_samples_leaf: 15,
+                ..Default::default()
+            },
+            &data,
+        );
+        // With 40 samples and a 15-sample leaf floor, at most 1 split level
+        // on each side is possible.
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn constant_features_produce_single_leaf() {
+        let data = Dataset::new(
+            vec![vec![3.0], vec![3.0], vec![3.0], vec![3.0]],
+            vec![true, false, true, false],
+        )
+        .unwrap();
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &data);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let tree = RegressionTree::fit(&DecisionTreeConfig::default(), &rows, &targets);
+        assert!((tree.predict(&[3.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict(&[15.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_tree_respects_depth_cap() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let tree = RegressionTree::fit(
+            &DecisionTreeConfig {
+                max_depth: 3,
+                ..Default::default()
+            },
+            &rows,
+            &targets,
+        );
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn midpoint_separates_adjacent_values() {
+        let m = midpoint(1.0, 1.0 + f64::EPSILON);
+        assert!(m >= 1.0 && m < 1.0 + f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn predict_with_wrong_width_panics() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![false, true]).unwrap();
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &data);
+        let _ = tree.predict(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // XOR-like pattern needs both features.
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let labels = vec![false, true, true, false];
+        let data = Dataset::new(rows, labels).unwrap();
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &data);
+        assert!(!tree.predict(&[0.0, 0.0]));
+        assert!(tree.predict(&[0.0, 1.0]));
+        assert!(tree.predict(&[1.0, 0.0]));
+        assert!(!tree.predict(&[1.0, 1.0]));
+    }
+}

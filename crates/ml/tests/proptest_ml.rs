@@ -1,0 +1,137 @@
+//! Property-based tests for the ML substrate invariants.
+
+use proptest::prelude::*;
+
+use ph_ml::boost::{BoostConfig, GradientBoosting};
+use ph_ml::cv::stratified_folds;
+use ph_ml::data::{Dataset, Standardizer};
+use ph_ml::forest::{RandomForest, RandomForestConfig};
+use ph_ml::knn::{KNearestNeighbors, KnnConfig};
+use ph_ml::metrics::ConfusionMatrix;
+use ph_ml::svm::{LinearSvm, SvmConfig};
+use ph_ml::tree::{DecisionTree, DecisionTreeConfig};
+use ph_ml::Classifier;
+
+/// Strategy: a small random dataset with both classes present.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (4usize..40, 1usize..5, any::<u64>()).prop_map(|(n, d, seed)| {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| next() * 10.0).collect()).collect();
+        // Label: threshold on first feature, guaranteeing both classes by
+        // flipping the first two rows deterministically.
+        let mut labels: Vec<bool> = rows.iter().map(|r| r[0] > 5.0).collect();
+        labels[0] = true;
+        labels[1] = false;
+        Dataset::new(rows, labels).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A deep decision tree achieves 100% training accuracy whenever no two
+    /// identical rows carry different labels (here rows are continuous, so
+    /// collisions are essentially impossible).
+    #[test]
+    fn tree_memorizes_training_data(data in dataset_strategy()) {
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &data);
+        for (row, &label) in data.rows().iter().zip(data.labels()) {
+            prop_assert_eq!(tree.predict(row), label);
+        }
+    }
+
+    /// Forest probability is always a valid vote fraction.
+    #[test]
+    fn forest_probability_bounds(data in dataset_strategy(), seed: u64) {
+        let forest = RandomForest::fit(
+            &RandomForestConfig { num_trees: 7, parallel: false, ..Default::default() },
+            &data,
+            seed,
+        );
+        for row in data.rows() {
+            let p = forest.predict_probability(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    /// kNN with k = n predicts the majority class for every query.
+    #[test]
+    fn knn_full_k_is_majority(data in dataset_strategy()) {
+        let model = KNearestNeighbors::fit(
+            &KnnConfig { k: data.len(), standardize: false },
+            &data,
+        );
+        let majority = data.num_positive() * 2 >= data.len();
+        prop_assert_eq!(model.predict(data.row(0)), majority);
+    }
+
+    /// SVM training is deterministic in the seed.
+    #[test]
+    fn svm_seed_determinism(data in dataset_strategy(), seed: u64) {
+        let cfg = SvmConfig { epochs: 3, ..Default::default() };
+        prop_assert_eq!(
+            LinearSvm::fit(&cfg, &data, seed),
+            LinearSvm::fit(&cfg, &data, seed)
+        );
+    }
+
+    /// Boosting probabilities stay in (0, 1).
+    #[test]
+    fn boosting_probability_bounds(data in dataset_strategy(), seed: u64) {
+        let cfg = BoostConfig { num_stages: 5, ..Default::default() };
+        let model = GradientBoosting::fit(&cfg, &data, seed);
+        for row in data.rows() {
+            let p = model.predict_probability(row);
+            prop_assert!(p > 0.0 && p < 1.0);
+        }
+    }
+
+    /// Standardized data has ~zero mean and ~unit variance per feature.
+    #[test]
+    fn standardizer_normalizes(data in dataset_strategy()) {
+        let scaler = Standardizer::fit(&data);
+        let scaled = scaler.transform_dataset(&data);
+        for (mean, std) in scaled.feature_moments() {
+            prop_assert!(mean.abs() < 1e-6, "mean {mean}");
+            // Degenerate (constant) features keep std 1 by convention.
+            prop_assert!((std - 1.0).abs() < 1e-6, "std {std}");
+        }
+    }
+
+    /// Stratified folds partition the dataset exactly.
+    #[test]
+    fn folds_partition(data in dataset_strategy(), seed: u64, folds in 2usize..5) {
+        prop_assume!(folds <= data.len());
+        let f = stratified_folds(&data, folds, seed);
+        let mut all: Vec<usize> = f.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..data.len()).collect::<Vec<_>>());
+    }
+
+    /// Confusion-matrix identities: accuracy ∈ [0,1], TPR+FNR-style cell sums.
+    #[test]
+    fn confusion_matrix_identities(
+        preds in proptest::collection::vec(any::<bool>(), 1..64),
+        seed: u64,
+    ) {
+        let actual: Vec<bool> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p ^ ((seed >> (i % 64)) & 1 == 1))
+            .collect();
+        let m = ConfusionMatrix::from_predictions(&preds, &actual);
+        prop_assert_eq!(m.total(), preds.len());
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&m.precision()));
+        prop_assert!((0.0..=1.0).contains(&m.recall()));
+        prop_assert!((0.0..=1.0).contains(&m.false_positive_rate()));
+        let pos_truth = m.true_positives + m.false_negatives;
+        prop_assert_eq!(pos_truth, actual.iter().filter(|&&a| a).count());
+    }
+}

@@ -1,0 +1,222 @@
+//! A minimal owned grayscale raster image.
+//!
+//! Profile images in the simulator are synthetic grayscale rasters; the only
+//! consumer is the [dHash](crate::dhash) perceptual hash, which needs pixel
+//! access and an area-averaging downscale. Keeping the type tiny (no external
+//! image crate) is deliberate: the paper's pipeline only ever reduces images
+//! to 9×9 grayscale before hashing.
+
+use serde::{Deserialize, Serialize};
+
+/// An owned 8-bit grayscale image in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use ph_sketch::image::GrayImage;
+///
+/// let img = GrayImage::from_fn(4, 2, |x, y| (x + 4 * y) as u8);
+/// assert_eq!(img.get(3, 1), 7);
+/// assert_eq!(img.dimensions(), (4, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates an all-black image of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Self {
+            width,
+            height,
+            pixels: vec![0; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` for every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn<F: FnMut(u32, u32) -> u8>(width: u32, height: u32, mut f: F) -> Self {
+        let mut img = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Creates an image from raw row-major pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `pixels.len() != width * height` or a dimension is
+    /// zero.
+    pub fn from_raw(width: u32, height: u32, pixels: Vec<u8>) -> Option<Self> {
+        if width == 0 || height == 0 || pixels.len() != (width as usize) * (height as usize) {
+            return None;
+        }
+        Some(Self {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    pub fn dimensions(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Returns the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[(y as usize) * (self.width as usize) + x as usize]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    pub fn set(&mut self, x: u32, y: u32, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[(y as usize) * (self.width as usize) + x as usize] = value;
+    }
+
+    /// Raw row-major pixel slice.
+    pub fn as_raw(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Downscales to `(new_w, new_h)` by averaging each source box that maps
+    /// onto a destination pixel (area averaging).
+    ///
+    /// This is the "reduce the original image into a constant size by removing
+    /// high frequencies and detailed information" step of the paper's dHash
+    /// description; area averaging is the standard low-pass reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either target dimension is zero.
+    pub fn resize(&self, new_w: u32, new_h: u32) -> GrayImage {
+        assert!(new_w > 0 && new_h > 0, "target dimensions must be non-zero");
+        let mut out = GrayImage::new(new_w, new_h);
+        for oy in 0..new_h {
+            // Source row span [y0, y1) covered by destination row `oy`.
+            let y0 = (oy as u64 * self.height as u64) / new_h as u64;
+            let mut y1 = ((oy as u64 + 1) * self.height as u64).div_ceil(new_h as u64);
+            if y1 <= y0 {
+                y1 = y0 + 1;
+            }
+            for ox in 0..new_w {
+                let x0 = (ox as u64 * self.width as u64) / new_w as u64;
+                let mut x1 = ((ox as u64 + 1) * self.width as u64).div_ceil(new_w as u64);
+                if x1 <= x0 {
+                    x1 = x0 + 1;
+                }
+                let mut sum: u64 = 0;
+                for sy in y0..y1 {
+                    for sx in x0..x1 {
+                        sum += u64::from(self.get(sx as u32, sy as u32));
+                    }
+                }
+                let count = (y1 - y0) * (x1 - x0);
+                out.set(ox, oy, (sum / count) as u8);
+            }
+        }
+        out
+    }
+
+    /// Mean pixel intensity, useful as a cheap brightness statistic.
+    pub fn mean(&self) -> f64 {
+        let sum: u64 = self.pixels.iter().map(|&p| u64::from(p)).sum();
+        sum as f64 / self.pixels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_fills_pixels() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (10 * y + x) as u8);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(2, 0), 2);
+        assert_eq!(img.get(0, 1), 10);
+        assert_eq!(img.get(2, 1), 12);
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        assert!(GrayImage::from_raw(2, 2, vec![0; 4]).is_some());
+        assert!(GrayImage::from_raw(2, 2, vec![0; 3]).is_none());
+        assert!(GrayImage::from_raw(0, 2, vec![]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = GrayImage::new(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn resize_identity_is_noop() {
+        let img = GrayImage::from_fn(5, 5, |x, y| (x * y) as u8);
+        assert_eq!(img.resize(5, 5), img);
+    }
+
+    #[test]
+    fn resize_constant_image_stays_constant() {
+        let img = GrayImage::from_fn(32, 32, |_, _| 77);
+        let small = img.resize(9, 9);
+        assert!(small.as_raw().iter().all(|&p| p == 77));
+    }
+
+    #[test]
+    fn resize_averages_blocks() {
+        // 2x2 image of [0, 100; 200, 100] → 1x1 = mean 100.
+        let img = GrayImage::from_raw(2, 2, vec![0, 100, 200, 100]).unwrap();
+        let one = img.resize(1, 1);
+        assert_eq!(one.get(0, 0), 100);
+    }
+
+    #[test]
+    fn resize_upscale_replicates() {
+        let img = GrayImage::from_raw(1, 1, vec![42]).unwrap();
+        let big = img.resize(3, 3);
+        assert!(big.as_raw().iter().all(|&p| p == 42));
+    }
+
+    #[test]
+    fn mean_matches_manual_average() {
+        let img = GrayImage::from_raw(2, 2, vec![0, 10, 20, 30]).unwrap();
+        assert!((img.mean() - 15.0).abs() < 1e-12);
+    }
+}

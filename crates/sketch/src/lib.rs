@@ -1,0 +1,50 @@
+//! Similarity-sketch substrate for the pseudo-honeypot reproduction.
+//!
+//! The ground-truth labeling pipeline of *Pseudo-Honeypot: Toward Efficient
+//! and Scalable Spam Sniffer* (DSN 2019) clusters user accounts and tweets by
+//! four kinds of similarity (paper §IV-B):
+//!
+//! 1. **Profile images** — the dHash (difference hash) perceptual hash with a
+//!    Hamming-distance threshold of 5 ([`dhash`]).
+//! 2. **Screen names** — Σ-sequence character-class patterns over
+//!    `{ \p{Lu}, \p{Ll}, \p{N}, \p{P} }` ([`namepattern`]).
+//! 3. **User descriptions** — MinHash over tri-gram shinglings after text
+//!    normalization ([`minhash`], [`shingle`]).
+//! 4. **Tweet contents** — near-duplicate detection in a 1-day window
+//!    (built on the same MinHash machinery).
+//!
+//! This crate implements all of that machinery from scratch, plus the
+//! [`unionfind`] structure used to merge pairwise similarities into clusters.
+//!
+//! # Example
+//!
+//! ```
+//! use ph_sketch::dhash::DHash128;
+//! use ph_sketch::image::GrayImage;
+//!
+//! // Two images from the same campaign template differ only by noise…
+//! let a = GrayImage::from_fn(48, 48, |x, y| ((x * 5 + y * 3) % 251) as u8);
+//! let b = GrayImage::from_fn(48, 48, |x, y| ((x * 5 + y * 3) % 251) as u8 ^ 1);
+//! let (ha, hb) = (DHash128::of(&a), DHash128::of(&b));
+//! // …so their perceptual hashes are near-identical.
+//! assert!(ha.hamming_distance(hb) <= 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dhash;
+pub mod image;
+pub mod lsh;
+pub mod minhash;
+pub mod namepattern;
+pub mod shingle;
+pub mod simhash;
+pub mod unionfind;
+
+pub use dhash::DHash128;
+pub use image::GrayImage;
+pub use minhash::{MinHashSignature, MinHasher};
+pub use namepattern::NamePattern;
+pub use simhash::SimHash64;
+pub use unionfind::UnionFind;

@@ -1,0 +1,179 @@
+//! Banded locality-sensitive hashing over fixed-width signatures.
+//!
+//! Both clustering passes that need all-pairs similarity (profile-image
+//! dHash, description MinHash) avoid the O(n²) scan by banding: split each
+//! signature into bands, bucket items by exact band value, and only verify
+//! candidate pairs sharing a bucket. For Hamming-bounded matching the
+//! banding is *recall-lossless* by pigeonhole: `d` differing bits over `b`
+//! bands leave at least `b − d` bands identical.
+
+use std::collections::HashMap;
+
+/// Generic band-bucket index: items are inserted band by band; candidate
+/// pairs are items sharing any `(band, key)` bucket.
+///
+/// # Example
+///
+/// ```
+/// use ph_sketch::lsh::BandIndex;
+///
+/// let mut index = BandIndex::new();
+/// // Two items agreeing on band 1, a third agreeing with nobody.
+/// index.insert(0, [(0, 11), (1, 42)]);
+/// index.insert(1, [(0, 99), (1, 42)]);
+/// index.insert(2, [(0, 7), (1, 8)]);
+/// let pairs = index.candidate_pairs();
+/// assert_eq!(pairs, vec![(0, 1)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BandIndex {
+    buckets: HashMap<(u32, u64), Vec<usize>>,
+}
+
+impl BandIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts one item under its `(band, key)` pairs.
+    pub fn insert<I>(&mut self, item: usize, bands: I)
+    where
+        I: IntoIterator<Item = (u32, u64)>,
+    {
+        for (band, key) in bands {
+            self.buckets.entry((band, key)).or_default().push(item);
+        }
+    }
+
+    /// All distinct candidate pairs `(i, j)` with `i < j`, sorted.
+    pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for bucket in self.buckets.values() {
+            for (k, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[k + 1..] {
+                    pairs.push(if i < j { (i, j) } else { (j, i) });
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Number of non-empty buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// Splits a 128-bit value into `bands` equal chunks (up to 16-bit each for
+/// 8 bands), yielding `(band, key)` pairs for [`BandIndex`].
+///
+/// With 8 bands, any pair within Hamming distance < 5 shares at least 4
+/// exact bands — banding loses no true matches at the paper's threshold.
+///
+/// # Panics
+///
+/// Panics unless `bands` divides 128 and is in `1..=64`.
+pub fn bands_of_u128(bits: u128, bands: u32) -> Vec<(u32, u64)> {
+    assert!(
+        (1..=64).contains(&bands) && 128 % bands == 0,
+        "bands must divide 128"
+    );
+    let width = 128 / bands;
+    (0..bands)
+        .map(|band| {
+            let chunk = (bits >> (width * band)) & ((1u128 << width) - 1);
+            (band, chunk as u64)
+        })
+        .collect()
+}
+
+/// Bands a MinHash signature: `rows_per_band` consecutive minima are mixed
+/// into one 64-bit band key.
+///
+/// # Panics
+///
+/// Panics if `rows_per_band == 0`.
+pub fn bands_of_signature(mins: &[u64], rows_per_band: usize) -> Vec<(u32, u64)> {
+    assert!(rows_per_band > 0, "rows_per_band must be positive");
+    mins.chunks(rows_per_band)
+        .enumerate()
+        .map(|(band, chunk)| {
+            let key = chunk.iter().fold(0u64, |acc, &m| acc.rotate_left(13) ^ m);
+            (band as u32, key)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dhash::DHash128;
+    use crate::minhash::MinHasher;
+
+    #[test]
+    fn candidate_pairs_deduplicate_across_bands() {
+        let mut index = BandIndex::new();
+        // Items 0 and 1 share two bands; the pair must appear once.
+        index.insert(0, [(0, 5), (1, 9)]);
+        index.insert(1, [(0, 5), (1, 9)]);
+        assert_eq!(index.candidate_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn pigeonhole_guarantee_for_dhash_threshold() {
+        // Construct two 128-bit values 4 bits apart: banding with 8 bands
+        // must produce them as a candidate pair.
+        let a: u128 = 0xdead_beef_dead_beef_dead_beef_dead_beef;
+        let b = a ^ 0b1111; // 4 differing bits, all in band 0
+        let mut index = BandIndex::new();
+        index.insert(0, bands_of_u128(a, 8));
+        index.insert(1, bands_of_u128(b, 8));
+        assert_eq!(index.candidate_pairs(), vec![(0, 1)]);
+        let ha = DHash128::from_parts((a >> 64) as u64, a as u64);
+        let hb = DHash128::from_parts((b >> 64) as u64, b as u64);
+        assert!(ha.hamming_distance(hb) < 5);
+    }
+
+    #[test]
+    fn distant_values_share_no_bands_usually() {
+        let a: u128 = 0;
+        let b: u128 = !0;
+        let mut index = BandIndex::new();
+        index.insert(0, bands_of_u128(a, 8));
+        index.insert(1, bands_of_u128(b, 8));
+        assert!(index.candidate_pairs().is_empty());
+    }
+
+    #[test]
+    fn signature_banding_matches_identical_signatures() {
+        let hasher = MinHasher::new(16, 3);
+        let s1 = hasher.signature_of_text("identical text body");
+        let s2 = hasher.signature_of_text("identical text body");
+        let mut index = BandIndex::new();
+        index.insert(0, bands_of_signature(s1.as_slice(), 4));
+        index.insert(1, bands_of_signature(s2.as_slice(), 4));
+        assert_eq!(index.candidate_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide 128")]
+    fn bad_band_count_panics() {
+        let _ = bands_of_u128(0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rows_per_band_panics() {
+        let _ = bands_of_signature(&[1, 2], 0);
+    }
+
+    #[test]
+    fn bucket_count_reports_nonempty_buckets() {
+        let mut index = BandIndex::new();
+        index.insert(0, [(0, 1), (1, 2)]);
+        assert_eq!(index.bucket_count(), 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Σ-sequence screen-name patterns.
+//!
+//! Spam campaigns register accounts with automatic naming patterns of limited
+//! variability (paper §IV-B). Each screen name is mapped onto a sequence over
+//! the character classes `Σ = { \p{Lu}, \p{Ll}, \p{N}, \p{P} }` (uppercase,
+//! lowercase, numeric, punctuation); names sharing a Σ-sequence *shape* are
+//! grouped, and groups with 5 or more members are kept as candidate campaign
+//! clusters.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Minimum group size the paper keeps as a campaign-candidate cluster.
+pub const MIN_GROUP_SIZE: usize = 5;
+
+/// One of the paper's four character classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CharClass {
+    /// `\p{Lu}` — uppercase letter.
+    Upper,
+    /// `\p{Ll}` — lowercase letter.
+    Lower,
+    /// `\p{N}` — numeric.
+    Numeric,
+    /// `\p{P}` — punctuation / everything else printable.
+    Punct,
+}
+
+impl CharClass {
+    /// Classifies one character.
+    pub fn of(c: char) -> Self {
+        if c.is_uppercase() {
+            CharClass::Upper
+        } else if c.is_lowercase() {
+            CharClass::Lower
+        } else if c.is_numeric() {
+            CharClass::Numeric
+        } else {
+            CharClass::Punct
+        }
+    }
+
+    /// One-letter mnemonic used in the compact pattern rendering.
+    pub fn symbol(self) -> char {
+        match self {
+            CharClass::Upper => 'U',
+            CharClass::Lower => 'l',
+            CharClass::Numeric => 'N',
+            CharClass::Punct => 'P',
+        }
+    }
+}
+
+/// A run-length-compressed Σ-sequence: e.g. `Mykhaylo_bowning` →
+/// `U¹ l⁷ P¹ l⁷`, rendered compactly as `"U1 l7 P1 l7"`.
+///
+/// Run lengths are kept (rather than just the class order) because campaign
+/// generators pad fields to fixed widths; two names from the same generator
+/// therefore share both the class order *and* the run lengths, while organic
+/// names rarely collide on both.
+///
+/// # Example
+///
+/// ```
+/// use ph_sketch::NamePattern;
+///
+/// let a = NamePattern::of("crypto_deal42");
+/// let b = NamePattern::of("credit_loan97");
+/// assert_eq!(a, b); // same generator shape
+/// assert_ne!(a, NamePattern::of("JaneDoe"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NamePattern {
+    runs: Vec<(CharClass, u32)>,
+}
+
+impl NamePattern {
+    /// Computes the pattern of a screen name.
+    pub fn of(name: &str) -> Self {
+        let mut runs: Vec<(CharClass, u32)> = Vec::new();
+        for c in name.chars() {
+            let class = CharClass::of(c);
+            match runs.last_mut() {
+                Some((last, count)) if *last == class => *count += 1,
+                _ => runs.push((class, 1)),
+            }
+        }
+        Self { runs }
+    }
+
+    /// The run-length-encoded class sequence.
+    pub fn runs(&self) -> &[(CharClass, u32)] {
+        &self.runs
+    }
+
+    /// True for the pattern of the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total character count covered by the pattern.
+    pub fn len(&self) -> u32 {
+        self.runs.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+impl fmt::Display for NamePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(class, count) in &self.runs {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}{}", class.symbol(), count)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Groups items by the Σ-sequence of their screen names and keeps groups with
+/// at least [`MIN_GROUP_SIZE`] members, per the paper's rule.
+///
+/// Returns `(pattern, member indices)` pairs, largest group first.
+///
+/// # Example
+///
+/// ```
+/// use ph_sketch::namepattern::group_by_pattern;
+///
+/// let names = ["alpha_bot01", "bravo_bot02", "gamma_bot03", "delta_bot04",
+///              "omega_bot05", "JustAHuman"];
+/// let groups = group_by_pattern(names.iter().map(|s| *s));
+/// assert_eq!(groups.len(), 1);
+/// assert_eq!(groups[0].1.len(), 5);
+/// ```
+pub fn group_by_pattern<'a, I>(names: I) -> Vec<(NamePattern, Vec<usize>)>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    group_by_pattern_with_min(names, MIN_GROUP_SIZE)
+}
+
+/// Like [`group_by_pattern`] with an explicit minimum group size.
+pub fn group_by_pattern_with_min<'a, I>(
+    names: I,
+    min_size: usize,
+) -> Vec<(NamePattern, Vec<usize>)>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut map: HashMap<NamePattern, Vec<usize>> = HashMap::new();
+    for (idx, name) in names.into_iter().enumerate() {
+        map.entry(NamePattern::of(name)).or_default().push(idx);
+    }
+    let mut groups: Vec<(NamePattern, Vec<usize>)> = map
+        .into_iter()
+        .filter(|(_, members)| members.len() >= min_size)
+        .collect();
+    groups.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp_key(&b.0)));
+    groups
+}
+
+impl NamePattern {
+    /// Deterministic ordering key used for stable sorting of groups.
+    fn cmp_key(&self, other: &Self) -> std::cmp::Ordering {
+        self.runs.cmp(&other.runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_characters() {
+        assert_eq!(CharClass::of('A'), CharClass::Upper);
+        assert_eq!(CharClass::of('z'), CharClass::Lower);
+        assert_eq!(CharClass::of('7'), CharClass::Numeric);
+        assert_eq!(CharClass::of('_'), CharClass::Punct);
+        assert_eq!(CharClass::of('!'), CharClass::Punct);
+    }
+
+    #[test]
+    fn pattern_run_length_encodes() {
+        let p = NamePattern::of("Mykhaylo_bowning");
+        assert_eq!(p.to_string(), "U1 l7 P1 l7");
+        assert_eq!(p.len(), 16);
+    }
+
+    #[test]
+    fn empty_name_has_empty_pattern() {
+        let p = NamePattern::of("");
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.to_string(), "");
+    }
+
+    #[test]
+    fn same_generator_shape_collides() {
+        assert_eq!(NamePattern::of("user_0001"), NamePattern::of("spam_9999"));
+    }
+
+    #[test]
+    fn different_lengths_do_not_collide() {
+        assert_ne!(NamePattern::of("ab12"), NamePattern::of("abc12"));
+    }
+
+    #[test]
+    fn grouping_respects_min_size() {
+        let names = vec!["aa1", "bb2", "cc3", "dd4", "XY"];
+        assert!(group_by_pattern(names.iter().copied()).is_empty());
+        let groups = group_by_pattern_with_min(names.iter().copied(), 4);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn groups_sorted_by_size_descending() {
+        let names = vec![
+            "aaa1", "bbb2", "ccc3", // pattern l3 N1 ×3
+            "A1", "B2", "C3", "D4", // pattern U1 N1 ×4
+        ];
+        let groups = group_by_pattern_with_min(names.iter().copied(), 2);
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0].1.len() >= groups[1].1.len());
+        assert_eq!(groups[0].1.len(), 4);
+    }
+}

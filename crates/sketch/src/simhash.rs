@@ -1,0 +1,129 @@
+//! SimHash — the alternative near-duplicate sketch.
+//!
+//! The paper justifies MinHash for description clustering by citing
+//! Shrivastava & Li, *In defense of MinHash over SimHash* (AISTATS 2014).
+//! Implementing SimHash alongside MinHash lets the repository reproduce
+//! that design decision empirically (see the `ablation_sketch` bench):
+//! SimHash packs a weighted feature set into one 64-bit fingerprint whose
+//! Hamming distance tracks cosine similarity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shingle::trigram_shingles;
+
+/// A 64-bit SimHash fingerprint.
+///
+/// # Example
+///
+/// ```
+/// use ph_sketch::simhash::SimHash64;
+///
+/// let a = SimHash64::of_text("cheap followers instant delivery today");
+/// let b = SimHash64::of_text("cheap followers instant delivery tonight");
+/// let c = SimHash64::of_text("completely unrelated gardening notes");
+/// assert!(a.hamming_distance(b) < a.hamming_distance(c));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SimHash64(u64);
+
+impl SimHash64 {
+    /// Fingerprints an iterator of (already tokenized) features.
+    ///
+    /// An empty input yields the zero fingerprint.
+    pub fn of_features<I, S>(features: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut tally = [0i32; 64];
+        for feature in features {
+            let h = fnv1a(feature.as_ref().as_bytes());
+            for (bit, slot) in tally.iter_mut().enumerate() {
+                if (h >> bit) & 1 == 1 {
+                    *slot += 1;
+                } else {
+                    *slot -= 1;
+                }
+            }
+        }
+        let mut bits = 0u64;
+        for (bit, &count) in tally.iter().enumerate() {
+            if count > 0 {
+                bits |= 1 << bit;
+            }
+        }
+        SimHash64(bits)
+    }
+
+    /// Fingerprints raw text through tri-gram shingling.
+    pub fn of_text(text: &str) -> Self {
+        Self::of_features(trigram_shingles(text))
+    }
+
+    /// The raw fingerprint bits.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Number of differing bits.
+    pub fn hamming_distance(self, other: Self) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Estimated cosine similarity: `cos(π · d / 64)` clamped at 0.
+    pub fn estimate_cosine(self, other: Self) -> f64 {
+        let d = f64::from(self.hamming_distance(other));
+        (std::f64::consts::PI * d / 64.0).cos().max(0.0)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_zero_distance() {
+        let a = SimHash64::of_text("win a free cruise today");
+        let b = SimHash64::of_text("win a free cruise today");
+        assert_eq!(a, b);
+        assert_eq!(a.hamming_distance(b), 0);
+        assert!((a.estimate_cosine(b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_duplicates_are_closer_than_strangers() {
+        let a = SimHash64::of_text("official promo network best promo offers daily updates");
+        let b = SimHash64::of_text("official promo network best promo offers daily update");
+        let c = SimHash64::of_text("my cat discovered the garden hose this morning");
+        assert!(a.hamming_distance(b) < a.hamming_distance(c));
+    }
+
+    #[test]
+    fn empty_text_is_zero() {
+        assert_eq!(SimHash64::of_text("").bits(), 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = SimHash64::of_text("alpha beta gamma");
+        let b = SimHash64::of_text("delta epsilon zeta");
+        assert_eq!(a.hamming_distance(b), b.hamming_distance(a));
+    }
+
+    #[test]
+    fn cosine_estimate_bounds() {
+        let a = SimHash64::of_text("one two three four");
+        let b = SimHash64::of_text("five six seven eight");
+        let cos = a.estimate_cosine(b);
+        assert!((0.0..=1.0).contains(&cos));
+    }
+}

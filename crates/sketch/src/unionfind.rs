@@ -1,0 +1,196 @@
+//! Disjoint-set (union-find) used to merge pairwise similarities into
+//! clusters.
+//!
+//! Every clustering pass of the labeling pipeline (image hashes, name
+//! patterns, description signatures, near-duplicate tweets) produces pairwise
+//! "same group" relations; this structure merges them into connected
+//! components with path compression and union by rank.
+
+use serde::{Deserialize, Serialize};
+
+/// A disjoint-set forest over `0..len` with union by rank and path
+/// compression.
+///
+/// # Example
+///
+/// ```
+/// use ph_sketch::UnionFind;
+///
+/// let mut uf = UnionFind::new(5);
+/// uf.union(0, 1);
+/// uf.union(3, 4);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 3));
+/// assert_eq!(uf.component_count(), 3); // {0,1} {2} {3,4}
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        Self {
+            parent: (0..len).collect(),
+            rank: vec![0; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len`.
+    pub fn find(&mut self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element out of range");
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the components of `a` and `b`. Returns `true` when they were
+    /// previously disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` share a component.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Materializes all components as member lists (each sorted ascending),
+    /// ordered by their smallest member. Singletons are included.
+    pub fn components(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for x in 0..self.len() {
+            let root = self.find(x);
+            map.entry(root).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = map.into_values().collect();
+        out.sort_by_key(|members| members[0]);
+        out
+    }
+
+    /// Like [`components`](Self::components) but drops groups smaller than
+    /// `min_size`.
+    pub fn components_with_min_size(&mut self, min_size: usize) -> Vec<Vec<usize>> {
+        self.components()
+            .into_iter()
+            .filter(|c| c.len() >= min_size)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_at_start() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.connected(0, 2));
+    }
+
+    #[test]
+    fn transitive_chains() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, 99));
+    }
+
+    #[test]
+    fn components_materialize_sorted() {
+        let mut uf = UnionFind::new(5);
+        uf.union(4, 2);
+        uf.union(1, 3);
+        let comps = uf.components();
+        assert_eq!(comps, vec![vec![0], vec![1, 3], vec![2, 4]]);
+    }
+
+    #[test]
+    fn min_size_filter() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        let comps = uf.components_with_min_size(3);
+        assert_eq!(comps, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+        assert!(uf.components().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn find_out_of_range_panics() {
+        let mut uf = UnionFind::new(2);
+        let _ = uf.find(2);
+    }
+}

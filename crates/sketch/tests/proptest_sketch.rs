@@ -1,0 +1,147 @@
+//! Property-based tests for the sketch substrate invariants.
+
+use proptest::prelude::*;
+
+use ph_sketch::dhash::DHash128;
+use ph_sketch::image::GrayImage;
+use ph_sketch::minhash::MinHasher;
+use ph_sketch::namepattern::NamePattern;
+use ph_sketch::shingle::{jaccard, normalize, shingles, trigram_shingles};
+use ph_sketch::unionfind::UnionFind;
+
+proptest! {
+    /// Hamming distance is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn dhash_distance_is_a_metric(a: (u64, u64), b: (u64, u64), c: (u64, u64)) {
+        let (h1, h2, h3) = (
+            DHash128::from_parts(a.0, a.1),
+            DHash128::from_parts(b.0, b.1),
+            DHash128::from_parts(c.0, c.1),
+        );
+        prop_assert_eq!(h1.hamming_distance(h1), 0);
+        prop_assert_eq!(h1.hamming_distance(h2), h2.hamming_distance(h1));
+        prop_assert!(
+            h1.hamming_distance(h3) <= h1.hamming_distance(h2) + h2.hamming_distance(h3)
+        );
+        prop_assert!(h1.hamming_distance(h2) <= 128);
+    }
+
+    /// Resizing never panics and preserves the value range.
+    #[test]
+    fn resize_preserves_value_range(
+        w in 1u32..40,
+        h in 1u32..40,
+        nw in 1u32..20,
+        nh in 1u32..20,
+        seed in any::<u64>(),
+    ) {
+        let img = GrayImage::from_fn(w, h, |x, y| {
+            (seed
+                .wrapping_mul(u64::from(x) + 1)
+                .wrapping_add(u64::from(y).wrapping_mul(7919))
+                % 256) as u8
+        });
+        let lo = *img.as_raw().iter().min().unwrap();
+        let hi = *img.as_raw().iter().max().unwrap();
+        let out = img.resize(nw, nh);
+        prop_assert_eq!(out.dimensions(), (nw, nh));
+        for &p in out.as_raw() {
+            prop_assert!(p >= lo && p <= hi, "averaged pixel escaped source range");
+        }
+    }
+
+    /// dHash of any image is deterministic.
+    #[test]
+    fn dhash_is_deterministic(w in 1u32..40, h in 1u32..40, seed in any::<u64>()) {
+        let img = GrayImage::from_fn(w, h, |x, y| {
+            (seed ^ (u64::from(x) << 8) ^ u64::from(y)) as u8
+        });
+        prop_assert_eq!(DHash128::of(&img), DHash128::of(&img));
+    }
+
+    /// Identical texts always produce matching signatures; estimate is in [0,1].
+    #[test]
+    fn minhash_identity_and_bounds(text in ".{0,64}", other in ".{0,64}", seed: u64) {
+        let hasher = MinHasher::new(16, seed);
+        let s1 = hasher.signature_of_text(&text);
+        let s2 = hasher.signature_of_text(&text);
+        prop_assert!(s1.matches(&s2));
+        let s3 = hasher.signature_of_text(&other);
+        let est = s1.estimate_jaccard(&s3);
+        prop_assert!((0.0..=1.0).contains(&est));
+    }
+
+    /// MinHash estimate correlates with true Jaccard for word-ish strings:
+    /// equal sets estimate 1.0, disjoint sets estimate low.
+    #[test]
+    fn minhash_estimate_matches_extremes(words in proptest::collection::vec("[a-z]{3,8}", 3..10)) {
+        let text = words.join(" ");
+        let hasher = MinHasher::new(128, 42);
+        let sig = hasher.signature(trigram_shingles(&text));
+        prop_assert!((sig.estimate_jaccard(&sig) - 1.0).abs() < 1e-12);
+    }
+
+    /// Normalization output contains only lowercase alphanumerics and spaces,
+    /// and is idempotent.
+    #[test]
+    fn normalize_is_idempotent(text in ".{0,80}") {
+        let once = normalize(&text);
+        prop_assert!(once
+            .chars()
+            .all(|c| c == ' ' || c.is_ascii_lowercase() || c.is_ascii_digit()));
+        prop_assert_eq!(normalize(&once), once.clone());
+    }
+
+    /// Shingle sets are consistent with text length.
+    #[test]
+    fn shingle_count_bounds(text in "[a-z ]{0,50}", k in 1usize..6) {
+        let s = shingles(&text, k);
+        let n = text.chars().count();
+        if n == 0 {
+            prop_assert!(s.is_empty());
+        } else if n <= k {
+            prop_assert_eq!(s.len(), 1);
+        } else {
+            prop_assert!(s.len() <= n - k + 1);
+        }
+    }
+
+    /// Jaccard similarity is symmetric and bounded.
+    #[test]
+    fn jaccard_symmetric(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+        let (sa, sb) = (trigram_shingles(&a), trigram_shingles(&b));
+        let j1 = jaccard(&sa, &sb);
+        let j2 = jaccard(&sb, &sa);
+        prop_assert!((j1 - j2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&j1));
+    }
+
+    /// Name pattern length equals the name's character count.
+    #[test]
+    fn name_pattern_covers_all_chars(name in ".{0,40}") {
+        let p = NamePattern::of(&name);
+        prop_assert_eq!(p.len() as usize, name.chars().count());
+    }
+
+    /// Union-find: component count decreases by exactly the number of
+    /// successful unions, and `connected` agrees with `find`.
+    #[test]
+    fn unionfind_component_accounting(
+        n in 1usize..64,
+        edges in proptest::collection::vec((0usize..64, 0usize..64), 0..128),
+    ) {
+        let mut uf = UnionFind::new(n);
+        let mut merges = 0;
+        for (a, b) in edges {
+            let (a, b) = (a % n, b % n);
+            if uf.union(a, b) {
+                merges += 1;
+            }
+        }
+        prop_assert_eq!(uf.component_count(), n - merges);
+        let comps = uf.components();
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(comps.len(), uf.component_count());
+    }
+}

@@ -1,0 +1,244 @@
+//! Accounts: public profiles (what the Twitter API exposes) and private
+//! behavioral parameters (how the simulator drives them).
+
+use ph_sketch::GrayImage;
+use serde::{Deserialize, Serialize};
+
+use crate::text::SpamFlavor;
+use crate::topics::TopicCategory;
+
+/// Identifier of an account within one simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct AccountId(pub u32);
+
+impl AccountId {
+    /// The raw index (accounts are stored densely).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for AccountId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Identifier of a spam campaign.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct CampaignId(pub u16);
+
+/// Whether an account is organic or a campaign-operated spammer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccountKind {
+    /// A normal user.
+    Organic,
+    /// A spammer operated by the given campaign.
+    Campaign(CampaignId),
+}
+
+/// The public face of an account — everything observable through the
+/// (simulated) Twitter REST API. This is what pseudo-honeypot selection and
+/// feature extraction are allowed to see.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Account id.
+    pub id: AccountId,
+    /// Handle, e.g. `maria_gardens7`.
+    pub screen_name: String,
+    /// Display name.
+    pub display_name: String,
+    /// Bio text.
+    pub description: String,
+    /// Number of accounts this user follows ("friends" in Twitter terms).
+    pub friends_count: u64,
+    /// Number of followers.
+    pub followers_count: u64,
+    /// Account age in days at simulation start.
+    pub account_age_days: u32,
+    /// Number of lists the account appears on / has joined.
+    pub lists_count: u64,
+    /// Number of favorited (liked) tweets.
+    pub favorites_count: u64,
+    /// Lifetime number of statuses posted.
+    pub statuses_count: u64,
+    /// Verified badge.
+    pub verified: bool,
+    /// Still using the default egg avatar.
+    pub default_profile_image: bool,
+    /// Profile image raster (consumed by dHash clustering).
+    pub profile_image: GrayImage,
+}
+
+impl Profile {
+    /// `friends + followers` (Table II attribute 3).
+    pub fn total_friends_followers(&self) -> u64 {
+        self.friends_count + self.followers_count
+    }
+
+    /// `friends / followers` (Table II attribute 4); `friends` when the
+    /// account has no followers (avoids ∞ while preserving ordering).
+    pub fn friend_follower_ratio(&self) -> f64 {
+        if self.followers_count == 0 {
+            self.friends_count as f64
+        } else {
+            self.friends_count as f64 / self.followers_count as f64
+        }
+    }
+
+    /// Average lists joined per day of account life (Table II attribute 9).
+    pub fn lists_per_day(&self) -> f64 {
+        self.lists_count as f64 / f64::from(self.account_age_days.max(1))
+    }
+
+    /// Average favorites per day (Table II attribute 10).
+    pub fn favorites_per_day(&self) -> f64 {
+        self.favorites_count as f64 / f64::from(self.account_age_days.max(1))
+    }
+
+    /// Average statuses per day (Table II attribute 11).
+    pub fn statuses_per_day(&self) -> f64 {
+        self.statuses_count as f64 / f64::from(self.account_age_days.max(1))
+    }
+}
+
+/// Simulator-private behavioral parameters driving an account's activity.
+/// These are *not* exposed through the API facades.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Behavior {
+    /// Expected organic posts per hour (Poisson rate).
+    pub posts_per_hour: f64,
+    /// Probability that a post mentions another account.
+    pub mention_probability: f64,
+    /// Mean minutes between seeing a post and reacting to it.
+    pub reaction_latency_minutes: f64,
+    /// Distribution over tweet sources `[web, mobile, third-party, other]`;
+    /// sums to 1.
+    pub source_weights: [f64; 4],
+    /// Probability that a post is a retweet.
+    pub retweet_probability: f64,
+    /// Probability that a post is a quote.
+    pub quote_probability: f64,
+    /// Topical interests (empty = posts without hashtags).
+    pub interests: Vec<TopicCategory>,
+    /// For campaign accounts: spam mentions attempted per active hour.
+    pub spam_attempts_per_hour: f64,
+    /// For campaign accounts: payload flavor.
+    pub spam_flavor: Option<SpamFlavor>,
+}
+
+impl Behavior {
+    /// A quiet organic default (tests and builders override fields).
+    pub fn organic_default() -> Self {
+        Self {
+            posts_per_hour: 0.2,
+            mention_probability: 0.3,
+            reaction_latency_minutes: 120.0,
+            source_weights: [0.3, 0.5, 0.1, 0.1],
+            retweet_probability: 0.2,
+            quote_probability: 0.1,
+            interests: Vec::new(),
+            spam_attempts_per_hour: 0.0,
+            spam_flavor: None,
+        }
+    }
+}
+
+/// A full simulated account: public profile + private behavior + kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Account {
+    /// Public profile.
+    pub profile: Profile,
+    /// Private behavioral parameters.
+    pub behavior: Behavior,
+    /// Organic or campaign-operated.
+    pub kind: AccountKind,
+}
+
+impl Account {
+    /// True when the account is operated by a spam campaign.
+    pub fn is_spammer(&self) -> bool {
+        matches!(self.kind, AccountKind::Campaign(_))
+    }
+
+    /// The campaign id, if any.
+    pub fn campaign(&self) -> Option<CampaignId> {
+        match self.kind {
+            AccountKind::Campaign(c) => Some(c),
+            AccountKind::Organic => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Profile {
+        Profile {
+            id: AccountId(1),
+            screen_name: "tester".into(),
+            display_name: "Tester".into(),
+            description: "bio".into(),
+            friends_count: 100,
+            followers_count: 50,
+            account_age_days: 200,
+            lists_count: 20,
+            favorites_count: 400,
+            statuses_count: 1000,
+            verified: false,
+            default_profile_image: false,
+            profile_image: GrayImage::new(9, 9),
+        }
+    }
+
+    #[test]
+    fn derived_attributes() {
+        let p = profile();
+        assert_eq!(p.total_friends_followers(), 150);
+        assert!((p.friend_follower_ratio() - 2.0).abs() < 1e-12);
+        assert!((p.lists_per_day() - 0.1).abs() < 1e-12);
+        assert!((p.favorites_per_day() - 2.0).abs() < 1e-12);
+        assert!((p.statuses_per_day() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_with_zero_followers_is_finite() {
+        let mut p = profile();
+        p.followers_count = 0;
+        assert!((p.friend_follower_ratio() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_age_is_clamped_for_per_day_averages() {
+        let mut p = profile();
+        p.account_age_days = 0;
+        assert!(p.lists_per_day().is_finite());
+    }
+
+    #[test]
+    fn kind_helpers() {
+        let organic = Account {
+            profile: profile(),
+            behavior: Behavior::organic_default(),
+            kind: AccountKind::Organic,
+        };
+        assert!(!organic.is_spammer());
+        assert_eq!(organic.campaign(), None);
+        let spammer = Account {
+            kind: AccountKind::Campaign(CampaignId(3)),
+            ..organic
+        };
+        assert!(spammer.is_spammer());
+        assert_eq!(spammer.campaign(), Some(CampaignId(3)));
+    }
+
+    #[test]
+    fn account_id_display() {
+        assert_eq!(AccountId(42).to_string(), "u42");
+    }
+}

@@ -1,0 +1,296 @@
+//! The simulated Twitter API surfaces: a Streaming API with mention-track
+//! filters and a REST API for profile lookups.
+//!
+//! These facades are the *only* surfaces `ph-core` touches — mirroring the
+//! paper's transparency requirement (§III-A): the pseudo-honeypot observes
+//! accounts strictly through public developer APIs, never through privileged
+//! access.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::account::AccountId;
+use crate::tweet::Tweet;
+
+/// Handle to a streaming subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(u64);
+
+/// Default per-subscription buffer capacity; beyond it the oldest tweets are
+/// dropped and counted (Twitter's real streaming API similarly sheds load).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1_000_000;
+
+#[derive(Debug)]
+struct Subscription {
+    tracked: HashSet<AccountId>,
+    queue: VecDeque<Tweet>,
+    capacity: usize,
+    dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct BusInner {
+    next_id: u64,
+    subscriptions: HashMap<u64, Subscription>,
+}
+
+/// The engine-side message bus behind [`StreamingApi`].
+#[derive(Debug, Default)]
+pub(crate) struct StreamBus {
+    inner: Mutex<BusInner>,
+}
+
+impl StreamBus {
+    /// Delivers a tweet to every subscription whose filter it matches.
+    ///
+    /// A tweet matches when it *mentions* a tracked account or is *authored
+    /// by* one (the paper's categories (1)–(3) of collected tweets).
+    pub(crate) fn publish(&self, tweet: &Tweet) {
+        let mut inner = self.inner.lock();
+        for sub in inner.subscriptions.values_mut() {
+            let matches = sub.tracked.contains(&tweet.author)
+                || tweet.mentions.iter().any(|m| sub.tracked.contains(m));
+            if matches {
+                if sub.queue.len() >= sub.capacity {
+                    sub.queue.pop_front();
+                    sub.dropped += 1;
+                }
+                sub.queue.push_back(tweet.clone());
+            }
+        }
+    }
+}
+
+/// Client handle to the simulated Streaming API. Cheap to clone; all clones
+/// share the engine's bus.
+#[derive(Debug, Clone)]
+pub struct StreamingApi {
+    bus: Arc<StreamBus>,
+}
+
+impl StreamingApi {
+    pub(crate) fn new(bus: Arc<StreamBus>) -> Self {
+        Self { bus }
+    }
+
+    /// Opens a subscription tracking mentions of (and posts by) the given
+    /// accounts — the `@user_account_name` filter list of the paper's
+    /// Tweepy implementation.
+    pub fn track_mentions<I>(&self, accounts: I) -> SubscriptionId
+    where
+        I: IntoIterator<Item = AccountId>,
+    {
+        self.track_mentions_with_capacity(accounts, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Like [`track_mentions`](Self::track_mentions) with an explicit
+    /// buffer capacity — small capacities simulate a slow consumer being
+    /// load-shed by the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn track_mentions_with_capacity<I>(&self, accounts: I, capacity: usize) -> SubscriptionId
+    where
+        I: IntoIterator<Item = AccountId>,
+    {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        let mut inner = self.bus.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.subscriptions.insert(
+            id,
+            Subscription {
+                tracked: accounts.into_iter().collect(),
+                queue: VecDeque::new(),
+                capacity,
+                dropped: 0,
+            },
+        );
+        SubscriptionId(id)
+    }
+
+    /// Replaces a subscription's filter list (hourly pseudo-honeypot
+    /// switching re-points the same stream at the new node set).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the subscription does not exist (already closed).
+    pub fn set_filter<I>(&self, id: SubscriptionId, accounts: I) -> Result<(), ClosedSubscription>
+    where
+        I: IntoIterator<Item = AccountId>,
+    {
+        let mut inner = self.bus.inner.lock();
+        match inner.subscriptions.get_mut(&id.0) {
+            Some(sub) => {
+                sub.tracked = accounts.into_iter().collect();
+                Ok(())
+            }
+            None => Err(ClosedSubscription(id)),
+        }
+    }
+
+    /// Drains and returns all tweets buffered since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the subscription does not exist.
+    pub fn poll(&self, id: SubscriptionId) -> Result<Vec<Tweet>, ClosedSubscription> {
+        let mut inner = self.bus.inner.lock();
+        match inner.subscriptions.get_mut(&id.0) {
+            Some(sub) => Ok(sub.queue.drain(..).collect()),
+            None => Err(ClosedSubscription(id)),
+        }
+    }
+
+    /// Number of tweets shed due to a full buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the subscription does not exist.
+    pub fn dropped(&self, id: SubscriptionId) -> Result<u64, ClosedSubscription> {
+        let inner = self.bus.inner.lock();
+        inner
+            .subscriptions
+            .get(&id.0)
+            .map(|s| s.dropped)
+            .ok_or(ClosedSubscription(id))
+    }
+
+    /// Closes a subscription; subsequent calls with its id fail.
+    pub fn close(&self, id: SubscriptionId) {
+        self.bus.inner.lock().subscriptions.remove(&id.0);
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.bus.inner.lock().subscriptions.len()
+    }
+}
+
+/// Error returned when using a closed or unknown subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedSubscription(pub SubscriptionId);
+
+impl std::fmt::Display for ClosedSubscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "streaming subscription {:?} is closed", self.0)
+    }
+}
+
+impl std::error::Error for ClosedSubscription {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::tweet::{TweetId, TweetKind, TweetSource};
+
+    fn tweet(author: u32, mentions: &[u32]) -> Tweet {
+        Tweet {
+            id: TweetId(1),
+            author: AccountId(author),
+            created_at: SimTime::EPOCH,
+            kind: TweetKind::Original,
+            source: TweetSource::Web,
+            text: "hi".into(),
+            hashtags: vec![],
+            mentions: mentions.iter().map(|&m| AccountId(m)).collect(),
+            urls: vec![],
+            reacted_to_post_at: None,
+            ground_truth_spam: false,
+        }
+    }
+
+    fn api() -> (Arc<StreamBus>, StreamingApi) {
+        let bus = Arc::new(StreamBus::default());
+        let api = StreamingApi::new(Arc::clone(&bus));
+        (bus, api)
+    }
+
+    #[test]
+    fn delivers_mentions_of_tracked_accounts() {
+        let (bus, api) = api();
+        let sub = api.track_mentions([AccountId(7)]);
+        bus.publish(&tweet(1, &[7]));
+        bus.publish(&tweet(1, &[8]));
+        let got = api.poll(sub).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].mentions_account(AccountId(7)));
+    }
+
+    #[test]
+    fn delivers_posts_by_tracked_accounts() {
+        let (bus, api) = api();
+        let sub = api.track_mentions([AccountId(3)]);
+        bus.publish(&tweet(3, &[]));
+        assert_eq!(api.poll(sub).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn poll_drains_the_queue() {
+        let (bus, api) = api();
+        let sub = api.track_mentions([AccountId(1)]);
+        bus.publish(&tweet(1, &[]));
+        assert_eq!(api.poll(sub).unwrap().len(), 1);
+        assert!(api.poll(sub).unwrap().is_empty());
+    }
+
+    #[test]
+    fn set_filter_repoints_subscription() {
+        let (bus, api) = api();
+        let sub = api.track_mentions([AccountId(1)]);
+        api.set_filter(sub, [AccountId(2)]).unwrap();
+        bus.publish(&tweet(9, &[1]));
+        bus.publish(&tweet(9, &[2]));
+        let got = api.poll(sub).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].mentions_account(AccountId(2)));
+    }
+
+    #[test]
+    fn closed_subscription_errors() {
+        let (_bus, api) = api();
+        let sub = api.track_mentions([AccountId(1)]);
+        api.close(sub);
+        assert!(api.poll(sub).is_err());
+        assert!(api.set_filter(sub, []).is_err());
+        assert_eq!(api.subscription_count(), 0);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_and_counts_drops() {
+        let (bus, api) = api();
+        let sub = api.track_mentions_with_capacity([AccountId(1)], 2);
+        for i in 0..5 {
+            let mut t = tweet(1, &[]);
+            t.id = TweetId(i);
+            bus.publish(&t);
+        }
+        assert_eq!(api.dropped(sub).unwrap(), 3);
+        let got = api.poll(sub).unwrap();
+        assert_eq!(got.len(), 2);
+        // The two *newest* tweets survive.
+        assert_eq!(got[0].id, TweetId(3));
+        assert_eq!(got[1].id, TweetId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let (_bus, api) = api();
+        let _ = api.track_mentions_with_capacity([AccountId(1)], 0);
+    }
+
+    #[test]
+    fn multiple_subscriptions_receive_independently() {
+        let (bus, api) = api();
+        let s1 = api.track_mentions([AccountId(1)]);
+        let s2 = api.track_mentions([AccountId(2)]);
+        bus.publish(&tweet(9, &[1, 2]));
+        assert_eq!(api.poll(s1).unwrap().len(), 1);
+        assert_eq!(api.poll(s2).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! Spam-campaign templates and member-account generation.
+//!
+//! A campaign mirrors what the paper's clustering passes key on: its member
+//! accounts share a screen-name generator (one Σ-sequence shape), a profile
+//! image template (near-identical dHash), a description template
+//! (near-duplicate MinHash), and a payload corpus (near-duplicate tweets with
+//! malicious URLs).
+
+use ph_sketch::GrayImage;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::account::{Account, AccountId, AccountKind, Behavior, CampaignId, Profile};
+use crate::text::{SpamFlavor, CAMPAIGN_STEMS};
+use crate::topics::TopicCategory;
+
+/// A spam campaign: shared templates plus operating parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Campaign id.
+    pub id: CampaignId,
+    /// Payload flavor (money scam, adult, promoter, phishing).
+    pub flavor: SpamFlavor,
+    /// Fixed stem all member screen names start with.
+    pub name_stem: String,
+    /// Length of the random middle segment of member names.
+    pub name_middle_len: usize,
+    /// Number of digits at the end of member names.
+    pub name_digits: usize,
+    /// Shared avatar template; members get noisy copies.
+    pub image_template: GrayImage,
+    /// Shared bio template; members get light token substitutions.
+    pub description_template: String,
+    /// Spam mentions each member attempts per active hour.
+    pub spam_attempts_per_hour: f64,
+    /// Mean minutes between a victim's post and the campaign's reaction
+    /// (spammers react fast — the paper's *mention time* signal).
+    pub reaction_mean_minutes: f64,
+    /// Probability a member posts a benign camouflage tweet in an hour.
+    pub camouflage_rate: f64,
+    /// Template discipline in `[0, 1]`: the probability that a member
+    /// follows the campaign's name/image/description templates and posts
+    /// low-variation payloads. Sloppy (low-discipline) campaigns evade
+    /// clustering and must be caught by rules or manual checking — the
+    /// diversity behind the paper's Table III method split.
+    pub discipline: f64,
+    /// Probability a spam attempt is *subtle*: benign-looking text with a
+    /// non-blacklisted URL, detectable only by human checking (and by
+    /// behavioral features).
+    pub subtle_rate: f64,
+    /// Posting-source distribution of member accounts
+    /// `[web, mobile, third-party, other]` — bot-heavy by default, shifted
+    /// toward organic clients under behavioural drift.
+    pub member_source_weights: [f64; 4],
+}
+
+/// serde can't derive for `SpamFlavor` (kept dependency-free in `text`), so
+/// campaigns serialize the flavor by index.
+impl Serialize for SpamFlavor {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u8(SpamFlavor::ALL.iter().position(|f| f == self).unwrap_or(0) as u8)
+    }
+}
+
+impl<'de> Deserialize<'de> for SpamFlavor {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let idx = u8::deserialize(d)? as usize;
+        SpamFlavor::ALL
+            .get(idx)
+            .copied()
+            .ok_or_else(|| serde::de::Error::custom("invalid spam flavor index"))
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign with randomized templates.
+    pub fn generate(id: CampaignId, rng: &mut StdRng) -> Self {
+        let flavor = *SpamFlavor::ALL.choose(rng).expect("non-empty");
+        let stem = *CAMPAIGN_STEMS.choose(rng).expect("non-empty");
+        Self {
+            id,
+            flavor,
+            name_stem: stem.to_string(),
+            name_middle_len: rng.random_range(4..7),
+            name_digits: rng.random_range(2..4),
+            image_template: smooth_template(rng),
+            description_template: format!(
+                "official {stem} network best {stem} offers daily updates follow for more"
+            ),
+            spam_attempts_per_hour: rng.random_range(1.5..4.0),
+            reaction_mean_minutes: rng.random_range(1.0..6.0),
+            camouflage_rate: rng.random_range(0.05..0.25),
+            discipline: rng.random_range(0.45..0.95),
+            subtle_rate: rng.random_range(0.03..0.12),
+            member_source_weights: [0.02, 0.08, 0.8, 0.1], // bot traffic is API-heavy
+        }
+    }
+
+    /// Generates one member account following the campaign's templates.
+    pub fn generate_member(&self, id: AccountId, rng: &mut StdRng) -> Account {
+        // Fresh-ish accounts with follow-spam shape: many friends, few
+        // followers, low list presence.
+        let age_days = rng.random_range(5..150);
+        let friends = rng.random_range(200..3_000);
+        let followers = rng.random_range(1..120);
+        let statuses = rng.random_range(50..2_500);
+        // Sloppy members break the template on each axis independently.
+        let templated_name = rng.random_bool(self.discipline);
+        let templated_image = rng.random_bool(self.discipline);
+        let templated_description = rng.random_bool(self.discipline);
+        Account {
+            profile: Profile {
+                id,
+                screen_name: if templated_name {
+                    self.member_screen_name(rng)
+                } else {
+                    freehand_screen_name(&self.name_stem, rng)
+                },
+                display_name: self.name_stem.clone(),
+                description: if templated_description {
+                    self.member_description(rng)
+                } else {
+                    crate::text::organic_description(rng)
+                },
+                friends_count: friends,
+                followers_count: followers,
+                account_age_days: age_days,
+                lists_count: rng.random_range(0..3),
+                favorites_count: rng.random_range(0..200),
+                statuses_count: statuses,
+                verified: false,
+                default_profile_image: rng.random_bool(0.25),
+                profile_image: if templated_image {
+                    self.member_image(rng)
+                } else {
+                    GrayImage::from_fn(24, 24, |_, _| rng.random())
+                },
+            },
+            behavior: Behavior {
+                posts_per_hour: rng.random_range(0.5..2.0),
+                mention_probability: 0.9,
+                reaction_latency_minutes: self.reaction_mean_minutes,
+                source_weights: self.member_source_weights,
+                retweet_probability: 0.05,
+                quote_probability: 0.02,
+                interests: vec![*TopicCategory::ALL.choose(rng).expect("non-empty")],
+                // Per-member volume is Pareto-distributed: most accounts in
+                // a campaign are low-and-slow, a few are firehoses. This is
+                // what produces the paper's Figure 2 power law (>80% of
+                // captured spammers observed with a single spam).
+                spam_attempts_per_hour: member_spam_rate(self.spam_attempts_per_hour, rng),
+                spam_flavor: Some(self.flavor),
+            },
+            kind: AccountKind::Campaign(self.id),
+        }
+    }
+
+    /// `stem_xxxxxNN`: fixed stem, fixed-length random middle, fixed-width
+    /// digits — every member shares one Σ-sequence shape.
+    fn member_screen_name(&self, rng: &mut StdRng) -> String {
+        let middle: String = (0..self.name_middle_len)
+            .map(|_| (b'a' + rng.random_range(0..26)) as char)
+            .collect();
+        let digits: String = (0..self.name_digits)
+            .map(|_| char::from_digit(rng.random_range(0..10), 10).expect("digit"))
+            .collect();
+        format!("{}_{middle}{digits}", self.name_stem)
+    }
+
+    /// Near-duplicate description: half the members use the exact template
+    /// (the paper's MinHash-identity criterion is near-exact matching), the
+    /// rest append one filler word.
+    fn member_description(&self, rng: &mut StdRng) -> String {
+        if rng.random_bool(0.5) {
+            self.description_template.clone()
+        } else {
+            let filler = crate::text::BENIGN_WORDS.choose(rng).expect("non-empty");
+            format!("{} {}", self.description_template, filler)
+        }
+    }
+
+    /// Noisy copy of the image template (±3 per pixel).
+    fn member_image(&self, rng: &mut StdRng) -> GrayImage {
+        let t = &self.image_template;
+        GrayImage::from_fn(t.width(), t.height(), |x, y| {
+            let v = i16::from(t.get(x, y)) + rng.random_range(-3..=3);
+            v.clamp(0, 255) as u8
+        })
+    }
+}
+
+/// Pareto-tailed per-member spam rate with the campaign rate as scale.
+/// Median members attempt a handful of spams per day; the α ≈ 1.15 tail
+/// produces rare firehose accounts.
+fn member_spam_rate(campaign_rate: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.random::<f64>().max(1e-9);
+    let heavy = u.powf(-1.0 / 1.15);
+    (campaign_rate * 0.025 * heavy).clamp(0.01, 2.0)
+}
+
+/// A non-templated screen name for sloppy members: stem plus free-form
+/// digits of varying width (different Σ-sequence per member).
+fn freehand_screen_name(stem: &str, rng: &mut StdRng) -> String {
+    format!("{stem}{}", rng.random_range(1..99_999))
+}
+
+/// A smooth, structured template image (sinusoidal bands): strong gradients
+/// that survive ±3 noise under dHash.
+fn smooth_template(rng: &mut StdRng) -> GrayImage {
+    let fx = rng.random_range(0.2..0.9);
+    let fy = rng.random_range(0.2..0.9);
+    let phase = rng.random_range(0.0..std::f64::consts::TAU);
+    GrayImage::from_fn(24, 24, |x, y| {
+        let v = ((f64::from(x) * fx + f64::from(y) * fy + phase).sin() + 1.0) * 127.0;
+        v as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_sketch::{DHash128, MinHasher, NamePattern};
+    use rand::SeedableRng;
+
+    fn campaign(seed: u64) -> (Campaign, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Campaign::generate(CampaignId(1), &mut rng);
+        // Template-sharing tests need fully disciplined members.
+        c.discipline = 1.0;
+        (c, rng)
+    }
+
+    #[test]
+    fn sloppy_campaign_breaks_templates() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut c = Campaign::generate(CampaignId(2), &mut rng);
+        c.discipline = 0.0;
+        let a = c.generate_member(AccountId(1), &mut rng);
+        let b = c.generate_member(AccountId(2), &mut rng);
+        // With zero discipline, avatars are independent noise.
+        let d = ph_sketch::DHash128::of(&a.profile.profile_image)
+            .hamming_distance(ph_sketch::DHash128::of(&b.profile.profile_image));
+        assert!(d > 5, "sloppy avatars should not collide (distance {d})");
+    }
+
+    #[test]
+    fn members_share_name_pattern() {
+        let (c, mut rng) = campaign(1);
+        let a = c.generate_member(AccountId(10), &mut rng);
+        let b = c.generate_member(AccountId(11), &mut rng);
+        assert_ne!(a.profile.screen_name, b.profile.screen_name);
+        assert_eq!(
+            NamePattern::of(&a.profile.screen_name),
+            NamePattern::of(&b.profile.screen_name)
+        );
+    }
+
+    #[test]
+    fn members_share_near_identical_avatars() {
+        let (c, mut rng) = campaign(2);
+        let a = c.generate_member(AccountId(10), &mut rng);
+        let b = c.generate_member(AccountId(11), &mut rng);
+        let (ha, hb) = (
+            DHash128::of(&a.profile.profile_image),
+            DHash128::of(&b.profile.profile_image),
+        );
+        assert!(
+            ha.hamming_distance(hb) < 5,
+            "campaign avatars too far apart: {}",
+            ha.hamming_distance(hb)
+        );
+    }
+
+    #[test]
+    fn members_have_near_duplicate_descriptions() {
+        let (c, mut rng) = campaign(3);
+        let a = c.generate_member(AccountId(10), &mut rng);
+        let b = c.generate_member(AccountId(11), &mut rng);
+        let hasher = MinHasher::new(64, 9);
+        let sa = hasher.signature_of_text(&a.profile.description);
+        let sb = hasher.signature_of_text(&b.profile.description);
+        assert!(
+            sa.estimate_jaccard(&sb) > 0.7,
+            "campaign bios insufficiently similar: {}",
+            sa.estimate_jaccard(&sb)
+        );
+    }
+
+    #[test]
+    fn members_are_marked_as_campaign_spammers() {
+        let (c, mut rng) = campaign(4);
+        let m = c.generate_member(AccountId(5), &mut rng);
+        assert!(m.is_spammer());
+        assert_eq!(m.campaign(), Some(CampaignId(1)));
+        assert!(m.behavior.spam_attempts_per_hour > 0.0);
+        assert!(m.behavior.spam_flavor.is_some());
+    }
+
+    #[test]
+    fn bot_traffic_is_third_party_heavy() {
+        let (c, mut rng) = campaign(5);
+        let m = c.generate_member(AccountId(5), &mut rng);
+        assert!(m.behavior.source_weights[2] > 0.5);
+    }
+
+    #[test]
+    fn different_campaigns_have_distant_templates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let c1 = Campaign::generate(CampaignId(1), &mut rng);
+        let c2 = Campaign::generate(CampaignId(2), &mut rng);
+        let d = DHash128::of(&c1.image_template)
+            .hamming_distance(DHash128::of(&c2.image_template));
+        assert!(d > 5, "templates collide: distance {d}");
+    }
+
+    #[test]
+    fn campaign_generation_is_deterministic() {
+        let (c1, _) = campaign(7);
+        let (c2, _) = campaign(7);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Spammer-taste and spammer-behavior drift.
+//!
+//! "Since spammers' taste may change over time in practice, the Twitter
+//! spammer drift problem is challenging in the design of pseudo-honeypot"
+//! (§IV-C). The paper defers the problem to future work; this module makes
+//! it *simulatable*. A [`DriftSchedule`] applies [`DriftEvent`]s at chosen
+//! hours; each event can change
+//!
+//! - **tastes** — the ground-truth [`AttractivenessModel`] (who gets
+//!   targeted), and/or
+//! - **behaviour** — a [`StealthShift`] of every campaign (how the spam
+//!   looks: subtle payload rate, reaction latency, posting sources).
+//!
+//! Behavioural drift is what degrades a frozen detector (the features it
+//! learned stop firing); taste drift is what degrades attribute-based
+//! selection. The `ablation_drift` bench exercises both against
+//! `ph_core::drift::AdaptiveDetector`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attract::AttractivenessModel;
+
+/// A campaign-wide behaviour change making spam look more organic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StealthShift {
+    /// New probability that a spam attempt is subtle (benign wording,
+    /// non-blacklisted URL).
+    pub subtle_rate: f64,
+    /// New mean minutes between a victim's post and the spam reaction
+    /// (higher = more human-like).
+    pub reaction_mean_minutes: f64,
+    /// New posting-source distribution `[web, mobile, third-party, other]`.
+    pub source_weights: [f64; 4],
+}
+
+impl StealthShift {
+    /// The canonical "spammers go undercover" shift: mostly subtle
+    /// payloads, human-like latency, mobile/web clients.
+    pub fn undercover() -> Self {
+        Self {
+            subtle_rate: 0.6,
+            reaction_mean_minutes: 45.0,
+            source_weights: [0.35, 0.45, 0.1, 0.1],
+        }
+    }
+}
+
+/// One scheduled drift event.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DriftEvent {
+    /// Replace the ground-truth attraction model (taste drift).
+    pub attract: Option<AttractivenessModel>,
+    /// Shift every campaign's behaviour (behavioural drift).
+    pub stealth: Option<StealthShift>,
+}
+
+/// A schedule of drift events by hour.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DriftSchedule {
+    /// `(hour, event)` pairs, sorted by hour; each takes effect at the
+    /// *start* of its hour.
+    changes: Vec<(u64, DriftEvent)>,
+}
+
+impl DriftSchedule {
+    /// Builds a schedule; entries are sorted by hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two entries share the same hour.
+    pub fn new(mut changes: Vec<(u64, DriftEvent)>) -> Self {
+        changes.sort_by_key(|&(h, _)| h);
+        for pair in changes.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "duplicate drift hour {}", pair[0].0);
+        }
+        Self { changes }
+    }
+
+    /// A single taste flip at `hour`.
+    pub fn flip_at(hour: u64, new_model: AttractivenessModel) -> Self {
+        Self::new(vec![(
+            hour,
+            DriftEvent {
+                attract: Some(new_model),
+                stealth: None,
+            },
+        )])
+    }
+
+    /// A combined taste + behaviour flip at `hour` — the full drift
+    /// scenario of the `ablation_drift` bench.
+    pub fn full_flip_at(hour: u64, new_model: AttractivenessModel, shift: StealthShift) -> Self {
+        Self::new(vec![(
+            hour,
+            DriftEvent {
+                attract: Some(new_model),
+                stealth: Some(shift),
+            },
+        )])
+    }
+
+    /// The event taking effect exactly at `hour`, if any.
+    pub fn change_at(&self, hour: u64) -> Option<&DriftEvent> {
+        self.changes
+            .iter()
+            .find(|&&(h, _)| h == hour)
+            .map(|(_, e)| e)
+    }
+
+    /// All scheduled changes.
+    pub fn changes(&self) -> &[(u64, DriftEvent)] {
+        &self.changes
+    }
+
+    /// True when no changes are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// A ready-made "inverted tastes" model: spammers pivot away from
+/// list-active, well-followed accounts toward fresh low-profile ones —
+/// the qualitative opposite of the default model.
+pub fn inverted_tastes() -> AttractivenessModel {
+    AttractivenessModel {
+        lists_activity_weight: 0.2,
+        follower_weight: 0.2,
+        trending_up_boost: 1.0,
+        popular_boost: 1.0,
+        trending_down_boost: 1.8,
+        no_hashtag_damp: 1.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_and_looks_up() {
+        let s = DriftSchedule::new(vec![
+            (
+                50,
+                DriftEvent {
+                    attract: Some(inverted_tastes()),
+                    stealth: None,
+                },
+            ),
+            (
+                10,
+                DriftEvent {
+                    attract: Some(AttractivenessModel::default()),
+                    stealth: None,
+                },
+            ),
+        ]);
+        assert_eq!(s.changes()[0].0, 10);
+        assert!(s.change_at(50).is_some());
+        assert!(s.change_at(49).is_none());
+    }
+
+    #[test]
+    fn flip_constructors() {
+        let s = DriftSchedule::flip_at(24, inverted_tastes());
+        assert_eq!(s.changes().len(), 1);
+        assert!(s.change_at(24).unwrap().stealth.is_none());
+        let f = DriftSchedule::full_flip_at(24, inverted_tastes(), StealthShift::undercover());
+        assert!(f.change_at(24).unwrap().stealth.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate drift hour")]
+    fn duplicate_hours_panic() {
+        let _ = DriftSchedule::new(vec![(5, DriftEvent::default()), (5, DriftEvent::default())]);
+    }
+
+    #[test]
+    fn inverted_tastes_flip_the_strong_weights() {
+        let normal = AttractivenessModel::default();
+        let flipped = inverted_tastes();
+        assert!(flipped.lists_activity_weight < normal.lists_activity_weight);
+        assert!(flipped.no_hashtag_damp > normal.no_hashtag_damp);
+    }
+
+    #[test]
+    fn undercover_shift_is_subtle_and_slow() {
+        let s = StealthShift::undercover();
+        assert!(s.subtle_rate > 0.5);
+        assert!(s.reaction_mean_minutes > 30.0);
+        assert!(s.source_weights[2] < 0.5, "third-party share must drop");
+    }
+}

@@ -1,0 +1,219 @@
+//! The realized social-interaction graph.
+//!
+//! Profiles declare friend/follower *counts* (what the paper's C1
+//! attributes read), but organic interaction flows over a much smaller set
+//! of realized relationships — the people a user actually reads and
+//! replies to. This module materializes that interaction subgraph:
+//! every account holds up to [`EDGE_CAP`] outgoing "actually follows"
+//! edges, attached preferentially to high-follower accounts, and organic
+//! mention targeting walks these edges. Spammers ignore the graph (they
+//! target by attractiveness), which is exactly the asymmetry the
+//! reciprocity and mention-time features exploit.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::account::{Account, AccountId};
+
+/// Maximum realized out-edges per account.
+pub const EDGE_CAP: usize = 30;
+
+/// The realized interaction graph, indexed by dense account ids.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SocialGraph {
+    following: Vec<Vec<AccountId>>,
+    followers: Vec<Vec<AccountId>>,
+}
+
+impl SocialGraph {
+    /// Builds the graph over the initial population: each account follows
+    /// `min(friends_count, EDGE_CAP)` others, drawn preferentially by
+    /// declared follower count (a Chung–Lu style attachment).
+    pub fn generate(accounts: &[Account], rng: &mut StdRng) -> Self {
+        let n = accounts.len();
+        let mut graph = Self {
+            following: vec![Vec::new(); n],
+            followers: vec![Vec::new(); n],
+        };
+        if n < 2 {
+            return graph;
+        }
+        // Cumulative attachment weights ∝ 1 + followers_count (the +1
+        // keeps zero-follower accounts reachable).
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for account in accounts {
+            acc += 1.0 + account.profile.followers_count as f64;
+            cumulative.push(acc);
+        }
+        for (i, account) in accounts.iter().enumerate() {
+            debug_assert_eq!(
+                account.profile.id.index(),
+                i,
+                "graph generation requires dense, in-order account ids"
+            );
+            let out_degree = (account.profile.friends_count as usize).min(EDGE_CAP);
+            let mut targets: Vec<AccountId> = Vec::with_capacity(out_degree);
+            let mut guard = 0;
+            while targets.len() < out_degree && guard < out_degree * 20 {
+                guard += 1;
+                let draw = rng.random::<f64>() * acc;
+                let pick = cumulative.partition_point(|&c| c < draw).min(n - 1);
+                let id = accounts[pick].profile.id;
+                if pick != i && !targets.contains(&id) {
+                    targets.push(id);
+                }
+            }
+            for &target in &targets {
+                graph.followers[target.index()].push(account.profile.id);
+            }
+            graph.following[i] = targets;
+        }
+        graph
+    }
+
+    /// Number of accounts covered.
+    pub fn len(&self) -> usize {
+        self.following.len()
+    }
+
+    /// True when the graph covers no accounts.
+    pub fn is_empty(&self) -> bool {
+        self.following.is_empty()
+    }
+
+    /// Accounts `id` actually follows (empty for accounts added after
+    /// generation, e.g. churned-in campaign replacements).
+    pub fn following(&self, id: AccountId) -> &[AccountId] {
+        self.following
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Accounts actually following `id`.
+    pub fn followers(&self, id: AccountId) -> &[AccountId] {
+        self.followers
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether `a` follows `b`.
+    pub fn follows(&self, a: AccountId, b: AccountId) -> bool {
+        self.following(a).contains(&b)
+    }
+
+    /// Extends the index space for accounts registered after generation
+    /// (they start with no realized edges).
+    pub fn extend_to(&mut self, len: usize) {
+        if len > self.following.len() {
+            self.following.resize(len, Vec::new());
+            self.followers.resize(len, Vec::new());
+        }
+    }
+
+    /// Total realized edges.
+    pub fn edge_count(&self) -> usize {
+        self.following.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::generate_organic;
+    use rand::SeedableRng;
+
+    fn graph(n: usize, seed: u64) -> (Vec<Account>, SocialGraph) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let accounts = generate_organic(n, 0, &mut rng);
+        let graph = SocialGraph::generate(&accounts, &mut rng);
+        (accounts, graph)
+    }
+
+    #[test]
+    fn out_degree_respects_declared_friends_and_cap() {
+        let (accounts, graph) = graph(300, 1);
+        for account in &accounts {
+            let realized = graph.following(account.profile.id).len();
+            let declared = account.profile.friends_count as usize;
+            assert!(realized <= declared.min(EDGE_CAP));
+        }
+        assert!(graph.edge_count() > 0);
+    }
+
+    #[test]
+    fn followers_mirror_following() {
+        let (accounts, graph) = graph(200, 2);
+        for account in &accounts {
+            let id = account.profile.id;
+            for &target in graph.following(id) {
+                assert!(
+                    graph.followers(target).contains(&id),
+                    "edge {id}→{target} missing from follower list"
+                );
+            }
+        }
+        let total_followers: usize = accounts
+            .iter()
+            .map(|a| graph.followers(a.profile.id).len())
+            .sum();
+        assert_eq!(total_followers, graph.edge_count());
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_edges() {
+        let (accounts, graph) = graph(200, 3);
+        for account in &accounts {
+            let id = account.profile.id;
+            let targets = graph.following(id);
+            assert!(!targets.contains(&id), "self-loop at {id}");
+            let mut sorted = targets.to_vec();
+            sorted.sort_unstable();
+            let before = sorted.len();
+            sorted.dedup();
+            assert_eq!(before, sorted.len(), "duplicate edge at {id}");
+        }
+    }
+
+    #[test]
+    fn attachment_is_preferential() {
+        let (accounts, graph) = graph(800, 4);
+        // Accounts in the top follower-count decile should hold far more
+        // realized followers than the bottom decile.
+        let mut by_declared: Vec<&Account> = accounts.iter().collect();
+        by_declared.sort_by_key(|a| a.profile.followers_count);
+        let decile = accounts.len() / 10;
+        let realized = |slice: &[&Account]| -> usize {
+            slice
+                .iter()
+                .map(|a| graph.followers(a.profile.id).len())
+                .sum()
+        };
+        let bottom = realized(&by_declared[..decile]);
+        let top = realized(&by_declared[accounts.len() - decile..]);
+        assert!(
+            top > bottom * 3,
+            "attachment not preferential (top {top}, bottom {bottom})"
+        );
+    }
+
+    #[test]
+    fn extend_to_adds_empty_rows() {
+        let (_, mut graph) = graph(50, 5);
+        graph.extend_to(60);
+        assert_eq!(graph.len(), 60);
+        assert!(graph.following(AccountId(55)).is_empty());
+        // Shrinking is a no-op.
+        graph.extend_to(10);
+        assert_eq!(graph.len(), 60);
+    }
+
+    #[test]
+    fn tiny_graphs_are_safe() {
+        let (_, graph) = graph(1, 6);
+        assert_eq!(graph.edge_count(), 0);
+    }
+}

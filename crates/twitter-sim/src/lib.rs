@@ -1,0 +1,73 @@
+//! A seeded, event-driven Twitter-like social-network simulator.
+//!
+//! The paper evaluates pseudo-honeypots on live Twitter through the
+//! Streaming and REST APIs — a data source that is gated. This crate
+//! replaces it with a synthetic substrate that exposes the *same observable
+//! surfaces*:
+//!
+//! - [`engine::Engine`] — hour-stepped simulation of organic users and spam
+//!   campaigns over a dynamic topic pool,
+//! - [`api::StreamingApi`] — mention-track filters with polled delivery
+//!   (the `@user` filters of the paper's Tweepy implementation),
+//! - [`engine::RestApi`] — profile lookups, suspension checks,
+//!   timeline-derived activity signals,
+//! - [`engine::GroundTruth`] — the evaluation-only oracle (which tweets are
+//!   truly spam, which accounts are campaign-operated).
+//!
+//! Spammers pick victims with probability proportional to an
+//! attribute-based [`attract::AttractivenessModel`], so the paper's central
+//! phenomenon — some account attributes attract far more spam than others —
+//! *emerges* in the stream rather than being wired into the detection
+//! pipeline under test.
+//!
+//! # Example
+//!
+//! ```
+//! use ph_twitter_sim::account::AccountId;
+//! use ph_twitter_sim::engine::{Engine, SimConfig};
+//!
+//! let mut engine = Engine::new(SimConfig {
+//!     num_organic: 200,
+//!     num_campaigns: 2,
+//!     accounts_per_campaign: 5,
+//!     ..Default::default()
+//! });
+//! let streaming = engine.streaming();
+//! let sub = streaming.track_mentions([AccountId(0), AccountId(1)]);
+//! engine.run_hours(3);
+//! let collected = streaming.poll(sub)?;
+//! // Only tweets crossing the tracked accounts were delivered.
+//! for tweet in &collected {
+//!     assert!(
+//!         tweet.author == AccountId(0)
+//!             || tweet.author == AccountId(1)
+//!             || tweet.mentions_account(AccountId(0))
+//!             || tweet.mentions_account(AccountId(1))
+//!     );
+//! }
+//! # Ok::<(), ph_twitter_sim::api::ClosedSubscription>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod api;
+pub mod attract;
+pub mod campaign;
+pub mod drift;
+pub mod engine;
+pub mod graph;
+pub mod population;
+pub mod text;
+pub mod time;
+pub mod topics;
+pub mod tweet;
+pub mod wire;
+
+pub use account::{Account, AccountId, CampaignId, Profile};
+pub use api::StreamingApi;
+pub use engine::{Engine, GroundTruth, RestApi, SimConfig};
+pub use time::SimTime;
+pub use topics::{TopicCategory, Trend};
+pub use tweet::{Tweet, TweetId, TweetKind, TweetSource};

@@ -1,0 +1,355 @@
+//! Organic-account population generation.
+//!
+//! The generator has one structural requirement: the pseudo-honeypot
+//! selector must be able to find ~10 accounts near *every* sample value of
+//! Table II (e.g. exactly-10k-follower accounts). A pure heavy-tail draw
+//! leaves the extreme grid points too sparse, so each account anchors one
+//! randomly chosen profile attribute to a randomly chosen grid value (with
+//! small noise) and draws the rest from heavy-tailed marginals — preserving
+//! realistic skew while guaranteeing grid coverage.
+
+use ph_sketch::GrayImage;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use crate::account::{Account, AccountId, AccountKind, Behavior, Profile};
+use crate::text::{organic_description, GIVEN_NAMES};
+use crate::topics::TopicCategory;
+
+/// Table II sample-value grids for the 11 profile attributes (used here for
+/// anchoring; `ph-core` re-declares them as selection targets).
+pub mod grids {
+    /// Attribute 1: friends count.
+    pub const FRIENDS: [f64; 10] =
+        [10., 50., 100., 200., 300., 500., 1_000., 3_000., 5_000., 10_000.];
+    /// Attribute 2: follower count.
+    pub const FOLLOWERS: [f64; 10] = FRIENDS;
+    /// Attribute 3: total friends and followers.
+    pub const TOTAL: [f64; 10] =
+        [20., 100., 200., 500., 1_000., 2_000., 3_000., 5_000., 10_000., 30_000.];
+    /// Attribute 4: friends / followers.
+    pub const RATIO: [f64; 10] = [0.1, 0.125, 0.25, 0.5, 1., 2., 4., 6., 8., 10.];
+    /// Attribute 5: account age in days.
+    pub const AGE_DAYS: [f64; 10] =
+        [10., 50., 100., 300., 500., 1_000., 1_500., 2_000., 2_500., 3_000.];
+    /// Attribute 6: lists count.
+    pub const LISTS: [f64; 10] = [10., 20., 30., 40., 50., 70., 100., 200., 300., 500.];
+    /// Attribute 7: favorites count.
+    pub const FAVORITES: [f64; 10] =
+        [10., 50., 100., 500., 1_000., 5_000., 10_000., 50_000., 100_000., 200_000.];
+    /// Attribute 8: status count.
+    pub const STATUSES: [f64; 10] = FAVORITES;
+    /// Attribute 9: average lists joined per day.
+    pub const LISTS_PER_DAY: [f64; 10] = [
+        0.01,
+        0.02,
+        0.05,
+        0.1,
+        0.125,
+        1.0 / 6.0,
+        0.25,
+        0.5,
+        1.,
+        2.,
+    ];
+    /// Attribute 10: average favorites per day.
+    pub const FAVORITES_PER_DAY: [f64; 10] = [0.02, 0.1, 0.2, 0.5, 1., 2., 3., 5., 10., 50.];
+    /// Attribute 11: average statuses per day.
+    pub const STATUSES_PER_DAY: [f64; 10] = [0.02, 0.1, 0.2, 0.5, 1., 2., 3., 4., 10., 50.];
+}
+
+/// Which attribute an account was anchored to (testing/diagnostics only —
+/// the pipeline never sees this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Anchor {
+    Friends,
+    Followers,
+    Total,
+    Ratio,
+    Age,
+    Lists,
+    Favorites,
+    Statuses,
+    ListsPerDay,
+    FavoritesPerDay,
+    StatusesPerDay,
+}
+
+const ANCHORS: [Anchor; 11] = [
+    Anchor::Friends,
+    Anchor::Followers,
+    Anchor::Total,
+    Anchor::Ratio,
+    Anchor::Age,
+    Anchor::Lists,
+    Anchor::Favorites,
+    Anchor::Statuses,
+    Anchor::ListsPerDay,
+    Anchor::FavoritesPerDay,
+    Anchor::StatusesPerDay,
+];
+
+/// Generates `count` organic accounts with ids starting at `first_id`.
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+pub fn generate_organic(count: usize, first_id: u32, rng: &mut StdRng) -> Vec<Account> {
+    assert!(count > 0, "population must be non-empty");
+    (0..count)
+        .map(|i| generate_one(AccountId(first_id + i as u32), rng))
+        .collect()
+}
+
+fn generate_one(id: AccountId, rng: &mut StdRng) -> Account {
+    // Heavy-tailed base draws. Cumulative counters (lists, favorites,
+    // statuses) scale with account age through a per-day *rate*, so that the
+    // per-day averages of Table II are not spuriously anti-correlated with
+    // age (a fresh account hasn't had time to join 300 lists).
+    let mut age_days = log_uniform(rng, 10.0, 3_000.0);
+    let mut friends = log_uniform(rng, 5.0, 15_000.0);
+    // Followers correlate with friends, with lognormal scatter.
+    let mut followers = (friends.powf(0.9) * log_uniform(rng, 0.3, 3.0)).max(1.0);
+    let mut lists = (log_uniform(rng, 0.003, 1.5) - 0.002) * age_days;
+    let mut favorites = log_uniform(rng, 0.05, 80.0) * age_days;
+    let mut statuses = log_uniform(rng, 0.05, 80.0) * age_days;
+
+    // Anchor one attribute to a Table II grid value (±5% noise) so the
+    // selector always finds candidates at every sample value.
+    let anchor = *ANCHORS.choose(rng).expect("non-empty anchor list");
+    let noise = rng.random_range(0.97..1.03);
+    let pick = |rng: &mut StdRng, grid: &[f64]| *grid.choose(rng).expect("non-empty grid");
+    match anchor {
+        Anchor::Friends => friends = pick(rng, &grids::FRIENDS) * noise,
+        Anchor::Followers => followers = pick(rng, &grids::FOLLOWERS) * noise,
+        Anchor::Total => {
+            let total = pick(rng, &grids::TOTAL) * noise;
+            let share = rng.random_range(0.2..0.8);
+            friends = total * share;
+            followers = total - friends;
+        }
+        Anchor::Ratio => {
+            let ratio = pick(rng, &grids::RATIO) * noise;
+            followers = log_uniform(rng, 50.0, 5_000.0);
+            friends = ratio * followers;
+        }
+        Anchor::Age => age_days = pick(rng, &grids::AGE_DAYS) * noise,
+        Anchor::Lists => lists = pick(rng, &grids::LISTS) * noise,
+        Anchor::Favorites => favorites = pick(rng, &grids::FAVORITES) * noise,
+        Anchor::Statuses => statuses = pick(rng, &grids::STATUSES) * noise,
+        Anchor::ListsPerDay => lists = pick(rng, &grids::LISTS_PER_DAY) * noise * age_days,
+        Anchor::FavoritesPerDay => {
+            favorites = pick(rng, &grids::FAVORITES_PER_DAY) * noise * age_days;
+        }
+        Anchor::StatusesPerDay => {
+            statuses = pick(rng, &grids::STATUSES_PER_DAY) * noise * age_days;
+        }
+    }
+
+    let age_days = (age_days.round() as u32).max(1);
+    let followers_count = followers.round().max(0.0) as u64;
+    let friends_count = friends.round().max(0.0) as u64;
+    let statuses_count = statuses.round().max(0.0) as u64;
+
+    // Interests: most users have 1–3 topical interests; ~15% never hashtag.
+    let interests: Vec<TopicCategory> = if rng.random_bool(0.15) {
+        Vec::new()
+    } else {
+        let n = rng.random_range(1..=3);
+        let mut picked = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = *TopicCategory::ALL.choose(rng).expect("non-empty");
+            if !picked.contains(&c) {
+                picked.push(c);
+            }
+        }
+        picked
+    };
+
+    let verified = followers_count > 5_000 && rng.random_bool(0.15);
+    // Activity scales with lifetime statuses/day, floored so even quiet
+    // accounts occasionally post.
+    let statuses_per_day = statuses_count as f64 / f64::from(age_days);
+    let posts_per_hour = (statuses_per_day / 24.0).clamp(0.02, 4.0);
+
+    let account = Account {
+        profile: Profile {
+            id,
+            screen_name: organic_screen_name(rng),
+            display_name: GIVEN_NAMES.choose(rng).expect("non-empty").to_string(),
+            description: if rng.random_bool(0.1) {
+                String::new()
+            } else {
+                organic_description(rng)
+            },
+            friends_count,
+            followers_count,
+            account_age_days: age_days,
+            lists_count: lists.round().max(0.0) as u64,
+            favorites_count: favorites.round().max(0.0) as u64,
+            statuses_count,
+            verified,
+            default_profile_image: rng.random_bool(0.08),
+            profile_image: noise_image(rng),
+        },
+        behavior: Behavior {
+            posts_per_hour,
+            mention_probability: rng.random_range(0.1..0.5),
+            reaction_latency_minutes: rng.random_range(30.0..400.0),
+            source_weights: organic_source_weights(rng),
+            retweet_probability: rng.random_range(0.05..0.3),
+            quote_probability: rng.random_range(0.02..0.15),
+            interests,
+            spam_attempts_per_hour: 0.0,
+            spam_flavor: None,
+        },
+        kind: AccountKind::Organic,
+    };
+    account
+}
+
+/// Log-uniform draw on `[lo, hi]`.
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo > 0.0 && hi > lo);
+    (rng.random_range(lo.ln()..hi.ln())).exp()
+}
+
+/// Organic screen names vary freely in shape: name, name+word, name+digits,
+/// capitalized variants — high Σ-sequence diversity.
+fn organic_screen_name(rng: &mut StdRng) -> String {
+    let name = *GIVEN_NAMES.choose(rng).expect("non-empty");
+    match rng.random_range(0..5) {
+        0 => name.to_string(),
+        1 => format!("{name}{}", rng.random_range(1..9999)),
+        2 => format!(
+            "{name}_{}",
+            crate::text::BENIGN_WORDS.choose(rng).expect("non-empty")
+        ),
+        3 => {
+            let mut capitalized = String::new();
+            let mut chars = name.chars();
+            if let Some(first) = chars.next() {
+                capitalized.extend(first.to_uppercase());
+                capitalized.extend(chars);
+            }
+            format!("{capitalized}{}", rng.random_range(1..99))
+        }
+        _ => format!(
+            "{}_{name}",
+            crate::text::BENIGN_WORDS.choose(rng).expect("non-empty")
+        ),
+    }
+}
+
+/// Organic users post mostly from web/mobile clients.
+fn organic_source_weights(rng: &mut StdRng) -> [f64; 4] {
+    let web = rng.random_range(0.2..0.5);
+    let mobile = rng.random_range(0.3..0.6);
+    let third = rng.random_range(0.0..0.1);
+    let other = rng.random_range(0.0..0.08);
+    let total = web + mobile + third + other;
+    [web / total, mobile / total, third / total, other / total]
+}
+
+/// Independent high-frequency noise avatar — far from every other account's
+/// avatar under dHash.
+fn noise_image(rng: &mut StdRng) -> GrayImage {
+    GrayImage::from_fn(24, 24, |_, _| rng.random())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn population(n: usize, seed: u64) -> Vec<Account> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_organic(n, 0, &mut rng)
+    }
+
+    #[test]
+    fn generates_requested_count_with_sequential_ids() {
+        let pop = population(100, 1);
+        assert_eq!(pop.len(), 100);
+        assert_eq!(pop[0].profile.id, AccountId(0));
+        assert_eq!(pop[99].profile.id, AccountId(99));
+        assert!(pop.iter().all(|a| !a.is_spammer()));
+    }
+
+    #[test]
+    fn grid_points_have_candidates() {
+        // With 4000 accounts and 110 grid cells, every friends-count grid
+        // value should have several accounts within ±10%.
+        let pop = population(4_000, 2);
+        for &target in &grids::FRIENDS {
+            let hits = pop
+                .iter()
+                .filter(|a| {
+                    let v = a.profile.friends_count as f64;
+                    (v - target).abs() <= target * 0.1 + 1.0
+                })
+                .count();
+            assert!(hits >= 3, "friends grid value {target} has only {hits} hits");
+        }
+    }
+
+    #[test]
+    fn lists_per_day_grid_has_candidates() {
+        let pop = population(4_000, 3);
+        for &target in &grids::LISTS_PER_DAY {
+            let hits = pop
+                .iter()
+                .filter(|a| {
+                    let v = a.profile.lists_per_day();
+                    (v - target).abs() <= target * 0.15 + 0.005
+                })
+                .count();
+            assert!(
+                hits >= 3,
+                "lists/day grid value {target} has only {hits} hits"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(population(50, 7), population(50, 7));
+        assert_ne!(population(50, 7), population(50, 8));
+    }
+
+    #[test]
+    fn behavioral_parameters_are_sane() {
+        for a in population(500, 4) {
+            let b = &a.behavior;
+            assert!(b.posts_per_hour > 0.0 && b.posts_per_hour <= 4.0);
+            let total: f64 = b.source_weights.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "source weights sum {total}");
+            assert!(b.spam_flavor.is_none());
+        }
+    }
+
+    #[test]
+    fn some_accounts_have_no_interests() {
+        let pop = population(500, 5);
+        let none = pop.iter().filter(|a| a.behavior.interests.is_empty()).count();
+        assert!(none > 20, "only {none} hashtag-free accounts");
+        assert!(none < 200, "{none} hashtag-free accounts is too many");
+    }
+
+    #[test]
+    fn avatars_are_mutually_distant() {
+        use ph_sketch::DHash128;
+        let pop = population(20, 6);
+        for i in 0..pop.len() {
+            for j in (i + 1)..pop.len() {
+                let a = DHash128::of(&pop[i].profile.profile_image);
+                let b = DHash128::of(&pop[j].profile.profile_image);
+                assert!(
+                    a.hamming_distance(b) > 5,
+                    "organic avatars {i} and {j} collide"
+                );
+            }
+        }
+    }
+}

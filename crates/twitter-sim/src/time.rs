@@ -1,0 +1,142 @@
+//! Simulation time: minutes since the simulation epoch.
+//!
+//! The paper's pseudo-honeypot switches node sets hourly and computes
+//! minute-grained behavioral features (mention time, average tweet
+//! intervals), so a minute resolution over an hour-stepped engine is exactly
+//! the granularity the pipeline needs.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Minutes per simulated hour.
+pub const MINUTES_PER_HOUR: u64 = 60;
+
+/// Minutes per simulated day.
+pub const MINUTES_PER_DAY: u64 = 24 * MINUTES_PER_HOUR;
+
+/// An instant in simulation time, measured in whole minutes since the
+/// simulation epoch.
+///
+/// # Example
+///
+/// ```
+/// use ph_twitter_sim::time::SimTime;
+///
+/// let t = SimTime::from_hours(2) + SimTime::from_minutes(30);
+/// assert_eq!(t.as_minutes(), 150);
+/// assert_eq!(t.whole_hours(), 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (minute zero).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Constructs from whole minutes.
+    pub const fn from_minutes(minutes: u64) -> Self {
+        SimTime(minutes)
+    }
+
+    /// Constructs from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * MINUTES_PER_HOUR)
+    }
+
+    /// Constructs from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * MINUTES_PER_DAY)
+    }
+
+    /// Minutes since the epoch.
+    pub const fn as_minutes(self) -> u64 {
+        self.0
+    }
+
+    /// Whole hours elapsed since the epoch (truncating).
+    pub const fn whole_hours(self) -> u64 {
+        self.0 / MINUTES_PER_HOUR
+    }
+
+    /// Whole days elapsed since the epoch (truncating).
+    pub const fn whole_days(self) -> u64 {
+        self.0 / MINUTES_PER_DAY
+    }
+
+    /// Minutes elapsed since `earlier`, saturating at zero when `earlier`
+    /// is in the future.
+    pub const fn minutes_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// This instant plus a number of minutes.
+    pub const fn plus_minutes(self, minutes: u64) -> SimTime {
+        SimTime(self.0 + minutes)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// Saturating difference, consistent with [`SimTime::minutes_since`].
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}d{:02}h{:02}m",
+            self.whole_days(),
+            (self.0 / MINUTES_PER_HOUR) % 24,
+            self.0 % MINUTES_PER_HOUR
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_hours(3).as_minutes(), 180);
+        assert_eq!(SimTime::from_days(2).whole_hours(), 48);
+        assert_eq!(SimTime::from_minutes(61).whole_hours(), 1);
+    }
+
+    #[test]
+    fn minutes_since_saturates() {
+        let early = SimTime::from_minutes(10);
+        let late = SimTime::from_minutes(25);
+        assert_eq!(late.minutes_since(early), 15);
+        assert_eq!(early.minutes_since(late), 0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let t = SimTime::from_hours(1) + SimTime::from_minutes(5);
+        assert_eq!(t.as_minutes(), 65);
+        assert_eq!((t - SimTime::from_minutes(70)).as_minutes(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = SimTime::from_days(1) + SimTime::from_hours(2) + SimTime::from_minutes(3);
+        assert_eq!(t.to_string(), "1d02h03m");
+    }
+}

@@ -1,0 +1,191 @@
+//! Tweets and their observable metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::account::AccountId;
+use crate::time::SimTime;
+
+/// Identifier of a tweet within one simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TweetId(pub u64);
+
+/// The paper's "tweet status" content feature: tweet, retweet, or quote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TweetKind {
+    /// An original post.
+    Original,
+    /// A retweet of someone else's post.
+    Retweet,
+    /// A quote tweet.
+    Quote,
+}
+
+impl TweetKind {
+    /// All kinds, in feature-vector order.
+    pub const ALL: [TweetKind; 3] = [TweetKind::Original, TweetKind::Retweet, TweetKind::Quote];
+}
+
+/// The paper's "tweet source" content feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TweetSource {
+    /// Posted from the web client.
+    Web,
+    /// Posted from an official mobile app.
+    Mobile,
+    /// Posted through a third-party app / the API (where bots live).
+    ThirdParty,
+    /// Anything else.
+    Other,
+}
+
+impl TweetSource {
+    /// All sources, in feature-vector order.
+    pub const ALL: [TweetSource; 4] = [
+        TweetSource::Web,
+        TweetSource::Mobile,
+        TweetSource::ThirdParty,
+        TweetSource::Other,
+    ];
+
+    /// Index into [`TweetSource::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            TweetSource::Web => 0,
+            TweetSource::Mobile => 1,
+            TweetSource::ThirdParty => 2,
+            TweetSource::Other => 3,
+        }
+    }
+}
+
+/// One tweet as observed through the streaming API.
+///
+/// The `ground_truth_spam` field is *simulator-private* (`pub(crate)`):
+/// downstream crates can only reach it through
+/// [`crate::engine::GroundTruth`], keeping the detector honest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Unique id.
+    pub id: TweetId,
+    /// Author account.
+    pub author: AccountId,
+    /// Posting time.
+    pub created_at: SimTime,
+    /// Original / retweet / quote.
+    pub kind: TweetKind,
+    /// Posting client.
+    pub source: TweetSource,
+    /// Tweet text.
+    pub text: String,
+    /// Hashtags (without `#`).
+    pub hashtags: Vec<String>,
+    /// Mentioned accounts.
+    pub mentions: Vec<AccountId>,
+    /// Embedded URLs.
+    pub urls: Vec<String>,
+    /// When this tweet reacts to another user's post (a mention/reply), the
+    /// time that post was made — observable by inspecting the target's
+    /// public timeline. Drives the paper's *mention time* feature.
+    pub reacted_to_post_at: Option<SimTime>,
+    /// Simulation ground truth, reachable only via the oracle.
+    pub(crate) ground_truth_spam: bool,
+}
+
+impl Tweet {
+    /// Constructs a tweet as observed from outside the simulator (e.g. a
+    /// hand-built fixture or a decoded wire frame). The hidden ground-truth
+    /// flag defaults to *not spam* — real observers never see labels.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observed(
+        id: TweetId,
+        author: AccountId,
+        created_at: SimTime,
+        kind: TweetKind,
+        source: TweetSource,
+        text: String,
+        hashtags: Vec<String>,
+        mentions: Vec<AccountId>,
+        urls: Vec<String>,
+        reacted_to_post_at: Option<SimTime>,
+    ) -> Self {
+        Self {
+            id,
+            author,
+            created_at,
+            kind,
+            source,
+            text,
+            hashtags,
+            mentions,
+            urls,
+            reacted_to_post_at,
+            ground_truth_spam: false,
+        }
+    }
+
+    /// Number of characters in the tweet text.
+    pub fn content_length(&self) -> usize {
+        self.text.chars().count()
+    }
+
+    /// Number of ASCII digits in the text.
+    pub fn digit_count(&self) -> usize {
+        self.text.chars().filter(char::is_ascii_digit).count()
+    }
+
+    /// Number of non-ASCII symbols in the text (the simulator's stand-in
+    /// for emoji counting).
+    pub fn emoji_count(&self) -> usize {
+        self.text.chars().filter(|c| !c.is_ascii()).count()
+    }
+
+    /// True when this tweet mentions `account`.
+    pub fn mentions_account(&self, account: AccountId) -> bool {
+        self.mentions.contains(&account)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet(text: &str) -> Tweet {
+        Tweet {
+            id: TweetId(1),
+            author: AccountId(2),
+            created_at: SimTime::from_minutes(5),
+            kind: TweetKind::Original,
+            source: TweetSource::Web,
+            text: text.to_string(),
+            hashtags: vec![],
+            mentions: vec![AccountId(3)],
+            urls: vec![],
+            reacted_to_post_at: None,
+            ground_truth_spam: false,
+        }
+    }
+
+    #[test]
+    fn content_statistics() {
+        let t = tweet("win 100 coins 🚀 now");
+        assert_eq!(t.content_length(), 19);
+        assert_eq!(t.digit_count(), 3);
+        assert_eq!(t.emoji_count(), 1);
+    }
+
+    #[test]
+    fn mention_check() {
+        let t = tweet("hello");
+        assert!(t.mentions_account(AccountId(3)));
+        assert!(!t.mentions_account(AccountId(9)));
+    }
+
+    #[test]
+    fn source_indices_cover_all() {
+        for (i, s) in TweetSource::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Wire format of the simulated streaming API.
+//!
+//! The real Streaming API delivers length-delimited JSON frames over a
+//! chunked HTTP connection; the simulator's equivalent is a compact binary
+//! frame (length-prefixed fields) so that stream consumers can be exercised
+//! end-to-end — encode on the "server" side, decode on the client side —
+//! without a JSON dependency.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! u32  frame length (bytes after this field)
+//! u64  tweet id          u32 author id        u64 created_at minutes
+//! u8   kind              u8 source            u8 flags (bit0: has reaction)
+//! u64  reacted_to minutes (present iff bit0)
+//! str  text              [str] hashtags       [u32] mentions     [str] urls
+//! ```
+//!
+//! where `str` is `u32 len + bytes` and `[T]` is `u32 count + items`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::account::AccountId;
+use crate::time::SimTime;
+use crate::tweet::{Tweet, TweetId, TweetKind, TweetSource};
+
+/// Errors produced when decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Frame shorter than its declared length.
+    Truncated,
+    /// Unknown enum discriminant.
+    BadDiscriminant {
+        /// The field containing the bad value.
+        field: &'static str,
+        /// The offending value.
+        value: u8,
+    },
+    /// Text field is not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::BadDiscriminant { field, value } => {
+                write!(f, "invalid {field} discriminant {value}")
+            }
+            DecodeError::BadUtf8 => write!(f, "string field is not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes one tweet into a self-delimited frame.
+pub fn encode_frame(tweet: &Tweet) -> Bytes {
+    let mut body = BytesMut::with_capacity(64 + tweet.text.len());
+    body.put_u64_le(tweet.id.0);
+    body.put_u32_le(tweet.author.0);
+    body.put_u64_le(tweet.created_at.as_minutes());
+    body.put_u8(match tweet.kind {
+        TweetKind::Original => 0,
+        TweetKind::Retweet => 1,
+        TweetKind::Quote => 2,
+    });
+    body.put_u8(tweet.source.index() as u8);
+    match tweet.reacted_to_post_at {
+        Some(t) => {
+            body.put_u8(1);
+            body.put_u64_le(t.as_minutes());
+        }
+        None => body.put_u8(0),
+    }
+    put_str(&mut body, &tweet.text);
+    body.put_u32_le(tweet.hashtags.len() as u32);
+    for h in &tweet.hashtags {
+        put_str(&mut body, h);
+    }
+    body.put_u32_le(tweet.mentions.len() as u32);
+    for m in &tweet.mentions {
+        body.put_u32_le(m.0);
+    }
+    body.put_u32_le(tweet.urls.len() as u32);
+    for u in &tweet.urls {
+        put_str(&mut body, u);
+    }
+
+    let mut frame = BytesMut::with_capacity(4 + body.len());
+    frame.put_u32_le(body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame.freeze()
+}
+
+/// Decodes one frame back into a tweet.
+///
+/// The ground-truth flag is *not* part of the wire format (a real stream
+/// would not carry labels); decoded tweets are always `spam = false` as far
+/// as the hidden field is concerned and must be labeled by the pipeline.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or malformed frames.
+pub fn decode_frame(frame: &[u8]) -> Result<Tweet, DecodeError> {
+    let mut buf = frame;
+    let declared = take_u32(&mut buf)? as usize;
+    if buf.len() < declared {
+        return Err(DecodeError::Truncated);
+    }
+    let id = TweetId(take_u64(&mut buf)?);
+    let author = AccountId(take_u32(&mut buf)?);
+    let created_at = SimTime::from_minutes(take_u64(&mut buf)?);
+    let kind = match take_u8(&mut buf)? {
+        0 => TweetKind::Original,
+        1 => TweetKind::Retweet,
+        2 => TweetKind::Quote,
+        value => return Err(DecodeError::BadDiscriminant { field: "kind", value }),
+    };
+    let source = match take_u8(&mut buf)? {
+        0 => TweetSource::Web,
+        1 => TweetSource::Mobile,
+        2 => TweetSource::ThirdParty,
+        3 => TweetSource::Other,
+        value => {
+            return Err(DecodeError::BadDiscriminant {
+                field: "source",
+                value,
+            })
+        }
+    };
+    let reacted_to_post_at = match take_u8(&mut buf)? {
+        0 => None,
+        1 => Some(SimTime::from_minutes(take_u64(&mut buf)?)),
+        value => {
+            return Err(DecodeError::BadDiscriminant {
+                field: "flags",
+                value,
+            })
+        }
+    };
+    let text = take_str(&mut buf)?;
+    let hashtag_count = take_u32(&mut buf)? as usize;
+    let mut hashtags = Vec::with_capacity(hashtag_count.min(1024));
+    for _ in 0..hashtag_count {
+        hashtags.push(take_str(&mut buf)?);
+    }
+    let mention_count = take_u32(&mut buf)? as usize;
+    let mut mentions = Vec::with_capacity(mention_count.min(1024));
+    for _ in 0..mention_count {
+        mentions.push(AccountId(take_u32(&mut buf)?));
+    }
+    let url_count = take_u32(&mut buf)? as usize;
+    let mut urls = Vec::with_capacity(url_count.min(1024));
+    for _ in 0..url_count {
+        urls.push(take_str(&mut buf)?);
+    }
+    Ok(Tweet {
+        id,
+        author,
+        created_at,
+        kind,
+        source,
+        text,
+        hashtags,
+        mentions,
+        urls,
+        reacted_to_post_at,
+        ground_truth_spam: false,
+    })
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn take_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
+    let len = take_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let bytes = &buf[..len];
+    let s = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)?;
+    let out = s.to_string();
+    buf.advance(len);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet() -> Tweet {
+        Tweet {
+            id: TweetId(77),
+            author: AccountId(5),
+            created_at: SimTime::from_minutes(123),
+            kind: TweetKind::Quote,
+            source: TweetSource::ThirdParty,
+            text: "free money 🚀 now".into(),
+            hashtags: vec!["tech_1".into(), "social_2".into()],
+            mentions: vec![AccountId(9), AccountId(10)],
+            urls: vec!["http://phish-login.example/abc".into()],
+            reacted_to_post_at: Some(SimTime::from_minutes(120)),
+            ground_truth_spam: true,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_observable_fields() {
+        let t = tweet();
+        let decoded = decode_frame(&encode_frame(&t)).unwrap();
+        assert_eq!(decoded.id, t.id);
+        assert_eq!(decoded.author, t.author);
+        assert_eq!(decoded.created_at, t.created_at);
+        assert_eq!(decoded.kind, t.kind);
+        assert_eq!(decoded.source, t.source);
+        assert_eq!(decoded.text, t.text);
+        assert_eq!(decoded.hashtags, t.hashtags);
+        assert_eq!(decoded.mentions, t.mentions);
+        assert_eq!(decoded.urls, t.urls);
+        assert_eq!(decoded.reacted_to_post_at, t.reacted_to_post_at);
+    }
+
+    #[test]
+    fn ground_truth_never_crosses_the_wire() {
+        let t = tweet();
+        assert!(t.ground_truth_spam);
+        let decoded = decode_frame(&encode_frame(&t)).unwrap();
+        assert!(!decoded.ground_truth_spam);
+    }
+
+    #[test]
+    fn roundtrip_without_reaction() {
+        let mut t = tweet();
+        t.reacted_to_post_at = None;
+        let decoded = decode_frame(&encode_frame(&t)).unwrap();
+        assert_eq!(decoded.reacted_to_post_at, None);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let frame = encode_frame(&tweet());
+        for cut in [0, 3, 8, frame.len() - 1] {
+            assert!(
+                decode_frame(&frame[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_discriminant_errors() {
+        let frame = encode_frame(&tweet());
+        let mut bytes = frame.to_vec();
+        // kind byte sits at offset 4 (len) + 8 + 4 + 8 = 24.
+        bytes[24] = 9;
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(DecodeError::BadDiscriminant {
+                field: "kind",
+                value: 9
+            })
+        );
+    }
+
+    #[test]
+    fn empty_collections_roundtrip() {
+        let mut t = tweet();
+        t.hashtags.clear();
+        t.mentions.clear();
+        t.urls.clear();
+        t.text = String::new();
+        let decoded = decode_frame(&encode_frame(&t)).unwrap();
+        assert!(decoded.hashtags.is_empty());
+        assert!(decoded.mentions.is_empty());
+        assert!(decoded.urls.is_empty());
+        assert!(decoded.text.is_empty());
+    }
+}

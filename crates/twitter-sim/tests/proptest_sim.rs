@@ -1,0 +1,112 @@
+//! Property-based tests for simulator invariants.
+
+use proptest::prelude::*;
+
+use ph_twitter_sim::account::AccountId;
+use ph_twitter_sim::engine::{Engine, SimConfig};
+use ph_twitter_sim::wire::{decode_frame, encode_frame};
+
+fn config(seed: u64, organic: usize, campaigns: usize) -> SimConfig {
+    SimConfig {
+        seed,
+        num_organic: organic,
+        num_campaigns: campaigns,
+        accounts_per_campaign: 4,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The engine never loses accounting: stats are internally consistent
+    /// and monotone in simulated hours.
+    #[test]
+    fn engine_stats_consistent(seed: u64, hours in 1u64..6) {
+        let mut engine = Engine::new(config(seed, 120, 2));
+        engine.run_hours(hours);
+        let stats = engine.stats();
+        prop_assert_eq!(stats.hours, hours);
+        prop_assert!(stats.spam_tweets <= stats.tweets);
+        prop_assert!(stats.mention_tweets <= stats.tweets);
+        prop_assert_eq!(engine.now().whole_hours(), hours);
+    }
+
+    /// Streaming delivery is filter-sound: every delivered tweet crosses a
+    /// tracked account.
+    #[test]
+    fn streaming_filter_soundness(seed: u64, tracked_count in 1usize..10) {
+        let mut engine = Engine::new(config(seed, 150, 2));
+        let tracked: Vec<AccountId> =
+            (0..tracked_count as u32).map(AccountId).collect();
+        let streaming = engine.streaming();
+        let sub = streaming.track_mentions(tracked.clone());
+        engine.run_hours(3);
+        for tweet in streaming.poll(sub).unwrap() {
+            let crosses = tracked.contains(&tweet.author)
+                || tracked.iter().any(|&t| tweet.mentions_account(t));
+            prop_assert!(crosses, "delivered tweet does not cross the filter");
+        }
+    }
+
+    /// Every tweet produced by the engine survives a wire round-trip
+    /// losslessly (modulo the hidden ground-truth flag).
+    #[test]
+    fn wire_roundtrip_of_real_traffic(seed: u64) {
+        let mut engine = Engine::new(config(seed, 100, 2));
+        let streaming = engine.streaming();
+        let all: Vec<AccountId> = (0..engine.rest().num_accounts() as u32)
+            .map(AccountId)
+            .collect();
+        let sub = streaming.track_mentions(all);
+        engine.run_hours(2);
+        for tweet in streaming.poll(sub).unwrap() {
+            let decoded = decode_frame(&encode_frame(&tweet)).unwrap();
+            prop_assert_eq!(decoded.id, tweet.id);
+            prop_assert_eq!(decoded.text, tweet.text.clone());
+            prop_assert_eq!(decoded.mentions, tweet.mentions.clone());
+            prop_assert_eq!(decoded.created_at, tweet.created_at);
+        }
+    }
+
+    /// Same seed ⇒ identical traffic; different seed ⇒ (almost surely)
+    /// different traffic volume.
+    #[test]
+    fn seed_determinism(seed: u64) {
+        let run = |s: u64| {
+            let mut e = Engine::new(config(s, 100, 2));
+            e.run_hours(3);
+            e.stats()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Suspended accounts stop producing tweets.
+    #[test]
+    fn suspended_accounts_go_quiet(seed: u64) {
+        let mut engine = Engine::new(SimConfig {
+            suspension_rate_per_hour: 0.5,
+            ..config(seed, 80, 3)
+        });
+        let streaming = engine.streaming();
+        let all: Vec<AccountId> = (0..engine.rest().num_accounts() as u32)
+            .map(AccountId)
+            .collect();
+        let sub = streaming.track_mentions(all);
+        // Let suspensions accumulate.
+        engine.run_hours(12);
+        let _ = streaming.poll(sub).unwrap();
+        // Record who is suspended now, then verify none of them tweet later.
+        let suspended: Vec<AccountId> = (0..engine.rest().num_accounts() as u32)
+            .map(AccountId)
+            .filter(|&id| engine.rest().is_suspended(id))
+            .collect();
+        engine.run_hours(3);
+        for tweet in streaming.poll(sub).unwrap() {
+            prop_assert!(
+                !suspended.contains(&tweet.author),
+                "suspended account still tweeting"
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Minimal dependency-free argument parsing for the `pseudo-honeypot` CLI.
+
+use std::collections::HashMap;
+
+/// A parsed command line: subcommand + `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// First positional argument.
+    pub command: Option<String>,
+    /// `--key value` pairs (keys without the leading dashes).
+    pub options: HashMap<String, String>,
+    /// Bare `--flag`s (no value).
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an iterator of raw arguments (excluding the program name).
+    pub fn parse<I, S>(raw: I) -> Args
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        args.options.insert(key.to_string(), value);
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            } else if args.command.is_none() {
+                args.command = Some(arg);
+            }
+        }
+        args
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a friendly message when the value does not parse.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        match self.options.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'")),
+            None => default,
+        }
+    }
+
+    /// A string option with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let args = Args::parse(["sniff", "--hours", "24", "--verbose", "--seed", "7"]);
+        assert_eq!(args.command.as_deref(), Some("sniff"));
+        assert_eq!(args.get_u64("hours", 0), 24);
+        assert_eq!(args.get_u64("seed", 0), 7);
+        assert!(args.has_flag("verbose"));
+        assert!(!args.has_flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let args = Args::parse(["simulate"]);
+        assert_eq!(args.get_u64("hours", 48), 48);
+        assert_eq!(args.get_str("slots", "top"), "top");
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let args = Args::parse(Vec::<String>::new());
+        assert_eq!(args.command, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_numbers_panic_with_context() {
+        let args = Args::parse(["x", "--hours", "soon"]);
+        let _ = args.get_u64("hours", 0);
+    }
+}

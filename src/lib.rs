@@ -1,0 +1,16 @@
+//! Umbrella crate for the pseudo-honeypot reproduction workspace.
+//!
+//! Re-exports the public APIs of the member crates so downstream users (and
+//! the `examples/` binaries) can depend on a single crate:
+//!
+//! - [`sketch`] — similarity sketches (dHash, MinHash, name patterns),
+//! - [`ml`] — from-scratch classifiers and cross-validation,
+//! - [`sim`] — the Twitter-like social-network simulator,
+//! - [`core`] — the pseudo-honeypot system itself.
+
+#![forbid(unsafe_code)]
+
+pub use ph_core as core;
+pub use ph_ml as ml;
+pub use ph_sketch as sketch;
+pub use ph_twitter_sim as sim;

@@ -1,0 +1,219 @@
+//! The `pseudo-honeypot` command-line interface.
+//!
+//! ```text
+//! pseudo-honeypot attributes                      list the 24-attribute taxonomy
+//! pseudo-honeypot simulate  [--hours H] [--organic N] [--seed S]
+//! pseudo-honeypot sniff     [--hours H] [--gt-hours H] [--organic N] [--seed S]
+//! pseudo-honeypot showdown  [--hours H] [--nodes N] [--seed S]
+//! ```
+//!
+//! `sniff` runs the complete paper pipeline: deploy the Table I/II network
+//! on a simulated Twitter, collect, build ground truth, train the RF
+//! detector, and report what it caught.
+
+use pseudo_honeypot::core::attributes::{AttributeKind, ProfileAttribute, SampleAttribute};
+use pseudo_honeypot::core::baselines::run_random_baseline;
+use pseudo_honeypot::core::detector::{build_training_data, DetectorConfig, SpamDetector};
+use pseudo_honeypot::core::labeling::pipeline::{format_table3, label_collection, PipelineConfig};
+use pseudo_honeypot::core::monitor::{Runner, RunnerConfig};
+use pseudo_honeypot::core::pge::{overall_pge, pge_ranking_with_min};
+use pseudo_honeypot::sim::engine::{Engine, SimConfig};
+
+mod cli;
+use cli::Args;
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    match args.command.as_deref() {
+        Some("attributes") => attributes(),
+        Some("simulate") => simulate(&args),
+        Some("sniff") => sniff(&args),
+        Some("showdown") => showdown(&args),
+        Some(other) => {
+            eprintln!("unknown command '{other}'");
+            usage();
+            std::process::exit(2);
+        }
+        None => usage(),
+    }
+}
+
+fn usage() {
+    println!("pseudo-honeypot — attribute-driven spam sniffing (DSN 2019 reproduction)");
+    println!();
+    println!("commands:");
+    println!("  attributes                          list the 24-attribute taxonomy (Table I/II)");
+    println!("  simulate  [--hours H] [--organic N] [--seed S]");
+    println!("                                      run the social-network simulator and print stats");
+    println!("  sniff     [--hours H] [--gt-hours H] [--organic N] [--seed S]");
+    println!("                                      full pipeline: monitor, label, train, detect");
+    println!("  showdown  [--hours H] [--nodes N] [--seed S]");
+    println!("                                      pseudo-honeypot vs random accounts");
+}
+
+fn sim_config(args: &Args) -> SimConfig {
+    SimConfig {
+        seed: args.get_u64("seed", 42),
+        num_organic: args.get_u64("organic", 2_000) as usize,
+        num_campaigns: args.get_u64("campaigns", 6) as usize,
+        accounts_per_campaign: args.get_u64("per-campaign", 20) as usize,
+        ..Default::default()
+    }
+}
+
+fn attributes() {
+    println!("C1 — profile-based attributes and Table II sample values:");
+    for (i, attr) in ProfileAttribute::ALL.iter().enumerate() {
+        let values: Vec<String> = attr
+            .sample_values()
+            .iter()
+            .map(|v| {
+                if v.fract().abs() < 1e-9 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v:.3}")
+                }
+            })
+            .collect();
+        println!("  {:>2}. {:<32} {}", i + 1, attr.label(), values.join(" "));
+    }
+    println!("\nC2/C3 — topical attributes:");
+    for kind in AttributeKind::all()
+        .into_iter()
+        .filter(|k| !matches!(k, AttributeKind::Profile(_)))
+    {
+        println!("   - {kind}");
+    }
+    let slots = SampleAttribute::standard_slots();
+    println!(
+        "\nstandard network: {} slots × 10 accounts = up to {} nodes",
+        slots.len(),
+        slots.len() * 10
+    );
+}
+
+fn simulate(args: &Args) {
+    let hours = args.get_u64("hours", 24);
+    let mut engine = Engine::new(sim_config(args));
+    println!(
+        "simulating {hours} h over {} accounts…",
+        engine.rest().num_accounts()
+    );
+    engine.run_hours(hours);
+    let stats = engine.stats();
+    println!("tweets:            {}", stats.tweets);
+    println!("  spam:            {}", stats.spam_tweets);
+    println!("  with mentions:   {}", stats.mention_tweets);
+    println!("suspended:         {}", stats.suspended_accounts);
+    println!(
+        "accounts now:      {} (campaign churn adds replacements)",
+        engine.rest().num_accounts()
+    );
+}
+
+fn sniff(args: &Args) {
+    let gt_hours = args.get_u64("gt-hours", 24);
+    let hours = args.get_u64("hours", 24);
+    let name = args.get_str("name", "sniffing campaign");
+    println!("== {name} ==");
+    let mut engine = Engine::new(sim_config(args));
+    let runner = Runner::new(RunnerConfig {
+        seed: args.get_u64("seed", 42),
+        ..Default::default()
+    });
+
+    println!("phase 1: ground truth — standard network, {gt_hours} h…");
+    let train_report = runner.run(&mut engine, gt_hours);
+    let ground_truth = label_collection(&train_report.collected, &engine, &PipelineConfig::default());
+    println!("{}", format_table3(&ground_truth.summary));
+
+    println!("phase 2: training the Random Forest detector…");
+    let (data, _) = build_training_data(
+        &train_report.collected,
+        &ground_truth.labels,
+        &engine,
+        pseudo_honeypot::core::features::DEFAULT_TAU,
+    );
+    let detector = SpamDetector::train(&DetectorConfig::default(), &data);
+
+    println!("phase 3: sniffing for {hours} h…");
+    let report = runner.run(&mut engine, hours);
+    let outcome = detector.classify_collection(&report.collected, &engine);
+    println!(
+        "collected {} tweets from {} accounts",
+        report.collected.len(),
+        report.unique_authors()
+    );
+    println!(
+        "classified {} spams from {} spammer accounts",
+        outcome.num_spam(),
+        outcome.num_spammers()
+    );
+    let ranking = pge_ranking_with_min(&report, &outcome.predictions, hours as f64 * 2.0);
+    println!("\ntop attributes by PGE:");
+    for entry in ranking.iter().take(5) {
+        println!(
+            "  {:<44} PGE {:.4} ({} spammers)",
+            entry.slot.describe(),
+            entry.pge,
+            entry.spammers
+        );
+    }
+    if args.has_flag("verify") {
+        let oracle = engine.ground_truth();
+        let correct = report
+            .collected
+            .iter()
+            .zip(&outcome.predictions)
+            .filter(|(c, &p)| p == oracle.is_spam(&c.tweet))
+            .count();
+        println!(
+            "\noracle check: {:.2}% of verdicts correct",
+            100.0 * correct as f64 / report.collected.len().max(1) as f64
+        );
+    }
+}
+
+fn showdown(args: &Args) {
+    let hours = args.get_u64("hours", 36);
+    let nodes = args.get_u64("nodes", 100) as usize;
+    let seed = args.get_u64("seed", 42);
+
+    let mut ph_engine = Engine::new(sim_config(args));
+    let runner = Runner::new(RunnerConfig {
+        seed,
+        ..Default::default()
+    });
+    let ph = runner.run(&mut ph_engine, hours);
+    let ph_oracle = ph_engine.ground_truth();
+    let ph_flags: Vec<bool> = ph
+        .collected
+        .iter()
+        .map(|c| ph_oracle.is_spam(&c.tweet))
+        .collect();
+
+    let mut rnd_engine = Engine::new(sim_config(args));
+    let rnd = run_random_baseline(&mut rnd_engine, nodes, hours, seed);
+    let rnd_oracle = rnd_engine.ground_truth();
+    let rnd_flags: Vec<bool> = rnd
+        .collected
+        .iter()
+        .map(|c| rnd_oracle.is_spam(&c.tweet))
+        .collect();
+
+    let (ph_pge, rnd_pge) = (overall_pge(&ph, &ph_flags), overall_pge(&rnd, &rnd_flags));
+    println!("{hours} h head-to-head (oracle-scored):");
+    println!(
+        "  pseudo-honeypot: {} tweets, PGE {:.4}",
+        ph.collected.len(),
+        ph_pge
+    );
+    println!(
+        "  random accounts: {} tweets, PGE {:.4}",
+        rnd.collected.len(),
+        rnd_pge
+    );
+    if rnd_pge > 0.0 {
+        println!("  advantage: {:.2}×", ph_pge / rnd_pge);
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration test: the §V-E advanced-system loop — explore, rank by PGE,
+//! redeploy over the winners, and beat both baselines.
+
+use pseudo_honeypot::core::advanced::{advanced_runner_config, top_slots, AdvancedConfig};
+use pseudo_honeypot::core::attributes::SampleAttribute;
+use pseudo_honeypot::core::baselines::{run_random_baseline, HoneypotDeployment};
+use pseudo_honeypot::core::monitor::{MonitorReport, Runner, RunnerConfig};
+use pseudo_honeypot::core::pge::{overall_pge, pge_ranking_with_min};
+use pseudo_honeypot::sim::engine::{Engine, SimConfig};
+
+fn sim_config() -> SimConfig {
+    SimConfig {
+        seed: 4_242,
+        num_organic: 1_500,
+        num_campaigns: 6,
+        accounts_per_campaign: 15,
+        ..Default::default()
+    }
+}
+
+fn oracle_flags(engine: &Engine, report: &MonitorReport) -> Vec<bool> {
+    let oracle = engine.ground_truth();
+    report
+        .collected
+        .iter()
+        .map(|c| oracle.is_spam(&c.tweet))
+        .collect()
+}
+
+#[test]
+fn explore_rank_redeploy_beats_baselines() {
+    let explore_hours = 30;
+    let compare_hours = 30;
+
+    // Phase 1: exploration over the full Table I/II plan.
+    let mut engine = Engine::new(sim_config());
+    let explorer = Runner::new(RunnerConfig {
+        slots: SampleAttribute::standard_slots(),
+        seed: 1,
+        ..Default::default()
+    });
+    let explore_report = explorer.run(&mut engine, explore_hours);
+    let flags = oracle_flags(&engine, &explore_report);
+    let ranking = pge_ranking_with_min(&explore_report, &flags, explore_hours as f64 * 3.0);
+    assert!(
+        ranking.len() >= 10,
+        "exploration ranked only {} slots",
+        ranking.len()
+    );
+    // The ranking's head should be meaningfully better than its tail.
+    let head = ranking.first().unwrap().pge;
+    let tail = ranking.last().unwrap().pge;
+    assert!(head > tail, "PGE ranking is flat");
+
+    // Phase 2: 100-node advanced network over the top-10 slots.
+    let config = AdvancedConfig::default();
+    let slots = top_slots(&ranking, config.top_slots);
+    assert_eq!(slots.len(), 10);
+    let advanced_cfg = advanced_runner_config(&ranking, &config, 2);
+    let mut adv_engine = Engine::new(sim_config());
+    let adv_report = Runner::new(advanced_cfg).run(&mut adv_engine, compare_hours);
+    let adv_flags = oracle_flags(&adv_engine, &adv_report);
+    let adv_pge = overall_pge(&adv_report, &adv_flags);
+
+    // Baseline A: 100 random accounts.
+    let mut rnd_engine = Engine::new(sim_config());
+    let rnd_report = run_random_baseline(&mut rnd_engine, 100, compare_hours, 3);
+    let rnd_flags = oracle_flags(&rnd_engine, &rnd_report);
+    let rnd_pge = overall_pge(&rnd_report, &rnd_flags);
+
+    // Baseline B: 100 fresh artificial honeypots.
+    let mut hp_engine = Engine::new(sim_config());
+    let deployment = HoneypotDeployment::deploy(&mut hp_engine, 100, 4);
+    let hp_report = deployment.run(&mut hp_engine, compare_hours);
+    let hp_flags = oracle_flags(&hp_engine, &hp_report);
+    let hp_pge = overall_pge(&hp_report, &hp_flags);
+
+    assert!(adv_pge > 0.0, "advanced system captured nothing");
+    assert!(
+        adv_pge > rnd_pge,
+        "advanced PGE {adv_pge:.4} did not beat random {rnd_pge:.4}"
+    );
+    assert!(
+        adv_pge > 4.0 * hp_pge.max(1e-9) || hp_pge == 0.0,
+        "advanced PGE {adv_pge:.4} not ≫ honeypot {hp_pge:.4}"
+    );
+}
+
+#[test]
+fn honeypot_deployment_is_part_of_the_network() {
+    let mut engine = Engine::new(sim_config());
+    let before_accounts = engine.rest().num_accounts();
+    let deployment = HoneypotDeployment::deploy(&mut engine, 25, 9);
+    assert_eq!(engine.rest().num_accounts(), before_accounts + 25);
+    // Honeypots post (they are scripted), so the monitored report includes
+    // their own activity.
+    let report = deployment.run(&mut engine, 6);
+    assert!(
+        !report.collected.is_empty(),
+        "honeypots neither posted nor were mentioned in 6 h"
+    );
+    let hp_posts = report
+        .collected
+        .iter()
+        .filter(|c| deployment.accounts.contains(&c.tweet.author))
+        .count();
+    assert!(hp_posts > 0, "scripted honeypots never posted");
+}

@@ -1,0 +1,150 @@
+//! Integration test: the §IV-C spammer-drift scenario end to end — a
+//! taste/behaviour flip mid-run, a frozen detector, and the adaptive
+//! detector that retrains on a rolling window.
+
+use pseudo_honeypot::core::attributes::{ProfileAttribute, SampleAttribute};
+use pseudo_honeypot::core::detector::{build_training_data, DetectorConfig, SpamDetector};
+use pseudo_honeypot::core::drift::{AdaptiveConfig, AdaptiveDetector};
+use pseudo_honeypot::core::labeling::pipeline::{label_collection, PipelineConfig};
+use pseudo_honeypot::core::monitor::{Runner, RunnerConfig};
+use pseudo_honeypot::ml::forest::RandomForestConfig;
+use pseudo_honeypot::ml::metrics::ConfusionMatrix;
+use pseudo_honeypot::sim::drift::{inverted_tastes, DriftSchedule, StealthShift};
+use pseudo_honeypot::sim::engine::{Engine, SimConfig};
+
+fn runner(seed: u64) -> Runner {
+    Runner::new(RunnerConfig {
+        slots: vec![
+            SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0),
+            SampleAttribute::profile(ProfileAttribute::FollowersCount, 10_000.0),
+            SampleAttribute::profile(ProfileAttribute::FriendsCount, 1_000.0),
+        ],
+        seed,
+        ..Default::default()
+    })
+}
+
+fn small_detector() -> DetectorConfig {
+    DetectorConfig {
+        forest: RandomForestConfig {
+            num_trees: 10,
+            ..DetectorConfig::default().forest
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn adaptive_detector_survives_a_taste_flip() {
+    let train_hours = 30;
+    let flip_hour = train_hours + 10;
+    let mut engine = Engine::new(SimConfig {
+        seed: 808,
+        num_organic: 700,
+        num_campaigns: 4,
+        accounts_per_campaign: 12,
+        drift: Some(DriftSchedule::full_flip_at(
+            flip_hour,
+            inverted_tastes(),
+            StealthShift::undercover(),
+        )),
+        ..Default::default()
+    });
+    let runner = runner(1);
+
+    // Pre-drift training for both detectors.
+    let train = runner.run(&mut engine, train_hours);
+    let ground_truth = label_collection(&train.collected, &engine, &PipelineConfig::default());
+    let (data, _) = build_training_data(&train.collected, &ground_truth.labels, &engine, 0.01);
+    let frozen = SpamDetector::train(&small_detector(), &data);
+    let mut adaptive = AdaptiveDetector::new(AdaptiveConfig {
+        retrain_interval_hours: 10,
+        window_hours: 30,
+        detector: small_detector(),
+        ..Default::default()
+    });
+    adaptive.process(&train.collected, &engine, engine.now().whole_hours());
+    assert!(adaptive.is_trained());
+
+    // Run well past the flip; compare pooled post-flip recall.
+    let mut frozen_pooled = ConfusionMatrix::default();
+    let mut adaptive_pooled = ConfusionMatrix::default();
+    for _ in 0..4 {
+        let report = runner.run(&mut engine, 10);
+        let truth: Vec<bool> = {
+            let oracle = engine.ground_truth();
+            report
+                .collected
+                .iter()
+                .map(|c| oracle.is_spam(&c.tweet))
+                .collect()
+        };
+        let f = frozen
+            .classify_collection(&report.collected, &engine)
+            .predictions;
+        let a = adaptive.process(&report.collected, &engine, engine.now().whole_hours());
+        if engine.now().whole_hours() > flip_hour {
+            frozen_pooled.merge(&ConfusionMatrix::from_predictions(&f, &truth));
+            adaptive_pooled.merge(&ConfusionMatrix::from_predictions(&a, &truth));
+        }
+    }
+    assert!(adaptive.retrain_count() >= 2, "adaptive never retrained");
+    assert!(
+        frozen_pooled.total() > 0,
+        "no post-flip traffic was evaluated"
+    );
+    // The adaptive detector must not be materially worse post-drift, and
+    // both must still be usable classifiers.
+    assert!(
+        adaptive_pooled.recall() + 0.05 >= frozen_pooled.recall(),
+        "adaptive recall {:.3} fell behind frozen {:.3} after the flip",
+        adaptive_pooled.recall(),
+        frozen_pooled.recall()
+    );
+    assert!(adaptive_pooled.accuracy() > 0.9);
+}
+
+#[test]
+fn behavioural_drift_changes_observable_spam_features() {
+    // Spam collected before vs after an undercover shift should differ on
+    // the features the shift touches (reaction gap, source mix).
+    let flip_hour = 20;
+    let mut engine = Engine::new(SimConfig {
+        seed: 809,
+        num_organic: 600,
+        num_campaigns: 4,
+        accounts_per_campaign: 12,
+        drift: Some(DriftSchedule::full_flip_at(
+            flip_hour,
+            inverted_tastes(),
+            StealthShift::undercover(),
+        )),
+        ..Default::default()
+    });
+    let runner = runner(2);
+    let before = runner.run(&mut engine, flip_hour);
+    let after = runner.run(&mut engine, flip_hour);
+
+    let mean_gap = |report: &pseudo_honeypot::core::monitor::MonitorReport,
+                    engine: &Engine| {
+        let oracle = engine.ground_truth();
+        let gaps: Vec<f64> = report
+            .collected
+            .iter()
+            .filter(|c| oracle.is_spam(&c.tweet))
+            .filter_map(|c| {
+                c.tweet
+                    .reacted_to_post_at
+                    .map(|t| c.tweet.created_at.minutes_since(t) as f64)
+            })
+            .collect();
+        assert!(!gaps.is_empty(), "no spam observed");
+        gaps.iter().sum::<f64>() / gaps.len() as f64
+    };
+    let gap_before = mean_gap(&before, &engine);
+    let gap_after = mean_gap(&after, &engine);
+    assert!(
+        gap_after > gap_before * 2.0,
+        "undercover spam should react much slower (before {gap_before:.1} min, after {gap_after:.1} min)"
+    );
+}
