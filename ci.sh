@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI: build, tests, formatting, and lints — everything must pass
+# before a change lands. Runs entirely offline (deps are vendored).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -19,8 +19,7 @@ fn dataset(n: usize) -> Dataset {
         .map(|i| {
             (0..58)
                 .map(|j| {
-                    (((i * 31 + j * 17) % 97) as f64) / 97.0
-                        + if i % 3 == 0 { 0.4 } else { 0.0 }
+                    (((i * 31 + j * 17) % 97) as f64) / 97.0 + if i % 3 == 0 { 0.4 } else { 0.0 }
                 })
                 .collect()
         })
@@ -78,8 +77,12 @@ fn bench_prediction(c: &mut Criterion) {
     );
     let knn = KNearestNeighbors::fit(&KnnConfig::default(), &data);
     let row = data.row(1).to_vec();
-    c.bench_function("predict_rf70", |b| b.iter(|| forest.predict(black_box(&row))));
-    c.bench_function("predict_knn_1000", |b| b.iter(|| knn.predict(black_box(&row))));
+    c.bench_function("predict_rf70", |b| {
+        b.iter(|| forest.predict(black_box(&row)))
+    });
+    c.bench_function("predict_knn_1000", |b| {
+        b.iter(|| knn.predict(black_box(&row)))
+    });
 }
 
 criterion_group!(benches, bench_training, bench_prediction);

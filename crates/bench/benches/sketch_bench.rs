@@ -24,7 +24,9 @@ fn bench_dhash(c: &mut Criterion) {
 
 fn bench_resize(c: &mut Criterion) {
     let img = GrayImage::from_fn(96, 96, |x, y| ((x * 3 + y * 5) % 256) as u8);
-    c.bench_function("resize_96_to_9", |b| b.iter(|| black_box(&img).resize(9, 9)));
+    c.bench_function("resize_96_to_9", |b| {
+        b.iter(|| black_box(&img).resize(9, 9))
+    });
 }
 
 fn bench_minhash(c: &mut Criterion) {
@@ -52,5 +54,11 @@ fn bench_text(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dhash, bench_resize, bench_minhash, bench_text);
+criterion_group!(
+    benches,
+    bench_dhash,
+    bench_resize,
+    bench_minhash,
+    bench_text
+);
 criterion_main!(benches);

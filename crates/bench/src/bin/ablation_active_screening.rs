@@ -14,15 +14,13 @@ use ph_core::selection::SelectorConfig;
 use ph_twitter_sim::AccountId;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("ablation_active_screening");
     let scale = ExperimentScale::from_args();
     banner("Ablation — Active/Dormant screening and attention ranking");
     println!("standard slots, {} hours each\n", scale.hours);
 
     let variants: [(&str, SelectorConfig); 3] = [
-        (
-            "active + attention",
-            SelectorConfig::default(),
-        ),
+        ("active + attention", SelectorConfig::default()),
         (
             "active, uniform pick",
             SelectorConfig {
@@ -51,6 +49,7 @@ fn main() {
             selector,
             switch_interval_hours: 1,
             seed: scale.seed,
+            ..Default::default()
         });
         let report = runner.run(&mut engine, scale.hours);
         let oracle = engine.ground_truth();

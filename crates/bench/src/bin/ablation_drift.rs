@@ -18,6 +18,7 @@ use ph_twitter_sim::drift::{inverted_tastes, DriftSchedule, StealthShift};
 use ph_twitter_sim::engine::{Engine, SimConfig};
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("ablation_drift");
     let scale = ExperimentScale::from_args();
     let flip_hour = scale.gt_hours + scale.hours / 2;
     banner("Ablation — frozen vs adaptive detector under spammer drift");

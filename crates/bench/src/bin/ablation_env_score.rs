@@ -12,6 +12,7 @@ use ph_ml::data::Dataset;
 use ph_ml::forest::{RandomForest, RandomForestConfig};
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("ablation_env_score");
     let scale = ExperimentScale::from_args();
     banner("Ablation — environment score feature");
 
@@ -35,8 +36,8 @@ fn main() {
             r
         })
         .collect();
-    let without_env = Dataset::new(rows_without, with_env.labels().to_vec())
-        .expect("same shape as the original");
+    let without_env =
+        Dataset::new(rows_without, with_env.labels().to_vec()).expect("same shape as the original");
 
     let folds = 5;
     let trees = scale.forest_trees;
@@ -62,11 +63,7 @@ fn main() {
         });
         println!(
             "{:<16} {:>10.3} {:>10.3} {:>8.3} {:>16.3}",
-            name,
-            cv.mean.accuracy,
-            cv.mean.precision,
-            cv.mean.recall,
-            cv.mean.false_positive_rate
+            name, cv.mean.accuracy, cv.mean.precision, cv.mean.recall, cv.mean.false_positive_rate
         );
     }
 }

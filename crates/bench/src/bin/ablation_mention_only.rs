@@ -12,6 +12,7 @@ use ph_core::monitor::{Runner, RunnerConfig};
 use ph_twitter_sim::AccountId;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("ablation_mention_only");
     let scale = ExperimentScale::from_args();
     banner("Ablation — mention-filtered monitoring vs full firehose");
     println!("{} hours each\n", scale.hours);

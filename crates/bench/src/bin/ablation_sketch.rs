@@ -12,6 +12,7 @@ use ph_sketch::MinHasher;
 use ph_twitter_sim::engine::Engine;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("ablation_sketch");
     let scale = ExperimentScale::from_args();
     banner("Ablation — MinHash vs SimHash on campaign descriptions");
 

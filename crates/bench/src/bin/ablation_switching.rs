@@ -14,6 +14,7 @@ use ph_core::selection::SelectorConfig;
 use ph_twitter_sim::AccountId;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("ablation_switching");
     let scale = ExperimentScale::from_args();
     banner("Ablation — node-switching interval vs spammer yield");
     println!("standard slots, {} hours each\n", scale.hours);
@@ -29,6 +30,7 @@ fn main() {
             selector: SelectorConfig::default(),
             switch_interval_hours: interval,
             seed: scale.seed,
+            ..Default::default()
         });
         let report = runner.run(&mut engine, scale.hours);
         let oracle = engine.ground_truth();

@@ -10,6 +10,7 @@ use ph_ml::forest::{RandomForest, RandomForestConfig};
 use ph_ml::importance::permutation_importance;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("feature_importance");
     let scale = ExperimentScale::from_args();
     banner("Permutation importance of the 58 features (Random Forest)");
 
@@ -46,5 +47,7 @@ fn main() {
             fi.accuracy_drop
         );
     }
-    println!("\n(top features typically include mention time, source distributions, and profile mass)");
+    println!(
+        "\n(top features typically include mention time, source distributions, and profile mass)"
+    );
 }

@@ -8,6 +8,7 @@ use ph_bench::{banner, csv_path_from_args, full_protocol, CsvTable, ExperimentSc
 use ph_twitter_sim::AccountId;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("fig2_spam_distribution");
     let scale = ExperimentScale::from_args();
     banner("Figure 2 — fraction of spammers vs number of spam messages");
 
@@ -35,12 +36,7 @@ fn main() {
     println!("{:>12} {:>12} {:>14}", "# spams", "# spammers", "fraction");
     for c in &counts {
         let n = histogram[c];
-        println!(
-            "{:>12} {:>12} {:>14.6}",
-            c,
-            n,
-            n as f64 / total as f64
-        );
+        println!("{:>12} {:>12} {:>14.6}", c, n, n as f64 / total as f64);
         csv.push_row([
             c.to_string(),
             n.to_string(),

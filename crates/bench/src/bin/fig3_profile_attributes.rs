@@ -9,6 +9,7 @@ use ph_core::attributes::{ProfileAttribute, SampleAttribute};
 use ph_core::pge::per_slot_stats;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("fig3_profile_attributes");
     let scale = ExperimentScale::from_args();
     banner("Figure 3 — tweets / spams / spammers per profile-attribute sample value");
 
@@ -16,11 +17,7 @@ fn main() {
     let stats = per_slot_stats(&run.report.collected, &run.predictions);
 
     for (panel, &attr) in ProfileAttribute::ALL.iter().enumerate() {
-        println!(
-            "\n({}) {}",
-            (b'a' + panel as u8) as char,
-            attr.label()
-        );
+        println!("\n({}) {}", (b'a' + panel as u8) as char, attr.label());
         println!(
             "  {:>12} {:>10} {:>10} {:>10}",
             "sample", "tweets", "spams", "spammers"

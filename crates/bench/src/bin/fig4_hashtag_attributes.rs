@@ -11,6 +11,7 @@ use ph_core::pge::per_attribute_stats;
 use ph_twitter_sim::{AccountId, TopicCategory};
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("fig4_hashtag_attributes");
     let scale = ExperimentScale::from_args();
     banner("Figure 4 — hashtag-based attributes");
 

@@ -8,6 +8,7 @@ use ph_core::attributes::{AttributeKind, TrendAttribute};
 use ph_core::pge::per_attribute_stats;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("fig5_trending_attributes");
     let scale = ExperimentScale::from_args();
     banner("Figure 5 — trending-based attributes");
 

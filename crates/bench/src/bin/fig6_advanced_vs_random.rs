@@ -13,13 +13,18 @@ use ph_core::pge::pge_ranking_with_min;
 use ph_twitter_sim::AccountId;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("fig6_advanced_vs_random");
     let scale = ExperimentScale::from_args();
     banner("Figure 6 — advanced pseudo-honeypot vs non pseudo-honeypot (100 nodes)");
     let compare_hours = scale.hours;
 
     // Phase 1: exploration run → PGE ranking → top-10 slots.
     let run = full_protocol(&scale);
-    let ranking = pge_ranking_with_min(&run.report, &run.predictions, 0.5 * scale.hours as f64 * 10.0);
+    let ranking = pge_ranking_with_min(
+        &run.report,
+        &run.predictions,
+        0.5 * scale.hours as f64 * 10.0,
+    );
     let advanced_cfg = AdvancedConfig::default();
     if ranking.len() < advanced_cfg.top_slots {
         println!("not enough ranked slots; increase --hours");

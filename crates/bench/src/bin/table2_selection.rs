@@ -10,6 +10,7 @@ use ph_core::attributes::{AttributeKind, ProfileAttribute, SampleAttribute};
 use ph_core::selection::{select_network, SelectorConfig};
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("table2_selection");
     let scale = ExperimentScale::from_args();
     banner("Table II — profile-based attributes, sample values, selected accounts");
     println!(

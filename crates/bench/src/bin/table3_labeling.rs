@@ -6,6 +6,7 @@ use ph_bench::{banner, fmt_count, ground_truth_phase, ExperimentScale};
 use ph_core::labeling::pipeline::format_table3;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("table3_labeling");
     let scale = ExperimentScale::from_args();
     banner("Table III — ground-truth labeling yields per method");
     println!(

@@ -7,6 +7,7 @@ use ph_bench::{banner, ground_truth_phase, ExperimentScale};
 use ph_core::detector::{build_training_data, model_selection};
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("table4_classifiers");
     let scale = ExperimentScale::from_args();
     banner("Table IV — classifier comparison, 10-fold cross-validation");
 

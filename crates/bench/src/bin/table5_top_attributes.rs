@@ -6,6 +6,7 @@ use ph_bench::{banner, fmt_count, full_protocol, ExperimentScale};
 use ph_core::pge::per_attribute_stats;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("table5_top_attributes");
     let scale = ExperimentScale::from_args();
     banner("Table V — top 10 attributes by captured spammers");
     println!(

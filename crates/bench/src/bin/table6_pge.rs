@@ -6,6 +6,7 @@ use ph_bench::{banner, full_protocol, ExperimentScale};
 use ph_core::pge::pge_ranking_with_min;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("table6_pge");
     let scale = ExperimentScale::from_args();
     banner("Table VI — top 10 sample attributes by PGE");
     println!(
@@ -14,7 +15,11 @@ fn main() {
     );
 
     let run = full_protocol(&scale);
-    let ranking = pge_ranking_with_min(&run.report, &run.predictions, 0.5 * scale.hours as f64 * 10.0);
+    let ranking = pge_ranking_with_min(
+        &run.report,
+        &run.predictions,
+        0.5 * scale.hours as f64 * 10.0,
+    );
 
     println!(
         "{:<5} {:<44} {:>9} {:>12} {:>9}",

@@ -13,13 +13,18 @@ use ph_core::pge::{overall_pge, pge_ranking_with_min};
 use ph_twitter_sim::AccountId;
 
 fn main() {
+    let _metrics = ph_bench::metrics_scope("table7_comparison");
     let scale = ExperimentScale::from_args();
     banner("Table VII — pseudo-honeypot vs honeypot-based solutions (PGE)");
     let compare_hours = scale.hours;
 
     // Exploration run → advanced configuration.
     let run = full_protocol(&scale);
-    let ranking = pge_ranking_with_min(&run.report, &run.predictions, 0.5 * scale.hours as f64 * 10.0);
+    let ranking = pge_ranking_with_min(
+        &run.report,
+        &run.predictions,
+        0.5 * scale.hours as f64 * 10.0,
+    );
     if ranking.len() < 10 {
         println!("not enough ranked slots; increase --hours");
         return;

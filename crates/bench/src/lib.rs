@@ -181,6 +181,7 @@ pub fn ground_truth_phase(
         selector: SelectorConfig::default(),
         switch_interval_hours: 1,
         seed: scale.seed ^ 0x17ab,
+        ..Default::default()
     });
     let report = runner.run(engine, scale.gt_hours);
     // The paper collected in March 2018 and labeled in September: by
@@ -216,6 +217,7 @@ pub fn standard_run(engine: &mut Engine, scale: &ExperimentScale) -> MonitorRepo
         selector: SelectorConfig::default(),
         switch_interval_hours: 1,
         seed: scale.seed ^ 0x2bad,
+        ..Default::default()
     });
     runner.run(engine, scale.hours)
 }
@@ -338,6 +340,32 @@ pub fn csv_path_from_args() -> Option<std::path::PathBuf> {
         .map(|w| std::path::PathBuf::from(&w[1]))
 }
 
+/// RAII guard writing a stage-timing report when the experiment ends.
+/// See [`metrics_scope`].
+#[derive(Debug)]
+pub struct MetricsScope {
+    name: &'static str,
+}
+
+/// Starts a metrics scope for an experiment binary: resets the telemetry
+/// registry so the report covers exactly this run, and on drop writes
+/// `results/<name>.metrics.json` next to the experiment's text output.
+/// Every table/figure binary opens one as its first line of `main`.
+pub fn metrics_scope(name: &'static str) -> MetricsScope {
+    ph_telemetry::reset();
+    MetricsScope { name }
+}
+
+impl Drop for MetricsScope {
+    fn drop(&mut self) {
+        let path = std::path::Path::new("results").join(format!("{}.metrics.json", self.name));
+        match ph_telemetry::write_json_report(&path) {
+            Ok(()) => eprintln!("stage timings written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Prints a horizontal rule + title, shared by all binaries.
 pub fn banner(title: &str) {
     println!("{}", "=".repeat(72));
@@ -414,10 +442,7 @@ mod tests {
         let mut engine = scale.build_engine();
         let (report, dataset) = ground_truth_phase(&mut engine, &scale);
         assert!(!report.collected.is_empty());
-        assert_eq!(
-            dataset.labels.tweet_labels.len(),
-            report.collected.len()
-        );
+        assert_eq!(dataset.labels.tweet_labels.len(), report.collected.len());
         assert!(dataset.summary.total_spams > 0, "no spam labeled");
     }
 }

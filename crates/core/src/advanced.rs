@@ -55,6 +55,7 @@ pub fn advanced_runner_config(
         },
         switch_interval_hours: 1,
         seed,
+        ..Default::default()
     }
 }
 
@@ -66,10 +67,7 @@ mod tests {
     fn ranking() -> Vec<PgeEntry> {
         (0..12)
             .map(|i| PgeEntry {
-                slot: SampleAttribute::profile(
-                    ProfileAttribute::ALL[i % 11],
-                    (i + 1) as f64,
-                ),
+                slot: SampleAttribute::profile(ProfileAttribute::ALL[i % 11], (i + 1) as f64),
                 spammers: 100 - i,
                 node_hours: 10.0,
                 pge: (100 - i) as f64 / 10.0,

@@ -178,7 +178,11 @@ impl AttributeKind {
                 .map(|&c| AttributeKind::Hashtag(Some(c))),
         );
         out.push(AttributeKind::Hashtag(None));
-        out.extend(TrendAttribute::ALL.iter().map(|&t| AttributeKind::Trending(t)));
+        out.extend(
+            TrendAttribute::ALL
+                .iter()
+                .map(|&t| AttributeKind::Trending(t)),
+        );
         out
     }
 
@@ -380,10 +384,7 @@ mod tests {
     fn describe_formats() {
         let s = SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0);
         assert_eq!(s.describe(), "average of lists per day = 1");
-        assert_eq!(
-            SampleAttribute::hashtag(None).describe(),
-            "no hashtag"
-        );
+        assert_eq!(SampleAttribute::hashtag(None).describe(), "no hashtag");
         assert_eq!(
             SampleAttribute::trending(TrendAttribute::Popular).describe(),
             "popular tweets"

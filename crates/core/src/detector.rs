@@ -92,6 +92,7 @@ pub fn build_training_data(
     engine: &Engine,
     tau: f64,
 ) -> (Dataset, Vec<usize>) {
+    let _span = ph_telemetry::span("features.extract_training");
     let rest = engine.rest();
     let mut extractor = FeatureExtractor::with_tau(tau);
     let mut rows = Vec::new();
@@ -144,13 +145,16 @@ pub struct SpamDetector {
 
 impl std::fmt::Debug for SpamDetector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SpamDetector").field("tau", &self.tau).finish()
+        f.debug_struct("SpamDetector")
+            .field("tau", &self.tau)
+            .finish()
     }
 }
 
 impl SpamDetector {
     /// Trains the configured algorithm on a training set.
     pub fn train(config: &DetectorConfig, data: &Dataset) -> Self {
+        let _span = ph_telemetry::span("ml.train");
         let model: Box<dyn Classifier> = match config.algorithm {
             PaperAlgorithm::RandomForest => {
                 Box::new(RandomForest::fit(&config.forest, data, config.seed))
@@ -172,6 +176,7 @@ impl SpamDetector {
         collected: &[CollectedTweet],
         engine: &Engine,
     ) -> ClassificationOutcome {
+        let _span = ph_telemetry::span("detect.classify");
         let rest = engine.rest();
         let mut extractor = FeatureExtractor::with_tau(self.tau);
         let mut outcome = ClassificationOutcome::default();
@@ -184,6 +189,9 @@ impl SpamDetector {
                 outcome.spammers.insert(c.tweet.author);
             }
         }
+        ph_telemetry::cached_counter!("detect.tweets_classified")
+            .add(outcome.predictions.len() as u64);
+        ph_telemetry::cached_counter!("detect.spam_predicted").add(outcome.num_spam() as u64);
         outcome
     }
 
@@ -229,7 +237,10 @@ mod tests {
         assert_eq!(data.num_features(), crate::features::FEATURE_COUNT);
         assert_eq!(data.len(), indices.len());
         assert!(data.num_positive() > 0, "no positive training examples");
-        assert!(data.num_positive() < data.len(), "all-positive training set");
+        assert!(
+            data.num_positive() < data.len(),
+            "all-positive training set"
+        );
     }
 
     #[test]
@@ -269,7 +280,11 @@ mod tests {
         assert_eq!(results.len(), 5);
         let rf = results.last().unwrap();
         assert_eq!(rf.algorithm_name, "RF");
-        assert!(rf.mean.accuracy > 0.85, "RF accuracy {:.3}", rf.mean.accuracy);
+        assert!(
+            rf.mean.accuracy > 0.85,
+            "RF accuracy {:.3}",
+            rf.mean.accuracy
+        );
     }
 
     #[test]

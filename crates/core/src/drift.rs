@@ -87,12 +87,7 @@ impl AdaptiveDetector {
     /// classifies them with the current model (all-ham before the first
     /// training round), extends the rolling window, and retrains when the
     /// interval has elapsed.
-    pub fn process(
-        &mut self,
-        batch: &[CollectedTweet],
-        engine: &Engine,
-        hour: u64,
-    ) -> Vec<bool> {
+    pub fn process(&mut self, batch: &[CollectedTweet], engine: &Engine, hour: u64) -> Vec<bool> {
         let predictions = match &self.detector {
             Some(d) => d.classify_collection(batch, engine).predictions,
             None => vec![false; batch.len()],
@@ -175,10 +170,7 @@ mod tests {
     fn adaptive_detector_trains_and_classifies() {
         let mut engine = engine();
         let runner = Runner::new(RunnerConfig {
-            slots: vec![SampleAttribute::profile(
-                ProfileAttribute::ListsPerDay,
-                1.0,
-            )],
+            slots: vec![SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0)],
             ..Default::default()
         });
         let mut adaptive = small_adaptive();

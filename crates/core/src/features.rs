@@ -254,6 +254,9 @@ impl FeatureExtractor {
     /// the tweet into the rolling aggregates. Must be called in stream
     /// order.
     pub fn extract(&mut self, collected: &CollectedTweet, rest: &RestApi<'_>) -> Vec<f64> {
+        // Counter only — a span per tweet would dominate the extractor's
+        // own cost in the inner loop; stage timing wraps the batch callers.
+        ph_telemetry::cached_counter!("features.vectors_extracted").inc();
         let tweet = &collected.tweet;
         let sender_id = tweet.author;
         // Receiver = the crossed node when the tweet mentions it; a node's
@@ -315,10 +318,7 @@ impl FeatureExtractor {
 
         // Fold this tweet into the rolling state.
         *self.seen_texts.entry(text_key).or_insert(0) += 1;
-        self.sender
-            .entry(sender_id)
-            .or_default()
-            .observe(tweet);
+        self.sender.entry(sender_id).or_default().observe(tweet);
         if let Some(r) = receiver_id {
             self.receiver.entry(r).or_default().observe(tweet);
             *self.pairs.entry(pair_key(sender_id, r)).or_insert(0) += 1;
@@ -359,18 +359,8 @@ fn push_profile(out: &mut Vec<f64>, p: &Profile) {
     out.push(p.screen_name.chars().count() as f64);
     out.push(p.display_name.chars().count() as f64);
     out.push(p.description.chars().count() as f64);
-    out.push(
-        p.description
-            .chars()
-            .filter(|c| !c.is_ascii())
-            .count() as f64,
-    );
-    out.push(
-        p.description
-            .chars()
-            .filter(char::is_ascii_digit)
-            .count() as f64,
-    );
+    out.push(p.description.chars().filter(|c| !c.is_ascii()).count() as f64);
+    out.push(p.description.chars().filter(char::is_ascii_digit).count() as f64);
 }
 
 fn pair_key(a: AccountId, b: AccountId) -> (u32, u32) {

@@ -86,17 +86,15 @@ pub fn apply(
     labels: &mut LabeledCollection,
 ) -> ClusterReport {
     debug_assert_eq!(collected.len(), labels.tweet_labels.len());
+    let _span = ph_telemetry::span("clustering");
     let mut report = ClusterReport::default();
 
     // ---- Account universe -------------------------------------------------
     let mut authors: Vec<AccountId> = collected.iter().map(|c| c.tweet.author).collect();
     authors.sort_unstable();
     authors.dedup();
-    let author_index: HashMap<AccountId, usize> = authors
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i))
-        .collect();
+    let author_index: HashMap<AccountId, usize> =
+        authors.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     let mut account_uf = UnionFind::new(authors.len());
 
     cluster_by_image(&authors, rest, config, &mut account_uf);
@@ -427,10 +425,7 @@ mod tests {
             .filter(|(_, l)| l.spammer)
             .collect();
         assert!(!labeled.is_empty());
-        let correct = labeled
-            .iter()
-            .filter(|(&id, _)| gt.is_spammer(id))
-            .count();
+        let correct = labeled.iter().filter(|(&id, _)| gt.is_spammer(id)).count();
         let precision = correct as f64 / labeled.len() as f64;
         assert!(
             precision > 0.8,

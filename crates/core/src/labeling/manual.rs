@@ -51,6 +51,7 @@ pub fn apply(
     labels: &mut LabeledCollection,
 ) {
     debug_assert_eq!(collected.len(), labels.tweet_labels.len());
+    let _span = ph_telemetry::span("manual");
     assert!(
         (0.0..=1.0).contains(&config.accuracy) && (0.0..=1.0).contains(&config.coverage),
         "accuracy and coverage must be probabilities"
@@ -142,10 +143,7 @@ mod tests {
             ..Default::default()
         });
         let runner = Runner::new(RunnerConfig {
-            slots: vec![SampleAttribute::profile(
-                ProfileAttribute::ListsPerDay,
-                1.0,
-            )],
+            slots: vec![SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0)],
             ..Default::default()
         });
         let report = runner.run(&mut engine, 15);

@@ -221,17 +221,19 @@ mod tests {
 
     #[test]
     fn summary_percentages() {
-        let mut c = LabeledCollection::default();
-        c.tweet_labels = vec![
-            Some(TweetLabel {
-                spam: true,
-                method: LabelMethod::Suspended,
-            }),
-            Some(TweetLabel {
-                spam: false,
-                method: LabelMethod::Manual,
-            }),
-        ];
+        let mut c = LabeledCollection {
+            tweet_labels: vec![
+                Some(TweetLabel {
+                    spam: true,
+                    method: LabelMethod::Suspended,
+                }),
+                Some(TweetLabel {
+                    spam: false,
+                    method: LabelMethod::Manual,
+                }),
+            ],
+            ..Default::default()
+        };
         c.account_labels.insert(
             AccountId(1),
             AccountLabel {

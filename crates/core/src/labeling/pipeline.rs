@@ -39,6 +39,8 @@ pub fn label_collection(
     engine: &Engine,
     config: &PipelineConfig,
 ) -> GroundTruthDataset {
+    let _span = ph_telemetry::span("label");
+    ph_telemetry::cached_counter!("label.tweets_labeled").add(collected.len() as u64);
     let mut labels = LabeledCollection {
         tweet_labels: vec![None; collected.len()],
         ..Default::default()
@@ -47,7 +49,12 @@ pub fn label_collection(
     suspended::apply(collected, &rest, &mut labels);
     clustering::apply(collected, &rest, &config.clustering, &mut labels);
     rules::apply(collected, &rest, &config.rules, &mut labels);
-    manual::apply(collected, &engine.ground_truth(), &config.manual, &mut labels);
+    manual::apply(
+        collected,
+        &engine.ground_truth(),
+        &config.manual,
+        &mut labels,
+    );
     let summary = LabelingSummary::from_labels(&labels, collected.len());
     GroundTruthDataset { labels, summary }
 }
@@ -144,8 +151,7 @@ mod tests {
         let contributing = LabelMethod::ALL
             .iter()
             .filter(|&&m| {
-                dataset.labels.spam_by_method(m) > 0
-                    || dataset.labels.spammers_by_method(m) > 0
+                dataset.labels.spam_by_method(m) > 0 || dataset.labels.spammers_by_method(m) > 0
             })
             .count();
         assert!(

@@ -101,6 +101,7 @@ pub fn apply(
     labels: &mut LabeledCollection,
 ) -> RuleReport {
     debug_assert_eq!(collected.len(), labels.tweet_labels.len());
+    let _span = ph_telemetry::span("rules");
     let mut report = RuleReport::default();
 
     // Repetition counts per (author, normalized text).
@@ -122,9 +123,7 @@ pub fn apply(
         }
         // Seed non-spam: verified authors are truthful seeds.
         let verified = config.seed_verified_accounts
-            && rest
-                .profile(c.tweet.author)
-                .is_some_and(|p| p.verified);
+            && rest.profile(c.tweet.author).is_some_and(|p| p.verified);
         if verified {
             *slot = Some(TweetLabel {
                 spam: false,
@@ -220,17 +219,17 @@ mod tests {
     #[test]
     fn quoted_spam_wording_is_exempt() {
         assert_eq!(
-            spam_rule_for("lol this ad says: free money no strings attached claim now", &[]),
+            spam_rule_for(
+                "lol this ad says: free money no strings attached claim now",
+                &[]
+            ),
             None
         );
     }
 
     #[test]
     fn benign_text_does_not_fire() {
-        assert_eq!(
-            spam_rule_for("lovely sunset at the beach today", &[]),
-            None
-        );
+        assert_eq!(spam_rule_for("lovely sunset at the beach today", &[]), None);
         assert_eq!(
             spam_rule_for("reading a book about coffee https://blog.example/x", &[]),
             None
@@ -251,10 +250,7 @@ mod tests {
             ..Default::default()
         });
         let runner = Runner::new(RunnerConfig {
-            slots: vec![SampleAttribute::profile(
-                ProfileAttribute::ListsPerDay,
-                1.0,
-            )],
+            slots: vec![SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0)],
             ..Default::default()
         });
         let report = runner.run(&mut engine, 25);

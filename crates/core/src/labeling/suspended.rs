@@ -19,12 +19,9 @@ use crate::monitor::CollectedTweet;
 ///
 /// Every author currently suspended becomes a spammer; all their collected
 /// tweets become spam.
-pub fn apply(
-    collected: &[CollectedTweet],
-    rest: &RestApi<'_>,
-    labels: &mut LabeledCollection,
-) {
+pub fn apply(collected: &[CollectedTweet], rest: &RestApi<'_>, labels: &mut LabeledCollection) {
     debug_assert_eq!(collected.len(), labels.tweet_labels.len());
+    let _span = ph_telemetry::span("suspended");
     let mut suspended_authors: HashSet<AccountId> = HashSet::new();
     for c in collected {
         let author = c.tweet.author;
@@ -66,10 +63,7 @@ mod tests {
             ..Default::default()
         });
         let runner = Runner::new(RunnerConfig {
-            slots: vec![SampleAttribute::profile(
-                ProfileAttribute::ListsPerDay,
-                1.0,
-            )],
+            slots: vec![SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0)],
             ..Default::default()
         });
         let report = runner.run(&mut engine, 30);

@@ -86,6 +86,10 @@ pub struct RunnerConfig {
     pub switch_interval_hours: u64,
     /// Seed for selection rotation.
     pub seed: u64,
+    /// Streaming buffer capacity (tweets). Small values simulate a slow
+    /// consumer: the stream sheds the oldest buffered tweets, counted in
+    /// [`MonitorReport::dropped`].
+    pub buffer_capacity: usize,
 }
 
 impl Default for RunnerConfig {
@@ -95,8 +99,23 @@ impl Default for RunnerConfig {
             selector: SelectorConfig::default(),
             switch_interval_hours: 1,
             seed: 7,
+            buffer_capacity: ph_twitter_sim::api::DEFAULT_QUEUE_CAPACITY,
         }
     }
+}
+
+/// Bucket edges for the tweets-collected-per-hour distribution:
+/// 1, 2, 5 × powers of ten up to 100k, overflow above.
+fn per_hour_volume_buckets() -> Vec<f64> {
+    let mut buckets = Vec::with_capacity(18);
+    let mut decade = 1.0;
+    while decade <= 100_000.0 {
+        for mult in [1.0, 2.0, 5.0] {
+            buckets.push(decade * mult);
+        }
+        decade *= 10.0;
+    }
+    buckets
 }
 
 /// The monitoring runner. See the module docs for the loop structure.
@@ -140,14 +159,23 @@ impl Runner {
     where
         F: FnMut(&Engine, u64) -> PseudoHoneypotNetwork,
     {
+        let _run_span = ph_telemetry::span("monitor.run");
+        let switch_latency = ph_telemetry::histogram(
+            "monitor.switch_latency_ms",
+            &ph_telemetry::default_latency_buckets_ms(),
+        );
+        let tweets_per_hour =
+            ph_telemetry::histogram("monitor.tweets_per_hour", &per_hour_volume_buckets());
+
         let streaming = engine.streaming();
-        let subscription = streaming.track_mentions([]);
+        let subscription = streaming.track_mentions_with_capacity([], self.config.buffer_capacity);
         let mut report = MonitorReport::default();
         let mut membership: HashMap<AccountId, SampleAttribute> = HashMap::new();
         let mut round = 0u64;
 
         for hour_index in 0..hours {
             if hour_index % self.config.switch_interval_hours.max(1) == 0 {
+                let switch_span = ph_telemetry::span("switch");
                 let network = make_network(engine, round);
                 round += 1;
                 membership = network.membership();
@@ -163,18 +191,34 @@ impl Runner {
                 for (slot, count) in network.slot_sizes() {
                     *report.node_hours.entry(slot).or_insert(0.0) += count as f64 * interval;
                 }
+                switch_latency.record(switch_span.elapsed_ms());
             }
             let hour = engine.now().whole_hours();
             engine.step_hour();
+            let mut collected_this_hour = 0u64;
             for tweet in streaming.poll(subscription).expect("subscription is open") {
                 let collected = Self::categorize(tweet, &membership, hour);
                 if let Some(c) = collected {
                     report.collected.push(c);
+                    collected_this_hour += 1;
                 }
             }
+            tweets_per_hour.record(collected_this_hour as f64);
+            ph_telemetry::cached_counter!("monitor.tweets_collected").add(collected_this_hour);
             report.hours += 1;
         }
         report.dropped = streaming.dropped(subscription).unwrap_or(0);
+        ph_telemetry::cached_counter!("monitor.tweets_dropped").add(report.dropped);
+        if report.dropped > 0 {
+            ph_telemetry::log_warn!(
+                "streaming buffer shed {} tweets (capacity {})",
+                report.dropped,
+                self.config.buffer_capacity
+            );
+        }
+        for (slot, node_hours) in &report.node_hours {
+            ph_telemetry::gauge(&format!("monitor.node_hours.{slot}")).set(*node_hours);
+        }
         streaming.close(subscription);
         report
     }
@@ -307,6 +351,45 @@ mod tests {
         let report = small_runner(5).run(&mut e, 10);
         assert!(report.unique_authors() > 0);
         assert!(report.unique_authors() <= report.collected.len());
+    }
+
+    #[test]
+    fn default_capacity_sheds_nothing() {
+        let mut e = engine();
+        let report = small_runner(6).run(&mut e, 12);
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn tiny_buffer_sheds_and_accounts_drops() {
+        let capacity = 2;
+        let hours = 12;
+        let mut e = engine();
+        let runner = Runner::new(RunnerConfig {
+            buffer_capacity: capacity,
+            ..small_runner(6).config().clone()
+        });
+        let report = runner.run(&mut e, hours);
+        // Identical engine + selection seed as `default_capacity_sheds_nothing`,
+        // which collects far more than 2 tweets/hour — so a 2-slot buffer
+        // must shed, and every shed tweet must be accounted in `dropped`.
+        assert!(report.dropped > 0, "tiny buffer shed nothing");
+        assert!(
+            report.collected.len() <= capacity * hours as usize,
+            "polled more than capacity per hour: {}",
+            report.collected.len()
+        );
+        // Cross-check against the unshed run: delivered + dropped covers at
+        // least everything the unshed run delivered.
+        let mut e2 = engine();
+        let full = small_runner(6).run(&mut e2, hours);
+        assert!(
+            report.collected.len() as u64 + report.dropped >= full.collected.len() as u64,
+            "shed accounting lost tweets: {} delivered + {} dropped < {} total",
+            report.collected.len(),
+            report.dropped,
+            full.collected.len()
+        );
     }
 
     #[test]

@@ -114,7 +114,10 @@ mod tests {
     fn membership_and_lookup() {
         let n = network();
         assert_eq!(n.len(), 3);
-        assert_eq!(n.account_ids(), vec![AccountId(1), AccountId(2), AccountId(3)]);
+        assert_eq!(
+            n.account_ids(),
+            vec![AccountId(1), AccountId(2), AccountId(3)]
+        );
         assert_eq!(
             n.slot_of(AccountId(3)),
             Some(&SampleAttribute::trending(TrendAttribute::TrendingUp))

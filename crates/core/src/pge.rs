@@ -132,7 +132,11 @@ pub fn pge_ranking_with_min(
 /// Overall PGE of a whole run: distinct spammers per node-hour, the
 /// quantity compared against honeypot systems in Table VII.
 pub fn overall_pge(report: &MonitorReport, spam_flags: &[bool]) -> f64 {
-    assert_eq!(report.collected.len(), spam_flags.len(), "flags not parallel");
+    assert_eq!(
+        report.collected.len(),
+        spam_flags.len(),
+        "flags not parallel"
+    );
     let spammers: HashSet<AccountId> = report
         .collected
         .iter()

@@ -196,7 +196,10 @@ pub fn select_network(
         }
         for id in candidates.into_iter().take(quota) {
             taken.insert(id);
-            nodes.push(NodeAssignment { account: id, slot: *slot });
+            nodes.push(NodeAssignment {
+                account: id,
+                slot: *slot,
+            });
         }
     }
     PseudoHoneypotNetwork::new(nodes, shortfalls)

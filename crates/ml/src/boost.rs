@@ -166,7 +166,10 @@ mod tests {
     fn stripes() -> Dataset {
         // Positive iff floor(x / 10) is odd — nonlinear, needs an ensemble.
         let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 40) as f64]).collect();
-        let labels: Vec<bool> = rows.iter().map(|r| ((r[0] / 10.0) as usize) % 2 == 1).collect();
+        let labels: Vec<bool> = rows
+            .iter()
+            .map(|r| ((r[0] / 10.0) as usize) % 2 == 1)
+            .collect();
         Dataset::new(rows, labels).unwrap()
     }
 

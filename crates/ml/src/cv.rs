@@ -93,6 +93,9 @@ pub fn cross_validate_with<F>(
 where
     F: FnMut(&Dataset, u64) -> Box<dyn crate::Classifier>,
 {
+    let _span = ph_telemetry::span("ml.cv");
+    let fold_timer =
+        ph_telemetry::histogram("ml.cv.fold_ms", &ph_telemetry::default_latency_buckets_ms());
     let fold_indices = stratified_folds(data, folds, seed);
     let mut fold_reports = Vec::with_capacity(folds);
     let mut pooled = ConfusionMatrix::default();
@@ -100,6 +103,7 @@ where
         if test_idx.is_empty() {
             continue; // tiny datasets can leave a fold empty
         }
+        let fold_span = ph_telemetry::span("fold");
         let train_idx: Vec<usize> = fold_indices
             .iter()
             .enumerate()
@@ -113,6 +117,7 @@ where
         let matrix = ConfusionMatrix::from_predictions(&predictions, test.labels());
         pooled.merge(&matrix);
         fold_reports.push(matrix.report());
+        fold_timer.record(fold_span.elapsed_ms());
     }
     let mean = ClassificationReport::mean(&fold_reports);
     CrossValidation {

@@ -41,7 +41,10 @@ impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatasetError::LengthMismatch { rows, labels } => {
-                write!(f, "feature rows ({rows}) and labels ({labels}) differ in length")
+                write!(
+                    f,
+                    "feature rows ({rows}) and labels ({labels}) differ in length"
+                )
             }
             DatasetError::RaggedRows {
                 expected,
@@ -289,13 +292,15 @@ mod tests {
 
     #[test]
     fn new_rejects_empty() {
-        assert_eq!(Dataset::new(vec![], vec![]).unwrap_err(), DatasetError::Empty);
+        assert_eq!(
+            Dataset::new(vec![], vec![]).unwrap_err(),
+            DatasetError::Empty
+        );
     }
 
     #[test]
     fn new_rejects_ragged() {
-        let err =
-            Dataset::new(vec![vec![1.0, 2.0], vec![3.0]], vec![true, false]).unwrap_err();
+        let err = Dataset::new(vec![vec![1.0, 2.0], vec![3.0]], vec![true, false]).unwrap_err();
         assert!(matches!(err, DatasetError::RaggedRows { row: 1, .. }));
     }
 
@@ -319,7 +324,7 @@ mod tests {
         let d = toy();
         let s = d.subset(&[2, 0]);
         assert_eq!(s.row(0), &[2.0, 30.0]);
-        assert_eq!(s.label(1), false);
+        assert!(!s.label(1));
     }
 
     #[test]

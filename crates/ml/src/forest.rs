@@ -65,27 +65,36 @@ impl RandomForest {
     ///
     /// Panics if `config.num_trees == 0`.
     pub fn fit(config: &RandomForestConfig, data: &Dataset, seed: u64) -> Self {
+        let _span = ph_telemetry::span("forest.fit");
+        let tree_timer = ph_telemetry::histogram(
+            "ml.forest.tree_train_ms",
+            &ph_telemetry::default_latency_buckets_ms(),
+        );
+        let tree_timer = &tree_timer; // shared ref keeps `train_one` Copy
         assert!(config.num_trees > 0, "forest needs at least one tree");
-        let features_per_split = config.features_per_split.unwrap_or_else(|| {
-            ((data.num_features() as f64).sqrt().round() as usize).max(1)
-        });
+        let features_per_split = config
+            .features_per_split
+            .unwrap_or_else(|| ((data.num_features() as f64).sqrt().round() as usize).max(1));
         // Derive one independent seed per tree up front so parallel and
         // sequential training produce identical forests.
         let mut seeder = StdRng::seed_from_u64(seed);
         let tree_seeds: Vec<u64> = (0..config.num_trees).map(|_| seeder.random()).collect();
 
         let train_one = |tree_seed: u64| -> DecisionTree {
+            let start = std::time::Instant::now();
             let mut rng = StdRng::seed_from_u64(tree_seed);
             // Bootstrap sample: n draws with replacement.
             let n = data.len();
             let indices: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
-            DecisionTree::fit_on_indices(
+            let tree = DecisionTree::fit_on_indices(
                 &config.tree,
                 data,
                 &indices,
                 Some(features_per_split),
                 rng.random(),
-            )
+            );
+            tree_timer.record(start.elapsed().as_secs_f64() * 1e3);
+            tree
         };
 
         let trees: Vec<DecisionTree> = if config.parallel && config.num_trees > 1 {
@@ -95,16 +104,15 @@ impl RandomForest {
                 .min(config.num_trees);
             let mut out: Vec<Option<DecisionTree>> = vec![None; config.num_trees];
             let chunk = config.num_trees.div_ceil(workers);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (slice, seeds) in out.chunks_mut(chunk).zip(tree_seeds.chunks(chunk)) {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (slot, &s) in slice.iter_mut().zip(seeds) {
                             *slot = Some(train_one(s));
                         }
                     });
                 }
-            })
-            .expect("forest worker thread panicked");
+            });
             out.into_iter().map(|t| t.expect("tree trained")).collect()
         } else {
             tree_seeds.into_iter().map(train_one).collect()
@@ -119,11 +127,7 @@ impl RandomForest {
 
     /// Fraction of trees voting positive.
     pub fn predict_probability(&self, features: &[f64]) -> f64 {
-        let votes = self
-            .trees
-            .iter()
-            .filter(|t| t.predict(features))
-            .count();
+        let votes = self.trees.iter().filter(|t| t.predict(features)).count();
         votes as f64 / self.trees.len() as f64
     }
 

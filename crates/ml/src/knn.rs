@@ -124,11 +124,7 @@ mod tests {
 
     #[test]
     fn nearest_neighbour_wins_with_k1() {
-        let data = Dataset::new(
-            vec![vec![0.0], vec![10.0]],
-            vec![false, true],
-        )
-        .unwrap();
+        let data = Dataset::new(vec![vec![0.0], vec![10.0]], vec![false, true]).unwrap();
         let model = KNearestNeighbors::fit(
             &KnnConfig {
                 k: 1,
@@ -166,7 +162,13 @@ mod tests {
         ];
         let labels = vec![false, false, true, true];
         let data = Dataset::new(rows, labels).unwrap();
-        let scaled = KNearestNeighbors::fit(&KnnConfig { k: 1, standardize: true }, &data);
+        let scaled = KNearestNeighbors::fit(
+            &KnnConfig {
+                k: 1,
+                standardize: true,
+            },
+            &data,
+        );
         // Query near the positive cluster on the signal axis, noise mid-range.
         assert!(scaled.predict(&[0.95, 0.0]));
     }
@@ -203,11 +205,7 @@ mod tests {
 
     #[test]
     fn tie_breaks_positive() {
-        let data = Dataset::new(
-            vec![vec![0.0], vec![2.0]],
-            vec![true, false],
-        )
-        .unwrap();
+        let data = Dataset::new(vec![vec![0.0], vec![2.0]], vec![true, false]).unwrap();
         let model = KNearestNeighbors::fit(
             &KnnConfig {
                 k: 2,

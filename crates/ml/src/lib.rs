@@ -124,9 +124,10 @@ impl Algorithm {
                 &tree::DecisionTreeConfig::default(),
                 data,
             )),
-            Algorithm::KNearestNeighbors => {
-                Box::new(knn::KNearestNeighbors::fit(&knn::KnnConfig::default(), data))
-            }
+            Algorithm::KNearestNeighbors => Box::new(knn::KNearestNeighbors::fit(
+                &knn::KnnConfig::default(),
+                data,
+            )),
             Algorithm::LinearSvm => {
                 Box::new(svm::LinearSvm::fit(&svm::SvmConfig::default(), data, seed))
             }

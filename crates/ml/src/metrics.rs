@@ -62,17 +62,26 @@ impl ConfusionMatrix {
 
     /// `TP / (TP + FP)`; 0 when nothing was predicted positive.
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// `TP / (TP + FN)`; 0 when there are no positives.
     pub fn recall(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// `FP / (FP + TN)`; 0 when there are no negatives.
     pub fn false_positive_rate(&self) -> f64 {
-        ratio(self.false_positives, self.false_positives + self.true_negatives)
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
     }
 
     /// Harmonic mean of precision and recall; 0 when either is 0.

@@ -110,7 +110,11 @@ impl LinearSvm {
                     *w *= shrink;
                 }
                 if margin < 1.0 {
-                    let class_weight = if targets[i] > 0.0 { positive_weight } else { 1.0 };
+                    let class_weight = if targets[i] > 0.0 {
+                        positive_weight
+                    } else {
+                        1.0
+                    };
                     let step = eta * targets[i] * class_weight;
                     for (w, &x) in weights.iter_mut().zip(&rows[i]) {
                         *w += step * x;

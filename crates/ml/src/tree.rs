@@ -133,8 +133,8 @@ fn grow(
     core.nodes.push(Node::Leaf { value: 0.0 });
     let mut stack: Vec<(usize, Vec<usize>, usize)> = vec![(0, indices.to_vec(), 0)];
     while let Some((slot, node_indices, depth)) = stack.pop() {
-        let mean = node_indices.iter().map(|&i| targets[i]).sum::<f64>()
-            / node_indices.len() as f64;
+        let mean =
+            node_indices.iter().map(|&i| targets[i]).sum::<f64>() / node_indices.len() as f64;
         let make_leaf = |core: &mut TreeCore| core.nodes[slot] = Node::Leaf { value: mean };
         if depth >= opts.config.max_depth
             || node_indices.len() < opts.config.min_samples_split
@@ -494,7 +494,7 @@ mod tests {
     #[test]
     fn midpoint_separates_adjacent_values() {
         let m = midpoint(1.0, 1.0 + f64::EPSILON);
-        assert!(m >= 1.0 && m < 1.0 + f64::EPSILON);
+        assert!((1.0..1.0 + f64::EPSILON).contains(&m));
     }
 
     #[test]

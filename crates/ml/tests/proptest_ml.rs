@@ -22,7 +22,9 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
                 .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
-        let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| next() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| next() * 10.0).collect())
+            .collect();
         // Label: threshold on first feature, guaranteeing both classes by
         // flipping the first two rows deterministically.
         let mut labels: Vec<bool> = rows.iter().map(|r| r[0] > 5.0).collect();

@@ -144,10 +144,7 @@ where
 }
 
 /// Like [`group_by_pattern`] with an explicit minimum group size.
-pub fn group_by_pattern_with_min<'a, I>(
-    names: I,
-    min_size: usize,
-) -> Vec<(NamePattern, Vec<usize>)>
+pub fn group_by_pattern_with_min<'a, I>(names: I, min_size: usize) -> Vec<(NamePattern, Vec<usize>)>
 where
     I: IntoIterator<Item = &'a str>,
 {
@@ -210,7 +207,7 @@ mod tests {
 
     #[test]
     fn grouping_respects_min_size() {
-        let names = vec!["aa1", "bb2", "cc3", "dd4", "XY"];
+        let names = ["aa1", "bb2", "cc3", "dd4", "XY"];
         assert!(group_by_pattern(names.iter().copied()).is_empty());
         let groups = group_by_pattern_with_min(names.iter().copied(), 4);
         assert_eq!(groups.len(), 1);
@@ -219,7 +216,7 @@ mod tests {
 
     #[test]
     fn groups_sorted_by_size_descending() {
-        let names = vec![
+        let names = [
             "aaa1", "bbb2", "ccc3", // pattern l3 N1 ×3
             "A1", "B2", "C3", "D4", // pattern U1 N1 ×4
         ];

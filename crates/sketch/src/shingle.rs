@@ -33,7 +33,9 @@ pub fn normalize(text: &str) -> String {
     let mut words: Vec<String> = Vec::new();
     for raw in text.split_whitespace() {
         let lower = raw.to_lowercase();
-        if lower.starts_with("http://") || lower.starts_with("https://") || lower.starts_with("www.")
+        if lower.starts_with("http://")
+            || lower.starts_with("https://")
+            || lower.starts_with("www.")
         {
             continue;
         }

@@ -1,0 +1,120 @@
+//! `ph-telemetry` — observability substrate for the pseudo-honeypot
+//! pipeline.
+//!
+//! The paper's headline numbers are *rates measured over time* (PGE,
+//! spammers per node-hour, collection efficiency), so the reproduction
+//! needs to see its own stages: how long a simulated hour takes, how many
+//! tweets the monitor collected and shed, where labeling time goes, how
+//! expensive forest training is per tree. This crate provides that with
+//! zero dependencies (std only):
+//!
+//! - **Spans** ([`span`], [`time`]): wall-clock timed, hierarchical via a
+//!   per-thread stack — nesting `span("monitor.run")` over
+//!   `span("switch")` records `monitor.run.switch`. Aggregated as
+//!   count/total/min/max per path.
+//! - **Counters** ([`counter`]): monotone `u64`s (tweets collected,
+//!   tweets dropped, features extracted).
+//! - **Gauges** ([`gauge`]): last-value-wins `f64`s with an `add` upsert
+//!   (buffer depth, per-slot node-hours).
+//! - **Histograms** ([`histogram`]): fixed upper-bound buckets plus a
+//!   catch-all overflow bucket, with sum/min/max — latency and per-hour
+//!   volume distributions.
+//! - **Run reports** ([`snapshot`], [`RunReport::to_json`],
+//!   [`write_json_report`]): one JSON document with every metric above,
+//!   written by the CLI's `--metrics-out` and by every `ph-bench` binary.
+//! - **A leveled logger** ([`set_max_level`], [`log_info!`] and
+//!   friends): the CLI's `--log-level`/`--quiet` plumbing.
+//!
+//! Everything lives in one process-global registry, is thread-safe, and
+//! is cheap enough for per-stage (not per-tweet-inner-loop)
+//! instrumentation: counters are a single atomic add once the handle is
+//! cached (see [`cached_counter!`]), spans cost two `Instant::now` calls
+//! plus one short mutex-guarded map update on close.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod logger;
+mod metrics;
+mod registry;
+mod report;
+mod spans;
+
+pub use logger::{log_args, set_max_level, set_quiet, Level, ParseLevelError};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{counter, gauge, histogram, reset, snapshot};
+pub use report::{
+    write_json_report, CounterSnapshot, GaugeSnapshot, HistogramReport, RunReport, SpanSnapshot,
+};
+pub use spans::{span, time, SpanGuard};
+
+/// Default bucket upper bounds (milliseconds) for stage-latency
+/// histograms: exponential 0.25 ms → 16 s.
+#[must_use]
+pub fn default_latency_buckets_ms() -> Vec<f64> {
+    let mut edge = 0.25;
+    let mut buckets = Vec::with_capacity(17);
+    while edge <= 16_384.0 {
+        buckets.push(edge);
+        edge *= 2.0;
+    }
+    buckets
+}
+
+/// Fetches (and on first use registers) a counter through a per-call-site
+/// static cell, making steady-state increments a single atomic add.
+#[macro_export]
+macro_rules! cached_counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**CELL.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global registry is shared across the test binary's threads, so
+    // these tests use distinct metric names instead of `reset()` races.
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        counter("test.lib.counter").add(3);
+        counter("test.lib.counter").add(4);
+        let report = snapshot();
+        let c = report
+            .counters
+            .iter()
+            .find(|c| c.name == "test.lib.counter")
+            .expect("registered");
+        assert!(c.value >= 7);
+    }
+
+    #[test]
+    fn cached_counter_returns_the_same_instance() {
+        let a = cached_counter!("test.lib.cached") as *const Counter;
+        let b = cached_counter!("test.lib.cached2") as *const Counter;
+        assert_ne!(a, b, "distinct call sites may differ");
+        for _ in 0..10 {
+            cached_counter!("test.lib.cached").add(1);
+        }
+        let report = snapshot();
+        let c = report
+            .counters
+            .iter()
+            .find(|c| c.name == "test.lib.cached")
+            .expect("registered");
+        assert!(c.value >= 10);
+    }
+
+    #[test]
+    fn default_buckets_are_sorted_and_positive() {
+        let buckets = default_latency_buckets_ms();
+        assert!(buckets.len() > 10);
+        assert!(buckets.windows(2).all(|w| w[0] < w[1]));
+        assert!(buckets[0] > 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! A tiny leveled stderr logger behind an atomic level switch, so the
+//! CLI's `--log-level` and `--quiet` flags cost one atomic load per
+//! suppressed message.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or surprising failures.
+    Error = 0,
+    /// Degraded-but-continuing conditions (e.g. buffer shed).
+    Warn = 1,
+    /// Normal run progress. The default.
+    Info = 2,
+    /// Per-stage details.
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Error from parsing an unknown level name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown log level '{}' (expected error, warn, info, or debug)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(ParseLevelError(other.to_string())),
+        }
+    }
+}
+
+/// `Level as u8`, plus a sentinel below `Error` for `--quiet`.
+const QUIET: u8 = u8::MAX;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the most verbose level that still prints.
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Silences the logger entirely (even errors) — the CLI's `--quiet`.
+pub fn set_quiet() {
+    MAX_LEVEL.store(QUIET, Ordering::Relaxed);
+}
+
+fn enabled(level: Level) -> bool {
+    let max = MAX_LEVEL.load(Ordering::Relaxed);
+    max != QUIET && level as u8 <= max
+}
+
+/// Backend for the `log_*!` macros; prefer those at call sites.
+pub fn log_args(level: Level, args: fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("[{:5}] {}", level.tag(), args);
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => {
+        $crate::log_args($crate::Level::Error, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => {
+        $crate::log_args($crate::Level::Warn, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        $crate::log_args($crate::Level::Info, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        $crate::log_args($crate::Level::Debug, ::std::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("info".parse::<Level>(), Ok(Level::Info));
+        assert_eq!("WARN".parse::<Level>(), Ok(Level::Warn));
+        assert_eq!("warning".parse::<Level>(), Ok(Level::Warn));
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn parse_error_names_the_input() {
+        let err = "loud".parse::<Level>().unwrap_err();
+        assert!(err.to_string().contains("'loud'"));
+    }
+
+    #[test]
+    fn macros_compile_at_every_level() {
+        // Output goes to stderr; this just exercises the macro plumbing.
+        crate::log_error!("e {}", 1);
+        crate::log_warn!("w");
+        crate::log_info!("i");
+        crate::log_debug!("d");
+    }
+}

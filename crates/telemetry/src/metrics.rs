@@ -1,0 +1,263 @@
+//! Metric primitives: counters, gauges, histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn zero(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins `f64` gauge with an accumulate mode.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` to the gauge (compare-and-swap loop).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn zero(&self) {
+        self.set(0.0);
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct HistogramInner {
+    /// One count per bucket in `bounds`, plus a final overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper edges, with an
+/// implicit overflow bucket above the last edge.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    inner: Mutex<HistogramInner>,
+}
+
+impl Histogram {
+    pub(crate) fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            inner: Mutex::new(HistogramInner {
+                counts: vec![0; bounds.len() + 1],
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&edge| value <= edge)
+            .unwrap_or(self.bounds.len());
+        let mut inner = self.inner.lock().expect("histogram lock poisoned");
+        inner.counts[bucket] += 1;
+        inner.sum += value;
+        if inner.count == 0 {
+            inner.min = value;
+            inner.max = value;
+        } else {
+            inner.min = inner.min.min(value);
+            inner.max = inner.max.max(value);
+        }
+        inner.count += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().expect("histogram lock poisoned").count
+    }
+
+    /// A consistent point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = self.inner.lock().expect("histogram lock poisoned").clone();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: inner.counts,
+            count: inner.count,
+            sum: inner.sum,
+            min: inner.min,
+            max: inner.max,
+        }
+    }
+
+    pub(crate) fn zero(&self) {
+        let mut inner = self.inner.lock().expect("histogram lock poisoned");
+        let buckets = inner.counts.len();
+        *inner = HistogramInner {
+            counts: vec![0; buckets],
+            ..Default::default()
+        };
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket edges; the final count in `counts` is the
+    /// overflow bucket above the last edge.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_zeroes() {
+        let c = Counter::default();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.zero();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_sets_and_accumulates() {
+        let g = Gauge::default();
+        g.set(2.5);
+        assert!((g.get() - 2.5).abs() < 1e-12);
+        g.add(1.25);
+        g.add(-0.75);
+        assert!((g.get() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_routes_to_buckets() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.record(0.5); // bucket 0
+        h.record(1.0); // bucket 0 (inclusive edge)
+        h.record(5.0); // bucket 1
+        h.record(50.0); // bucket 2
+        h.record(500.0); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert!((s.min - 0.5).abs() < 1e-12);
+        assert!((s.max - 500.0).abs() < 1e-12);
+        assert!((s.mean() - 556.5 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_zero_keeps_shape() {
+        let h = Histogram::new(&[1.0]);
+        h.record(0.5);
+        h.record(7.0);
+        h.zero();
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 0]);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let c = std::sync::Arc::new(Counter::default());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,199 @@
+//! The process-global metric registry.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::report::{CounterSnapshot, GaugeSnapshot, HistogramReport, RunReport, SpanSnapshot};
+use crate::spans::SpanStats;
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<HashMap<String, Arc<Counter>>>,
+    gauges: Mutex<HashMap<String, Arc<Gauge>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+    spans: Mutex<HashMap<String, SpanStats>>,
+}
+
+fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+/// Fetches (registering on first use) the counter named `name`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut counters = global().counters.lock().expect("registry lock poisoned");
+    Arc::clone(
+        counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::default())),
+    )
+}
+
+/// Fetches (registering on first use) the gauge named `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut gauges = global().gauges.lock().expect("registry lock poisoned");
+    Arc::clone(
+        gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::default())),
+    )
+}
+
+/// Fetches (registering on first use) the histogram named `name` with the
+/// given bucket upper edges. A histogram keeps the bounds it was first
+/// registered with; later callers' `bounds` are ignored.
+pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
+    let mut histograms = global().histograms.lock().expect("registry lock poisoned");
+    Arc::clone(
+        histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+    )
+}
+
+pub(crate) fn record_span(path: &str, elapsed_ns: u64) {
+    let mut spans = global().spans.lock().expect("registry lock poisoned");
+    spans
+        .entry(path.to_string())
+        .or_default()
+        .record(elapsed_ns);
+}
+
+/// Zeroes every registered metric **in place**: cached counter/gauge/
+/// histogram handles stay valid; span aggregates are cleared. Intended
+/// for the start of an instrumented run (and for tests).
+pub fn reset() {
+    let registry = global();
+    for c in registry
+        .counters
+        .lock()
+        .expect("registry lock poisoned")
+        .values()
+    {
+        c.zero();
+    }
+    for g in registry
+        .gauges
+        .lock()
+        .expect("registry lock poisoned")
+        .values()
+    {
+        g.zero();
+    }
+    for h in registry
+        .histograms
+        .lock()
+        .expect("registry lock poisoned")
+        .values()
+    {
+        h.zero();
+    }
+    registry
+        .spans
+        .lock()
+        .expect("registry lock poisoned")
+        .clear();
+}
+
+/// Takes a consistent point-in-time copy of every registered metric,
+/// sorted by name for stable report diffs.
+#[must_use]
+pub fn snapshot() -> RunReport {
+    let registry = global();
+    let mut counters: Vec<CounterSnapshot> = registry
+        .counters
+        .lock()
+        .expect("registry lock poisoned")
+        .iter()
+        .map(|(name, c)| CounterSnapshot {
+            name: name.clone(),
+            value: c.get(),
+        })
+        .collect();
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut gauges: Vec<GaugeSnapshot> = registry
+        .gauges
+        .lock()
+        .expect("registry lock poisoned")
+        .iter()
+        .map(|(name, g)| GaugeSnapshot {
+            name: name.clone(),
+            value: g.get(),
+        })
+        .collect();
+    gauges.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut histograms: Vec<HistogramReport> = registry
+        .histograms
+        .lock()
+        .expect("registry lock poisoned")
+        .iter()
+        .map(|(name, h)| HistogramReport {
+            name: name.clone(),
+            snapshot: h.snapshot(),
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut spans: Vec<SpanSnapshot> = registry
+        .spans
+        .lock()
+        .expect("registry lock poisoned")
+        .iter()
+        .map(|(path, stats)| SpanSnapshot {
+            path: path.clone(),
+            count: stats.count,
+            total_ms: stats.total_ns as f64 / 1e6,
+            mean_ms: if stats.count == 0 {
+                0.0
+            } else {
+                stats.total_ns as f64 / stats.count as f64 / 1e6
+            },
+            min_ms: stats.min_ns as f64 / 1e6,
+            max_ms: stats.max_ns as f64 / 1e6,
+        })
+        .collect();
+    spans.sort_by(|a, b| a.path.cmp(&b.path));
+
+    RunReport {
+        spans,
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_returns_shared_instances() {
+        let a = counter("test.registry.shared");
+        let b = counter("test.registry.shared");
+        a.add(5);
+        assert_eq!(b.get(), a.get());
+    }
+
+    #[test]
+    fn histogram_keeps_first_bounds() {
+        let a = histogram("test.registry.hist", &[1.0, 2.0]);
+        let b = histogram("test.registry.hist", &[9.0]);
+        a.record(1.5);
+        assert_eq!(b.snapshot().bounds, vec![1.0, 2.0]);
+        assert_eq!(b.count(), a.count());
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        counter("test.registry.zzz").inc();
+        counter("test.registry.aaa").inc();
+        let report = snapshot();
+        let names: Vec<&str> = report.counters.iter().map(|c| c.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

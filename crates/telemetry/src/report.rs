@@ -1,0 +1,236 @@
+//! Machine-readable run reports: a point-in-time snapshot of the whole
+//! registry, serialized as one JSON document.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::json;
+use crate::metrics::HistogramSnapshot;
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Dotted span path, e.g. `"monitor.run.switch"`.
+    pub path: String,
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total wall-clock milliseconds across all closes.
+    pub total_ms: f64,
+    /// Mean milliseconds per close (0 when `count` is 0).
+    pub mean_ms: f64,
+    /// Fastest close, milliseconds.
+    pub min_ms: f64,
+    /// Slowest close, milliseconds.
+    pub max_ms: f64,
+}
+
+/// One counter's name and value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered counter name.
+    pub name: String,
+    /// Current total.
+    pub value: u64,
+}
+
+/// One gauge's name and value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Registered gauge name.
+    pub name: String,
+    /// Current value.
+    pub value: f64,
+}
+
+/// One histogram's name and distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramReport {
+    /// Registered histogram name.
+    pub name: String,
+    /// The distribution at snapshot time.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// Everything the registry knew at snapshot time, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Span timing aggregates, sorted by path.
+    pub spans: Vec<SpanSnapshot>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramReport>,
+}
+
+impl RunReport {
+    /// Finds a counter's value by name.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Finds a span aggregate by path.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Renders the report as a pretty-printed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"path\": ");
+            json::push_str_literal(&mut out, &s.path);
+            let _ = write!(out, ", \"count\": {}, \"total_ms\": ", s.count);
+            json::push_f64(&mut out, s.total_ms);
+            out.push_str(", \"mean_ms\": ");
+            json::push_f64(&mut out, s.mean_ms);
+            out.push_str(", \"min_ms\": ");
+            json::push_f64(&mut out, s.min_ms);
+            out.push_str(", \"max_ms\": ");
+            json::push_f64(&mut out, s.max_ms);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"name\": ");
+            json::push_str_literal(&mut out, &c.name);
+            let _ = write!(out, ", \"value\": {}}}", c.value);
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"name\": ");
+            json::push_str_literal(&mut out, &g.name);
+            out.push_str(", \"value\": ");
+            json::push_f64(&mut out, g.value);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"name\": ");
+            json::push_str_literal(&mut out, &h.name);
+            out.push_str(", \"bounds\": ");
+            json::push_f64_array(&mut out, &h.snapshot.bounds);
+            out.push_str(", \"counts\": ");
+            json::push_u64_array(&mut out, &h.snapshot.counts);
+            let _ = write!(out, ", \"count\": {}, \"sum\": ", h.snapshot.count);
+            json::push_f64(&mut out, h.snapshot.sum);
+            out.push_str(", \"mean\": ");
+            json::push_f64(&mut out, h.snapshot.mean());
+            out.push_str(", \"min\": ");
+            json::push_f64(&mut out, h.snapshot.min);
+            out.push_str(", \"max\": ");
+            json::push_f64(&mut out, h.snapshot.max);
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Snapshots the registry and writes the JSON report to `path`, creating
+/// parent directories as needed.
+pub fn write_json_report(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, crate::snapshot().to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            spans: vec![SpanSnapshot {
+                path: "a.b".to_string(),
+                count: 2,
+                total_ms: 3.0,
+                mean_ms: 1.5,
+                min_ms: 1.0,
+                max_ms: 2.0,
+            }],
+            counters: vec![CounterSnapshot {
+                name: "tweets".to_string(),
+                value: 7,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "depth".to_string(),
+                value: 0.5,
+            }],
+            histograms: vec![HistogramReport {
+                name: "lat".to_string(),
+                snapshot: HistogramSnapshot {
+                    bounds: vec![1.0],
+                    counts: vec![1, 0],
+                    count: 1,
+                    sum: 0.25,
+                    min: 0.25,
+                    max: 0.25,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let json = sample_report().to_json();
+        for needle in [
+            "\"spans\"",
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"path\": \"a.b\"",
+            "\"name\": \"tweets\", \"value\": 7",
+            "\"bounds\": [1]",
+            "\"counts\": [1,0]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_is_balanced() {
+        // Cheap structural check without a parser: balanced delimiters
+        // and no trailing commas before closers.
+        let json = sample_report().to_json();
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+        assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn lookup_helpers_find_entries() {
+        let report = sample_report();
+        assert_eq!(report.counter_value("tweets"), Some(7));
+        assert_eq!(report.counter_value("nope"), None);
+        assert_eq!(report.span("a.b").map(|s| s.count), Some(2));
+    }
+
+    #[test]
+    fn write_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("ph-telemetry-test-report");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("run.json");
+        write_json_report(&path).expect("write succeeds");
+        let body = std::fs::read_to_string(&path).expect("readable");
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,167 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span is opened with [`span`] (RAII guard) or [`time`] (closure) and
+//! records its elapsed wall-clock time when it closes. Span names nest
+//! through a per-thread stack: closing `"switch"` while `"monitor.run"`
+//! is open aggregates under the path `"monitor.run.switch"`. Aggregation
+//! is count/total/min/max per path in the global registry.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard: records the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+    closed: bool,
+}
+
+/// Opens a span named `name`, nested under any span already open on this
+/// thread.
+pub fn span(name: &'static str) -> SpanGuard {
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.join(".")
+    });
+    SpanGuard {
+        path,
+        start: Instant::now(),
+        closed: false,
+    }
+}
+
+/// Times `f` under a span named `name`.
+pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _guard = span(name);
+    f()
+}
+
+impl SpanGuard {
+    /// The full dotted path this span records under.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Elapsed time so far.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let elapsed_ns = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        registry::record_span(&self.path, elapsed_ns);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across all closes.
+    pub total_ns: u64,
+    /// Fastest close, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest close, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    pub(crate) fn record(&mut self, elapsed_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = elapsed_ns;
+            self.max_ns = elapsed_ns;
+        } else {
+            self.min_ns = self.min_ns.min(elapsed_ns);
+            self.max_ns = self.max_ns.max(elapsed_ns);
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot;
+
+    fn stats_for(report: &crate::RunReport, path: &str) -> Option<crate::SpanSnapshot> {
+        report.spans.iter().find(|s| s.path == path).cloned()
+    }
+
+    #[test]
+    fn spans_nest_through_the_thread_stack() {
+        {
+            let outer = span("test.spans.outer");
+            assert_eq!(outer.path(), "test.spans.outer");
+            let inner = span("inner");
+            assert_eq!(inner.path(), "test.spans.outer.inner");
+            drop(inner);
+            let second = span("second");
+            assert_eq!(second.path(), "test.spans.outer.second");
+        }
+        let report = snapshot();
+        let outer = stats_for(&report, "test.spans.outer").expect("outer recorded");
+        assert!(outer.count >= 1);
+        assert!(stats_for(&report, "test.spans.outer.inner").is_some());
+        assert!(stats_for(&report, "test.spans.outer.second").is_some());
+    }
+
+    #[test]
+    fn time_records_and_returns() {
+        let value = time("test.spans.time", || 21 * 2);
+        assert_eq!(value, 42);
+        let report = snapshot();
+        let s = stats_for(&report, "test.spans.time").expect("recorded");
+        assert!(s.count >= 1);
+        assert!(s.max_ms >= s.min_ms);
+        assert!(s.total_ms >= s.max_ms - 1e-9);
+    }
+
+    #[test]
+    fn sibling_threads_do_not_inherit_parents() {
+        let _outer = span("test.spans.parent");
+        let path = std::thread::scope(|scope| {
+            scope
+                .spawn(|| span("test.spans.child").path().to_string())
+                .join()
+                .expect("no panic")
+        });
+        assert_eq!(path, "test.spans.child");
+    }
+
+    #[test]
+    fn span_stats_track_extremes() {
+        let mut stats = SpanStats::default();
+        stats.record(50);
+        stats.record(10);
+        stats.record(90);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.total_ns, 150);
+        assert_eq!(stats.min_ns, 10);
+        assert_eq!(stats.max_ns, 90);
+    }
+}

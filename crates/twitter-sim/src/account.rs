@@ -8,9 +8,7 @@ use crate::text::SpamFlavor;
 use crate::topics::TopicCategory;
 
 /// Identifier of an account within one simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AccountId(pub u32);
 
 impl AccountId {
@@ -27,9 +25,7 @@ impl std::fmt::Display for AccountId {
 }
 
 /// Identifier of a spam campaign.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CampaignId(pub u16);
 
 /// Whether an account is organic or a campaign-operated spammer.

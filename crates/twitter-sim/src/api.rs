@@ -7,9 +7,7 @@
 //! access.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::account::AccountId;
 use crate::tweet::Tweet;
@@ -48,7 +46,7 @@ impl StreamBus {
     /// A tweet matches when it *mentions* a tracked account or is *authored
     /// by* one (the paper's categories (1)–(3) of collected tweets).
     pub(crate) fn publish(&self, tweet: &Tweet) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("stream bus lock poisoned");
         for sub in inner.subscriptions.values_mut() {
             let matches = sub.tracked.contains(&tweet.author)
                 || tweet.mentions.iter().any(|m| sub.tracked.contains(m));
@@ -97,7 +95,7 @@ impl StreamingApi {
         I: IntoIterator<Item = AccountId>,
     {
         assert!(capacity > 0, "buffer capacity must be positive");
-        let mut inner = self.bus.inner.lock();
+        let mut inner = self.bus.inner.lock().expect("stream bus lock poisoned");
         let id = inner.next_id;
         inner.next_id += 1;
         inner.subscriptions.insert(
@@ -122,7 +120,7 @@ impl StreamingApi {
     where
         I: IntoIterator<Item = AccountId>,
     {
-        let mut inner = self.bus.inner.lock();
+        let mut inner = self.bus.inner.lock().expect("stream bus lock poisoned");
         match inner.subscriptions.get_mut(&id.0) {
             Some(sub) => {
                 sub.tracked = accounts.into_iter().collect();
@@ -138,7 +136,7 @@ impl StreamingApi {
     ///
     /// Returns `Err` if the subscription does not exist.
     pub fn poll(&self, id: SubscriptionId) -> Result<Vec<Tweet>, ClosedSubscription> {
-        let mut inner = self.bus.inner.lock();
+        let mut inner = self.bus.inner.lock().expect("stream bus lock poisoned");
         match inner.subscriptions.get_mut(&id.0) {
             Some(sub) => Ok(sub.queue.drain(..).collect()),
             None => Err(ClosedSubscription(id)),
@@ -151,7 +149,7 @@ impl StreamingApi {
     ///
     /// Returns `Err` if the subscription does not exist.
     pub fn dropped(&self, id: SubscriptionId) -> Result<u64, ClosedSubscription> {
-        let inner = self.bus.inner.lock();
+        let inner = self.bus.inner.lock().expect("stream bus lock poisoned");
         inner
             .subscriptions
             .get(&id.0)
@@ -161,12 +159,22 @@ impl StreamingApi {
 
     /// Closes a subscription; subsequent calls with its id fail.
     pub fn close(&self, id: SubscriptionId) {
-        self.bus.inner.lock().subscriptions.remove(&id.0);
+        self.bus
+            .inner
+            .lock()
+            .expect("stream bus lock poisoned")
+            .subscriptions
+            .remove(&id.0);
     }
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.bus.inner.lock().subscriptions.len()
+        self.bus
+            .inner
+            .lock()
+            .expect("stream bus lock poisoned")
+            .subscriptions
+            .len()
     }
 }
 

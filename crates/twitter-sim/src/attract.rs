@@ -156,7 +156,9 @@ pub fn weighted_sample(weights: &[f64], k: usize, rng: &mut StdRng) -> Vec<usize
     (0..k)
         .map(|_| {
             let draw = rng.random::<f64>() * acc;
-            cumulative.partition_point(|&c| c < draw).min(weights.len() - 1)
+            cumulative
+                .partition_point(|&c| c < draw)
+                .min(weights.len() - 1)
         })
         .collect()
 }

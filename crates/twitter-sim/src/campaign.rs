@@ -310,8 +310,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let c1 = Campaign::generate(CampaignId(1), &mut rng);
         let c2 = Campaign::generate(CampaignId(2), &mut rng);
-        let d = DHash128::of(&c1.image_template)
-            .hamming_distance(DHash128::of(&c2.image_template));
+        let d = DHash128::of(&c1.image_template).hamming_distance(DHash128::of(&c2.image_template));
         assert!(d > 5, "templates collide: distance {d}");
     }
 

@@ -258,6 +258,7 @@ impl Engine {
 
     /// Simulates one hour.
     pub fn step_hour(&mut self) {
+        let _span = ph_telemetry::span("simulate.step_hour");
         // Spammer drift takes effect at the scheduled hour boundary.
         if let Some(schedule) = &self.config.drift {
             if let Some(event) = schedule.change_at(self.time.whole_hours()) {
@@ -308,6 +309,7 @@ impl Engine {
         for tweet in &tweets {
             self.deliver(tweet);
         }
+        ph_telemetry::cached_counter!("simulate.tweets_posted").add(tweets.len() as u64);
         self.recent_posters = posters;
         self.finish_hour();
     }
@@ -449,7 +451,18 @@ impl Engine {
             text = format!("{text} #{h}");
         }
 
-        self.make_tweet(index, created_at, kind, source, text, hashtags, mentions, urls, reacted_to_post_at, false)
+        self.make_tweet(
+            index,
+            created_at,
+            kind,
+            source,
+            text,
+            hashtags,
+            mentions,
+            urls,
+            reacted_to_post_at,
+            false,
+        )
     }
 
     /// Spam mentions from campaign account `index` during this hour.
@@ -626,8 +639,7 @@ impl Engine {
         }
         for campaign_id in replacements {
             let id = AccountId(self.accounts.len() as u32);
-            let member =
-                self.campaigns[campaign_id.0 as usize].generate_member(id, &mut self.rng);
+            let member = self.campaigns[campaign_id.0 as usize].generate_member(id, &mut self.rng);
             self.accounts.push(member);
             self.states.push(AccountState::default());
         }
@@ -759,12 +771,19 @@ impl GroundTruth<'_> {
 
     /// The campaign operating the account, if any.
     pub fn campaign_of(&self, id: AccountId) -> Option<CampaignId> {
-        self.engine.accounts.get(id.index()).and_then(Account::campaign)
+        self.engine
+            .accounts
+            .get(id.index())
+            .and_then(Account::campaign)
     }
 
     /// Total ground-truth spammer accounts in the network.
     pub fn num_spammers(&self) -> usize {
-        self.engine.accounts.iter().filter(|a| a.is_spammer()).count()
+        self.engine
+            .accounts
+            .iter()
+            .filter(|a| a.is_spammer())
+            .count()
     }
 }
 

@@ -21,38 +21,32 @@ use crate::topics::TopicCategory;
 /// anchoring; `ph-core` re-declares them as selection targets).
 pub mod grids {
     /// Attribute 1: friends count.
-    pub const FRIENDS: [f64; 10] =
-        [10., 50., 100., 200., 300., 500., 1_000., 3_000., 5_000., 10_000.];
+    pub const FRIENDS: [f64; 10] = [
+        10., 50., 100., 200., 300., 500., 1_000., 3_000., 5_000., 10_000.,
+    ];
     /// Attribute 2: follower count.
     pub const FOLLOWERS: [f64; 10] = FRIENDS;
     /// Attribute 3: total friends and followers.
-    pub const TOTAL: [f64; 10] =
-        [20., 100., 200., 500., 1_000., 2_000., 3_000., 5_000., 10_000., 30_000.];
+    pub const TOTAL: [f64; 10] = [
+        20., 100., 200., 500., 1_000., 2_000., 3_000., 5_000., 10_000., 30_000.,
+    ];
     /// Attribute 4: friends / followers.
     pub const RATIO: [f64; 10] = [0.1, 0.125, 0.25, 0.5, 1., 2., 4., 6., 8., 10.];
     /// Attribute 5: account age in days.
-    pub const AGE_DAYS: [f64; 10] =
-        [10., 50., 100., 300., 500., 1_000., 1_500., 2_000., 2_500., 3_000.];
+    pub const AGE_DAYS: [f64; 10] = [
+        10., 50., 100., 300., 500., 1_000., 1_500., 2_000., 2_500., 3_000.,
+    ];
     /// Attribute 6: lists count.
     pub const LISTS: [f64; 10] = [10., 20., 30., 40., 50., 70., 100., 200., 300., 500.];
     /// Attribute 7: favorites count.
-    pub const FAVORITES: [f64; 10] =
-        [10., 50., 100., 500., 1_000., 5_000., 10_000., 50_000., 100_000., 200_000.];
+    pub const FAVORITES: [f64; 10] = [
+        10., 50., 100., 500., 1_000., 5_000., 10_000., 50_000., 100_000., 200_000.,
+    ];
     /// Attribute 8: status count.
     pub const STATUSES: [f64; 10] = FAVORITES;
     /// Attribute 9: average lists joined per day.
-    pub const LISTS_PER_DAY: [f64; 10] = [
-        0.01,
-        0.02,
-        0.05,
-        0.1,
-        0.125,
-        1.0 / 6.0,
-        0.25,
-        0.5,
-        1.,
-        2.,
-    ];
+    pub const LISTS_PER_DAY: [f64; 10] =
+        [0.01, 0.02, 0.05, 0.1, 0.125, 1.0 / 6.0, 0.25, 0.5, 1., 2.];
     /// Attribute 10: average favorites per day.
     pub const FAVORITES_PER_DAY: [f64; 10] = [0.02, 0.1, 0.2, 0.5, 1., 2., 3., 5., 10., 50.];
     /// Attribute 11: average statuses per day.
@@ -290,7 +284,10 @@ mod tests {
                     (v - target).abs() <= target * 0.1 + 1.0
                 })
                 .count();
-            assert!(hits >= 3, "friends grid value {target} has only {hits} hits");
+            assert!(
+                hits >= 3,
+                "friends grid value {target} has only {hits} hits"
+            );
         }
     }
 
@@ -332,7 +329,10 @@ mod tests {
     #[test]
     fn some_accounts_have_no_interests() {
         let pop = population(500, 5);
-        let none = pop.iter().filter(|a| a.behavior.interests.is_empty()).count();
+        let none = pop
+            .iter()
+            .filter(|a| a.behavior.interests.is_empty())
+            .count();
         assert!(none > 20, "only {none} hashtag-free accounts");
         assert!(none < 200, "{none} hashtag-free accounts is too many");
     }

@@ -13,11 +13,48 @@ use rand::Rng;
 
 /// Benign vocabulary for organic tweets and descriptions.
 pub const BENIGN_WORDS: &[&str] = &[
-    "coffee", "morning", "weekend", "project", "reading", "music", "garden", "friends", "family",
-    "travel", "photo", "recipe", "game", "movie", "book", "lecture", "meeting", "sunset",
-    "running", "cycling", "painting", "coding", "concert", "museum", "festival", "puppy",
-    "kitten", "dinner", "breakfast", "holiday", "beach", "mountain", "river", "library",
-    "workshop", "seminar", "podcast", "album", "season", "episode", "recipe", "bakery",
+    "coffee",
+    "morning",
+    "weekend",
+    "project",
+    "reading",
+    "music",
+    "garden",
+    "friends",
+    "family",
+    "travel",
+    "photo",
+    "recipe",
+    "game",
+    "movie",
+    "book",
+    "lecture",
+    "meeting",
+    "sunset",
+    "running",
+    "cycling",
+    "painting",
+    "coding",
+    "concert",
+    "museum",
+    "festival",
+    "puppy",
+    "kitten",
+    "dinner",
+    "breakfast",
+    "holiday",
+    "beach",
+    "mountain",
+    "river",
+    "library",
+    "workshop",
+    "seminar",
+    "podcast",
+    "album",
+    "season",
+    "episode",
+    "recipe",
+    "bakery",
 ];
 
 /// Short human-ish given names used for organic display names.

@@ -191,13 +191,16 @@ impl TopicEngine {
             .filter(|t| t.category == category)
             .collect();
         in_cat.sort_by(|a, b| b.heat.total_cmp(&a.heat));
-        in_cat.into_iter().take(k).map(|t| t.name.as_str()).collect()
+        in_cat
+            .into_iter()
+            .take(k)
+            .map(|t| t.name.as_str())
+            .collect()
     }
 
     /// The `k` hottest topics currently in trend state `trend`.
     pub fn trending(&self, trend: Trend, k: usize) -> Vec<&str> {
-        let mut matching: Vec<&Topic> =
-            self.topics.iter().filter(|t| t.trend == trend).collect();
+        let mut matching: Vec<&Topic> = self.topics.iter().filter(|t| t.trend == trend).collect();
         matching.sort_by(|a, b| b.heat.total_cmp(&a.heat));
         matching
             .into_iter()
@@ -252,10 +255,7 @@ mod tests {
         let (e, _) = engine(1);
         assert_eq!(e.topics().len(), 12 * 8);
         for &cat in &TopicCategory::ALL {
-            assert_eq!(
-                e.topics().iter().filter(|t| t.category == cat).count(),
-                12
-            );
+            assert_eq!(e.topics().iter().filter(|t| t.category == cat).count(), 12);
         }
     }
 

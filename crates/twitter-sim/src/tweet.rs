@@ -6,9 +6,7 @@ use crate::account::AccountId;
 use crate::time::SimTime;
 
 /// Identifier of a tweet within one simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TweetId(pub u64);
 
 /// The paper's "tweet status" content feature: tweet, retweet, or quote.

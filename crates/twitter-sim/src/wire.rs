@@ -4,7 +4,8 @@
 //! chunked HTTP connection; the simulator's equivalent is a compact binary
 //! frame (length-prefixed fields) so that stream consumers can be exercised
 //! end-to-end — encode on the "server" side, decode on the client side —
-//! without a JSON dependency.
+//! without a JSON (or even a buffer-crate) dependency: frames are plain
+//! `Vec<u8>`s and decoding walks a `&[u8]` cursor.
 //!
 //! Frame layout (all integers little-endian):
 //!
@@ -17,8 +18,6 @@
 //! ```
 //!
 //! where `str` is `u32 len + bytes` and `[T]` is `u32 count + items`.
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::account::AccountId;
 use crate::time::SimTime;
@@ -55,42 +54,45 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Encodes one tweet into a self-delimited frame.
-pub fn encode_frame(tweet: &Tweet) -> Bytes {
-    let mut body = BytesMut::with_capacity(64 + tweet.text.len());
-    body.put_u64_le(tweet.id.0);
-    body.put_u32_le(tweet.author.0);
-    body.put_u64_le(tweet.created_at.as_minutes());
-    body.put_u8(match tweet.kind {
-        TweetKind::Original => 0,
-        TweetKind::Retweet => 1,
-        TweetKind::Quote => 2,
-    });
-    body.put_u8(tweet.source.index() as u8);
+pub fn encode_frame(tweet: &Tweet) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64 + tweet.text.len());
+    put_u64(&mut body, tweet.id.0);
+    put_u32(&mut body, tweet.author.0);
+    put_u64(&mut body, tweet.created_at.as_minutes());
+    put_u8(
+        &mut body,
+        match tweet.kind {
+            TweetKind::Original => 0,
+            TweetKind::Retweet => 1,
+            TweetKind::Quote => 2,
+        },
+    );
+    put_u8(&mut body, tweet.source.index() as u8);
     match tweet.reacted_to_post_at {
         Some(t) => {
-            body.put_u8(1);
-            body.put_u64_le(t.as_minutes());
+            put_u8(&mut body, 1);
+            put_u64(&mut body, t.as_minutes());
         }
-        None => body.put_u8(0),
+        None => put_u8(&mut body, 0),
     }
     put_str(&mut body, &tweet.text);
-    body.put_u32_le(tweet.hashtags.len() as u32);
+    put_u32(&mut body, tweet.hashtags.len() as u32);
     for h in &tweet.hashtags {
         put_str(&mut body, h);
     }
-    body.put_u32_le(tweet.mentions.len() as u32);
+    put_u32(&mut body, tweet.mentions.len() as u32);
     for m in &tweet.mentions {
-        body.put_u32_le(m.0);
+        put_u32(&mut body, m.0);
     }
-    body.put_u32_le(tweet.urls.len() as u32);
+    put_u32(&mut body, tweet.urls.len() as u32);
     for u in &tweet.urls {
         put_str(&mut body, u);
     }
 
-    let mut frame = BytesMut::with_capacity(4 + body.len());
-    frame.put_u32_le(body.len() as u32);
+    let mut frame = Vec::with_capacity(4 + body.len());
+    put_u32(&mut frame, body.len() as u32);
     frame.extend_from_slice(&body);
-    frame.freeze()
+    frame
 }
 
 /// Decodes one frame back into a tweet.
@@ -115,7 +117,12 @@ pub fn decode_frame(frame: &[u8]) -> Result<Tweet, DecodeError> {
         0 => TweetKind::Original,
         1 => TweetKind::Retweet,
         2 => TweetKind::Quote,
-        value => return Err(DecodeError::BadDiscriminant { field: "kind", value }),
+        value => {
+            return Err(DecodeError::BadDiscriminant {
+                field: "kind",
+                value,
+            })
+        }
     };
     let source = match take_u8(&mut buf)? {
         0 => TweetSource::Web,
@@ -171,41 +178,55 @@ pub fn decode_frame(frame: &[u8]) -> Result<Tweet, DecodeError> {
 }
 
 fn take_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
-    if buf.remaining() < 1 {
-        return Err(DecodeError::Truncated);
-    }
-    Ok(buf.get_u8())
+    let (&first, rest) = buf.split_first().ok_or(DecodeError::Truncated)?;
+    *buf = rest;
+    Ok(first)
 }
 
 fn take_u32(buf: &mut &[u8]) -> Result<u32, DecodeError> {
-    if buf.remaining() < 4 {
+    if buf.len() < 4 {
         return Err(DecodeError::Truncated);
     }
-    Ok(buf.get_u32_le())
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
 }
 
 fn take_u64(buf: &mut &[u8]) -> Result<u64, DecodeError> {
-    if buf.remaining() < 8 {
+    if buf.len() < 8 {
         return Err(DecodeError::Truncated);
     }
-    Ok(buf.get_u64_le())
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
 }
 
 fn take_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
     let len = take_u32(buf)? as usize;
-    if buf.remaining() < len {
+    if buf.len() < len {
         return Err(DecodeError::Truncated);
     }
-    let bytes = &buf[..len];
-    let s = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)?;
-    let out = s.to_string();
-    buf.advance(len);
-    Ok(out)
+    let (head, rest) = buf.split_at(len);
+    let s = std::str::from_utf8(head).map_err(|_| DecodeError::BadUtf8)?;
+    *buf = rest;
+    Ok(s.to_string())
 }
 
 #[cfg(test)]
@@ -264,17 +285,14 @@ mod tests {
     fn truncated_frames_error() {
         let frame = encode_frame(&tweet());
         for cut in [0, 3, 8, frame.len() - 1] {
-            assert!(
-                decode_frame(&frame[..cut]).is_err(),
-                "cut at {cut} decoded"
-            );
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut} decoded");
         }
     }
 
     #[test]
     fn bad_discriminant_errors() {
         let frame = encode_frame(&tweet());
-        let mut bytes = frame.to_vec();
+        let mut bytes = frame.clone();
         // kind byte sits at offset 4 (len) + 8 + 4 + 8 = 24.
         bytes[24] = 9;
         assert_eq!(

@@ -74,9 +74,18 @@ fn main() {
     crossbeam_scope(&kinds, hours, &mut results);
     results.sort_by(|a, b| b.1.total_cmp(&a.1));
 
-    println!("{:<5} {:<34} {:>9} {:>10}", "Rank", "Attribute", "PGE", "Spammers");
+    println!(
+        "{:<5} {:<34} {:>9} {:>10}",
+        "Rank", "Attribute", "PGE", "Spammers"
+    );
     for (i, (kind, pge, spammers)) in results.iter().enumerate() {
-        println!("{:<5} {:<34} {:>9.4} {:>10}", i + 1, kind.label(), pge, spammers);
+        println!(
+            "{:<5} {:<34} {:>9.4} {:>10}",
+            i + 1,
+            kind.label(),
+            pge,
+            spammers
+        );
     }
 }
 
@@ -103,7 +112,10 @@ fn crossbeam_scope(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker"))
+            .collect()
     });
     for part in collected {
         results.extend(part);

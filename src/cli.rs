@@ -1,6 +1,7 @@
 //! Minimal dependency-free argument parsing for the `pseudo-honeypot` CLI.
 
 use std::collections::HashMap;
+use std::fmt;
 
 /// A parsed command line: subcommand + `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -12,6 +13,29 @@ pub struct Args {
     /// Bare `--flag`s (no value).
     pub flags: Vec<String>,
 }
+
+/// An option whose value failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadOption {
+    /// Option key (without dashes).
+    pub key: String,
+    /// The raw value supplied.
+    pub value: String,
+    /// What the option expected.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for BadOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "--{} expects {}, got '{}'",
+            self.key, self.expected, self.value
+        )
+    }
+}
+
+impl std::error::Error for BadOption {}
 
 impl Args {
     /// Parses an iterator of raw arguments (excluding the program name).
@@ -38,18 +62,29 @@ impl Args {
         args
     }
 
-    /// A numeric option with a default.
+    /// A numeric option with a default, as a `Result`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a friendly message when the value does not parse.
-    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+    /// Returns [`BadOption`] when the value is present but not an integer.
+    pub fn try_get_u64(&self, key: &str, default: u64) -> Result<u64, BadOption> {
         match self.options.get(key) {
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'")),
-            None => default,
+            Some(v) => v.parse().map_err(|_| BadOption {
+                key: key.to_string(),
+                value: v.clone(),
+                expected: "an integer",
+            }),
+            None => Ok(default),
         }
+    }
+
+    /// A numeric option with a default. On a malformed value, prints the
+    /// error and exits with status 2 (usage error) instead of panicking.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.try_get_u64(key, default).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// A string option with a default.
@@ -63,6 +98,25 @@ impl Args {
     /// Whether a bare flag was passed.
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Options and flags outside the given allow-lists, sorted — used to
+    /// reject typos like `--huors` instead of silently ignoring them.
+    pub fn unknown_options(&self, known_options: &[&str], known_flags: &[&str]) -> Vec<String> {
+        let mut unknown: Vec<String> = self
+            .options
+            .keys()
+            .filter(|k| !known_options.contains(&k.as_str()))
+            .map(|k| format!("--{k}"))
+            .chain(
+                self.flags
+                    .iter()
+                    .filter(|f| !known_flags.contains(&f.as_str()))
+                    .map(|f| format!("--{f}")),
+            )
+            .collect();
+        unknown.sort();
+        unknown
     }
 }
 
@@ -94,9 +148,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expects an integer")]
-    fn bad_numbers_panic_with_context() {
+    fn bad_numbers_report_key_and_value() {
         let args = Args::parse(["x", "--hours", "soon"]);
-        let _ = args.get_u64("hours", 0);
+        let err = args.try_get_u64("hours", 0).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("--hours"), "{message}");
+        assert!(message.contains("'soon'"), "{message}");
+        assert!(message.contains("integer"), "{message}");
+    }
+
+    #[test]
+    fn unknown_options_are_detected() {
+        let args = Args::parse(["sniff", "--huors", "24", "--verify", "--hours", "4"]);
+        let unknown = args.unknown_options(&["hours"], &[]);
+        assert_eq!(unknown, vec!["--huors", "--verify"]);
+        assert!(args
+            .unknown_options(&["hours", "huors"], &["verify"])
+            .is_empty());
     }
 }

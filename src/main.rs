@@ -7,10 +7,22 @@
 //! pseudo-honeypot showdown  [--hours H] [--nodes N] [--seed S]
 //! ```
 //!
+//! Global options (any subcommand):
+//!
+//! ```text
+//! --metrics-out FILE.json   write a machine-readable run report (spans,
+//!                           counters, gauges, histograms) on exit
+//! --log-level LEVEL         error | warn | info (default) | debug
+//! --quiet                   silence all progress logging
+//! ```
+//!
 //! `sniff` runs the complete paper pipeline: deploy the Table I/II network
 //! on a simulated Twitter, collect, build ground truth, train the RF
 //! detector, and report what it caught.
 
+use std::path::Path;
+
+use ph_telemetry::{log_info, log_warn};
 use pseudo_honeypot::core::attributes::{AttributeKind, ProfileAttribute, SampleAttribute};
 use pseudo_honeypot::core::baselines::run_random_baseline;
 use pseudo_honeypot::core::detector::{build_training_data, DetectorConfig, SpamDetector};
@@ -22,19 +34,98 @@ use pseudo_honeypot::sim::engine::{Engine, SimConfig};
 mod cli;
 use cli::Args;
 
+/// Options/flags accepted by every subcommand.
+const GLOBAL_OPTIONS: &[&str] = &["metrics-out", "log-level"];
+const GLOBAL_FLAGS: &[&str] = &["quiet"];
+
+/// Simulator-shaping options shared by the engine-driving subcommands.
+const SIM_OPTIONS: &[&str] = &["seed", "organic", "campaigns", "per-campaign"];
+
 fn main() {
     let args = Args::parse(std::env::args().skip(1));
+    configure_logging(&args);
     match args.command.as_deref() {
-        Some("attributes") => attributes(),
-        Some("simulate") => simulate(&args),
-        Some("sniff") => sniff(&args),
-        Some("showdown") => showdown(&args),
+        Some("attributes") => {
+            validate_options(&args, &[], &[]);
+            attributes();
+        }
+        Some("simulate") => {
+            validate_options(&args, &with_sim(&["hours"]), &[]);
+            simulate(&args);
+        }
+        Some("sniff") => {
+            validate_options(
+                &args,
+                &with_sim(&["hours", "gt-hours", "name"]),
+                &["verify"],
+            );
+            sniff(&args);
+        }
+        Some("showdown") => {
+            validate_options(&args, &with_sim(&["hours", "nodes"]), &[]);
+            showdown(&args);
+        }
         Some(other) => {
             eprintln!("unknown command '{other}'");
             usage();
             std::process::exit(2);
         }
         None => usage(),
+    }
+    write_metrics(&args);
+}
+
+/// Applies `--quiet` / `--log-level` before anything can log.
+fn configure_logging(args: &Args) {
+    if args.has_flag("quiet") {
+        ph_telemetry::set_quiet();
+    } else if let Some(level) = args.options.get("log-level") {
+        match level.parse::<ph_telemetry::Level>() {
+            Ok(level) => ph_telemetry::set_max_level(level),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Rejects options/flags outside the subcommand's and the global
+/// allow-lists — a typo like `--huors` should fail loudly, not silently
+/// run with the default.
+fn validate_options(args: &Args, options: &[&str], flags: &[&str]) {
+    let mut known_options: Vec<&str> = GLOBAL_OPTIONS.to_vec();
+    known_options.extend(options);
+    let mut known_flags: Vec<&str> = GLOBAL_FLAGS.to_vec();
+    known_flags.extend(flags);
+    let unknown = args.unknown_options(&known_options, &known_flags);
+    if !unknown.is_empty() {
+        let command = args.command.as_deref().unwrap_or("");
+        eprintln!(
+            "error: unknown option(s) for '{command}': {}",
+            unknown.join(", ")
+        );
+        std::process::exit(2);
+    }
+}
+
+/// `SIM_OPTIONS` plus subcommand extras.
+fn with_sim<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut v: Vec<&str> = SIM_OPTIONS.to_vec();
+    v.extend(extra);
+    v
+}
+
+/// Honors `--metrics-out FILE.json` after the subcommand finishes.
+fn write_metrics(args: &Args) {
+    if let Some(path) = args.options.get("metrics-out") {
+        match ph_telemetry::write_json_report(Path::new(path)) {
+            Ok(()) => log_info!("wrote metrics report to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -44,11 +135,20 @@ fn usage() {
     println!("commands:");
     println!("  attributes                          list the 24-attribute taxonomy (Table I/II)");
     println!("  simulate  [--hours H] [--organic N] [--seed S]");
-    println!("                                      run the social-network simulator and print stats");
+    println!(
+        "                                      run the social-network simulator and print stats"
+    );
     println!("  sniff     [--hours H] [--gt-hours H] [--organic N] [--seed S]");
     println!("                                      full pipeline: monitor, label, train, detect");
     println!("  showdown  [--hours H] [--nodes N] [--seed S]");
     println!("                                      pseudo-honeypot vs random accounts");
+    println!();
+    println!("global options:");
+    println!(
+        "  --metrics-out FILE.json             write a JSON run report (spans/counters/histograms)"
+    );
+    println!("  --log-level LEVEL                   error | warn | info (default) | debug");
+    println!("  --quiet                             silence progress logging");
 }
 
 fn sim_config(args: &Args) -> SimConfig {
@@ -95,7 +195,7 @@ fn attributes() {
 fn simulate(args: &Args) {
     let hours = args.get_u64("hours", 24);
     let mut engine = Engine::new(sim_config(args));
-    println!(
+    log_info!(
         "simulating {hours} h over {} accounts…",
         engine.rest().num_accounts()
     );
@@ -122,12 +222,13 @@ fn sniff(args: &Args) {
         ..Default::default()
     });
 
-    println!("phase 1: ground truth — standard network, {gt_hours} h…");
+    log_info!("phase 1: ground truth — standard network, {gt_hours} h…");
     let train_report = runner.run(&mut engine, gt_hours);
-    let ground_truth = label_collection(&train_report.collected, &engine, &PipelineConfig::default());
+    let ground_truth =
+        label_collection(&train_report.collected, &engine, &PipelineConfig::default());
     println!("{}", format_table3(&ground_truth.summary));
 
-    println!("phase 2: training the Random Forest detector…");
+    log_info!("phase 2: training the Random Forest detector…");
     let (data, _) = build_training_data(
         &train_report.collected,
         &ground_truth.labels,
@@ -136,9 +237,15 @@ fn sniff(args: &Args) {
     );
     let detector = SpamDetector::train(&DetectorConfig::default(), &data);
 
-    println!("phase 3: sniffing for {hours} h…");
+    log_info!("phase 3: sniffing for {hours} h…");
     let report = runner.run(&mut engine, hours);
     let outcome = detector.classify_collection(&report.collected, &engine);
+    if report.dropped > 0 {
+        log_warn!(
+            "{} tweets were shed by the streaming buffer",
+            report.dropped
+        );
+    }
     println!(
         "collected {} tweets from {} accounts",
         report.collected.len(),

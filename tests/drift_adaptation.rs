@@ -125,8 +125,7 @@ fn behavioural_drift_changes_observable_spam_features() {
     let before = runner.run(&mut engine, flip_hour);
     let after = runner.run(&mut engine, flip_hour);
 
-    let mean_gap = |report: &pseudo_honeypot::core::monitor::MonitorReport,
-                    engine: &Engine| {
+    let mean_gap = |report: &pseudo_honeypot::core::monitor::MonitorReport, engine: &Engine| {
         let oracle = engine.ground_truth();
         let gaps: Vec<f64> = report
             .collected

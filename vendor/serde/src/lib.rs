@@ -1,0 +1,231 @@
+//! Offline shim for the subset of `serde` 1.0 this workspace touches.
+//!
+//! The reproduction's types carry `#[derive(Serialize, Deserialize)]` as
+//! documentation of intent, and exactly one type (`SpamFlavor` in
+//! `ph-twitter-sim`) implements the traits by hand. Nothing bounds on the
+//! traits and there is no `serde_json`; machine-readable output is produced
+//! by `ph-telemetry`'s hand-rolled JSON writer instead. This shim therefore
+//! provides:
+//!
+//! - re-exported **no-op derive macros** from the vendored `serde_derive`,
+//! - simplified [`Serialize`] / [`Deserialize`] / [`Serializer`] /
+//!   [`Deserializer`] traits, just rich enough for the one manual impl,
+//! - [`de::Error::custom`].
+//!
+//! Swap in the real crates if genuine serialization is ever needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serializable types (simplified: primitives only).
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Data-format side of serialization (simplified: primitives only).
+pub trait Serializer: Sized {
+    /// Output value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serializes a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Deserializable types (simplified: primitives only).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from `deserializer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer errors.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Data-format side of deserialization (simplified: primitives only).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Deserializes a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn deserialize_u8(self) -> Result<u8, Self::Error>;
+
+    /// Deserializes a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+}
+
+macro_rules! impl_primitive_serialize {
+    ($($t:ty => $method:ident),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method((*self).into())
+            }
+        }
+    )*};
+}
+impl_primitive_serialize!(u8 => serialize_u8, u64 => serialize_u64, f64 => serialize_f64);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for u8 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u8()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+pub mod ser {
+    //! Serialization-side error plumbing.
+
+    /// Errors a [`crate::Serializer`] can produce.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization-side error plumbing.
+
+    /// Errors a [`crate::Deserializer`] can produce.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Msg(String);
+
+    impl std::fmt::Display for Msg {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    impl ser::Error for Msg {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Msg(msg.to_string())
+        }
+    }
+
+    impl de::Error for Msg {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Msg(msg.to_string())
+        }
+    }
+
+    /// A toy serializer that renders primitives to strings, proving the
+    /// trait surface is coherent.
+    struct ToString_;
+
+    impl Serializer for ToString_ {
+        type Ok = String;
+        type Error = Msg;
+
+        fn serialize_u8(self, v: u8) -> Result<String, Msg> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_u64(self, v: u64) -> Result<String, Msg> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_f64(self, v: f64) -> Result<String, Msg> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_str(self, v: &str) -> Result<String, Msg> {
+            Ok(v.to_string())
+        }
+    }
+
+    struct FromU8(u8);
+
+    impl<'de> Deserializer<'de> for FromU8 {
+        type Error = Msg;
+
+        fn deserialize_u8(self) -> Result<u8, Msg> {
+            Ok(self.0)
+        }
+
+        fn deserialize_u64(self) -> Result<u64, Msg> {
+            Ok(u64::from(self.0))
+        }
+    }
+
+    #[test]
+    fn primitive_roundtrip_through_shim_traits() {
+        assert_eq!(7u8.serialize(ToString_).unwrap(), "7");
+        assert_eq!("hi".serialize(ToString_).unwrap(), "hi");
+        assert_eq!(u8::deserialize(FromU8(9)).unwrap(), 9);
+        assert_eq!(u64::deserialize(FromU8(9)).unwrap(), 9);
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    struct Derived {
+        a: u64,
+        #[serde(rename = "bee")]
+        b: String,
+    }
+
+    #[test]
+    fn noop_derives_compile_with_helper_attributes() {
+        let _ = Derived {
+            a: 1,
+            b: String::new(),
+        };
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` to document serializability, but no
+//! code path currently *bounds* on those traits (there is no `serde_json`
+//! in the tree; run reports are emitted by `ph-telemetry`'s own JSON
+//! writer). Since the build container cannot fetch the real
+//! `serde`/`serde_derive`, these derives expand to nothing: the attribute
+//! compiles, helper `#[serde(...)]` attributes are accepted, and no impls
+//! are generated.
+//!
+//! If a future change needs real serialization, replace this vendored pair
+//! with the genuine crates (or teach the derive to emit impls of the
+//! simplified traits in `vendor/serde`).
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` helpers.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` helpers.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
