@@ -1,0 +1,137 @@
+//! Measures the durable store's data plane: append throughput under both
+//! sync policies, sequential read-back throughput, and recovery time from
+//! a torn tail. Telemetry (fsync/segment-roll histograms, recovery
+//! counters) lands in `results/store_throughput.metrics.json`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use ph_bench::{banner, fmt_count, standard_run, ExperimentScale};
+use ph_store::log::SegmentLog;
+use ph_store::{encode_collected, CollectedReader};
+
+/// Records appended per benchmark pass (collection is cycled to reach it).
+const TARGET_RECORDS: usize = 100_000;
+/// Simulated "hour" batch size for the batched-fsync policy.
+const BATCH: usize = 1_000;
+/// Segment size; small enough that every pass rolls many segments.
+const SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ph-store-throughput-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Appends `payloads` to a fresh log, syncing every `sync_every` records.
+/// Returns (seconds, bytes written, segments).
+fn append_pass(dir: &Path, payloads: &[Vec<u8>], sync_every: usize) -> (f64, u64, u32) {
+    let mut log = SegmentLog::create(dir, SEGMENT_BYTES).unwrap();
+    let start = Instant::now();
+    let mut bytes = 0u64;
+    for (i, p) in payloads.iter().enumerate() {
+        log.append(p).unwrap();
+        bytes += p.len() as u64 + ph_store::log::FRAME_OVERHEAD;
+        if (i + 1) % sync_every == 0 {
+            log.sync().unwrap();
+        }
+    }
+    log.sync().unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    let segments = u32::try_from(fs::read_dir(dir).unwrap().count()).unwrap();
+    (secs, bytes, segments)
+}
+
+fn main() {
+    let _metrics = ph_bench::metrics_scope("store_throughput");
+    let scale = ExperimentScale::small();
+    banner("ph-store throughput — segment log append / read / recovery");
+
+    // Source material: real collected tweets from a short monitored run,
+    // cycled up to the target volume so encoding cost is representative.
+    let mut engine = scale.build_engine();
+    let report = standard_run(&mut engine, &scale);
+    assert!(!report.collected.is_empty(), "no tweets collected");
+    let payloads: Vec<Vec<u8>> = report
+        .collected
+        .iter()
+        .cycle()
+        .take(TARGET_RECORDS)
+        .map(encode_collected)
+        .collect();
+    let payload_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+    println!(
+        "workload: {} records, {:.1} MiB encoded ({} distinct tweets cycled)\n",
+        fmt_count(payloads.len() as u64),
+        mb(payload_bytes),
+        fmt_count(report.collected.len() as u64)
+    );
+
+    // Append, batched fsync (SyncPolicy::EveryHour analogue).
+    let dir = temp_dir("batched");
+    let (secs, bytes, segments) = append_pass(&dir, &payloads, BATCH);
+    println!(
+        "append (fsync per {BATCH:>5}): {:>8.0} rec/s  {:>6.1} MiB/s  {segments} segments",
+        payloads.len() as f64 / secs,
+        mb(bytes) / secs
+    );
+    let batched_dir = dir;
+
+    // Append, fsync every record (SyncPolicy::EveryRecord analogue).
+    let dir = temp_dir("per-record");
+    let (secs, bytes, _) = append_pass(&dir, &payloads, 1);
+    println!(
+        "append (fsync per     1): {:>8.0} rec/s  {:>6.1} MiB/s",
+        payloads.len() as f64 / secs,
+        mb(bytes) / secs
+    );
+    let _ = fs::remove_dir_all(&dir);
+
+    // Sequential decode-everything read-back.
+    let start = Instant::now();
+    let mut read = 0usize;
+    for record in CollectedReader::open(&batched_dir).unwrap() {
+        record.unwrap();
+        read += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(read, payloads.len());
+    println!(
+        "read + decode           : {:>8.0} rec/s  {:>6.1} MiB/s",
+        read as f64 / secs,
+        mb(bytes) / secs
+    );
+
+    // Recovery: tear the tail of the last segment and time the re-open
+    // scan (it walks every frame of every segment).
+    let mut segs: Vec<PathBuf> = fs::read_dir(&batched_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segs.sort();
+    let mut file = fs::OpenOptions::new()
+        .append(true)
+        .open(segs.last().unwrap())
+        .unwrap();
+    file.write_all(&[0x77; 13]).unwrap(); // half a frame of garbage
+    drop(file);
+    let start = Instant::now();
+    let (log, recovery) = SegmentLog::open(&batched_dir, SEGMENT_BYTES).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(log.record_count(), payloads.len() as u64);
+    println!(
+        "recovery scan           : {:>8.2} ms over {:.1} MiB ({} B torn tail cut)",
+        secs * 1e3,
+        mb(bytes),
+        recovery.truncated_bytes
+    );
+    drop(log);
+    let _ = fs::remove_dir_all(&batched_dir);
+}

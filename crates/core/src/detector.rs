@@ -176,11 +176,27 @@ impl SpamDetector {
         collected: &[CollectedTweet],
         engine: &Engine,
     ) -> ClassificationOutcome {
+        self.classify_stream(collected, engine)
+    }
+
+    /// Classifies tweets delivered one at a time — the streaming twin of
+    /// [`SpamDetector::classify_collection`], O(1) in memory, for reading
+    /// straight out of `ph-store`'s segment log without materializing the
+    /// collection. Order matters: the environment-score feedback makes
+    /// classification stream-order-dependent, so feed records in
+    /// collection order (the log's append order).
+    pub fn classify_stream<I>(&self, stream: I, engine: &Engine) -> ClassificationOutcome
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<CollectedTweet>,
+    {
+        use std::borrow::Borrow as _;
         let _span = ph_telemetry::span("detect.classify");
         let rest = engine.rest();
         let mut extractor = FeatureExtractor::with_tau(self.tau);
         let mut outcome = ClassificationOutcome::default();
-        for c in collected {
+        for item in stream {
+            let c = item.borrow();
             let features = extractor.extract(c, &rest);
             let spam = self.model.predict(&features);
             extractor.record_verdict(c.slot, spam);
@@ -269,6 +285,26 @@ mod tests {
         let accuracy = correct as f64 / collected.len() as f64;
         assert!(accuracy > 0.9, "detector accuracy {accuracy:.3}");
         assert!(outcome.num_spammers() > 0);
+    }
+
+    #[test]
+    fn classify_stream_equals_classify_collection() {
+        let (engine, collected, labels) = pipeline_run();
+        let (data, _) = build_training_data(&collected, &labels, &engine, 0.01);
+        let detector = SpamDetector::train(
+            &DetectorConfig {
+                forest: RandomForestConfig {
+                    num_trees: 10,
+                    ..DetectorConfig::default().forest
+                },
+                ..Default::default()
+            },
+            &data,
+        );
+        let batch = detector.classify_collection(&collected, &engine);
+        // Owned one-at-a-time stream, as a segment-log reader yields.
+        let streamed = detector.classify_stream(collected.iter().cloned(), &engine);
+        assert_eq!(streamed, batch);
     }
 
     #[test]

@@ -73,6 +73,19 @@ impl MonitorReport {
             .iter()
             .filter(|c| c.category == TweetCategory::MentionOfNode)
     }
+
+    /// Folds a later run segment into this report: collected tweets are
+    /// appended in order, `node_hours` accumulate per slot, and `hours` /
+    /// `dropped` add up — the semantics a resumed run needs so that
+    /// `run(k)` merged with `run(N−k)` equals `run(N)`.
+    pub fn merge(&mut self, later: &MonitorReport) {
+        self.collected.extend(later.collected.iter().cloned());
+        for (slot, node_hours) in &later.node_hours {
+            *self.node_hours.entry(*slot).or_insert(0.0) += node_hours;
+        }
+        self.hours += later.hours;
+        self.dropped += later.dropped;
+    }
 }
 
 /// Configuration of a monitoring run.
@@ -101,6 +114,70 @@ impl Default for RunnerConfig {
             seed: 7,
             buffer_capacity: ph_twitter_sim::api::DEFAULT_QUEUE_CAPACITY,
         }
+    }
+}
+
+/// Resumable cursor of a partially completed monitoring run.
+///
+/// The runner updates the cursor at every hour boundary; a durable sink
+/// (`ph-store`) checkpoints it so a crashed run can continue from the last
+/// completed hour. Everything else a resume needs — the engine itself — is
+/// reconstructed deterministically by replaying the simulation up to
+/// [`RunState::next_hour`] from the original seed.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunState {
+    /// Next run-relative hour index to simulate (`0..total_hours`).
+    pub next_hour: u64,
+    /// Switch rounds completed so far (selection-seed offset).
+    pub round: u64,
+    /// Current node-set membership, sorted by account id so serialized
+    /// checkpoints are byte-stable. Restoring it lets a resume that lands
+    /// mid-switch-interval re-point the streaming filter without
+    /// re-selecting (re-selection at the later engine state would pick a
+    /// different network).
+    pub membership: Vec<(AccountId, SampleAttribute)>,
+}
+
+/// Where a monitoring run delivers its progress.
+///
+/// The in-memory default ([`MemorySink`]) makes [`Runner::run`] behave as
+/// it always has; `ph-store`'s durable sink appends every tweet to a
+/// segment log and checkpoints the [`RunState`] hourly.
+pub trait MonitorSink {
+    /// Called once per collected tweet, in delivery order.
+    ///
+    /// # Errors
+    ///
+    /// Durable sinks surface I/O failures; the runner aborts the segment.
+    fn on_tweet(&mut self, collected: &CollectedTweet) -> std::io::Result<()>;
+
+    /// Called at the end of every simulated hour with the updated cursor
+    /// and the segment report accumulated so far.
+    ///
+    /// # Errors
+    ///
+    /// Durable sinks surface I/O failures; the runner aborts the segment.
+    fn on_hour(&mut self, state: &RunState, segment: &MonitorReport) -> std::io::Result<()>;
+
+    /// Whether the runner should also keep collected tweets in the
+    /// in-memory report. Durable sinks return `false` so arbitrarily long
+    /// runs stay O(1) in memory.
+    fn retain_in_memory(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op sink behind the classic in-memory [`Runner::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemorySink;
+
+impl MonitorSink for MemorySink {
+    fn on_tweet(&mut self, _collected: &CollectedTweet) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn on_hour(&mut self, _state: &RunState, _segment: &MonitorReport) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -138,14 +215,7 @@ impl Runner {
     /// Monitors `engine` for `hours` hours, switching the node set every
     /// `switch_interval_hours`.
     pub fn run(&self, engine: &mut Engine, hours: u64) -> MonitorReport {
-        self.run_with_networks(engine, hours, |engine, round| {
-            select_network(
-                engine,
-                &self.config.slots,
-                &self.config.selector,
-                self.config.seed.wrapping_add(round),
-            )
-        })
+        self.run_with_networks(engine, hours, self.standard_networks())
     }
 
     /// Monitors with an externally supplied network per switch round —
@@ -154,10 +224,52 @@ impl Runner {
         &self,
         engine: &mut Engine,
         hours: u64,
-        mut make_network: F,
+        make_network: F,
     ) -> MonitorReport
     where
         F: FnMut(&Engine, u64) -> PseudoHoneypotNetwork,
+    {
+        let mut state = RunState::default();
+        self.run_segment(
+            engine,
+            &mut state,
+            hours,
+            hours,
+            make_network,
+            &mut MemorySink,
+        )
+        .expect("in-memory monitoring cannot fail")
+    }
+
+    /// Monitors `engine` from [`RunState::next_hour`] for up to
+    /// `segment_hours` hours of a `total_hours`-hour run, delivering every
+    /// collected tweet and every hour boundary to `sink`.
+    ///
+    /// Hour indices, switch rounds, and node-hour accrual are all relative
+    /// to the *whole* run, so `run_segment(k)` followed by a restored
+    /// `run_segment(N−k)` — on an engine deterministically fast-forwarded
+    /// to hour `k` — produces, merged, exactly the report (and exactly the
+    /// tweet stream) of an uninterrupted `run(N)`.
+    ///
+    /// Returns the report of **this segment only**; accumulate across
+    /// segments with [`MonitorReport::merge`]. When the sink declines
+    /// in-memory retention the returned `collected` stays empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors; the segment stops at the failed hour.
+    pub fn run_segment<F, S>(
+        &self,
+        engine: &mut Engine,
+        state: &mut RunState,
+        total_hours: u64,
+        segment_hours: u64,
+        mut make_network: F,
+        sink: &mut S,
+    ) -> std::io::Result<MonitorReport>
+    where
+        F: FnMut(&Engine, u64) -> PseudoHoneypotNetwork,
+        S: MonitorSink,
     {
         let _run_span = ph_telemetry::span("monitor.run");
         let switch_latency = ph_telemetry::histogram(
@@ -169,16 +281,27 @@ impl Runner {
 
         let streaming = engine.streaming();
         let subscription = streaming.track_mentions_with_capacity([], self.config.buffer_capacity);
-        let mut report = MonitorReport::default();
-        let mut membership: HashMap<AccountId, SampleAttribute> = HashMap::new();
-        let mut round = 0u64;
+        let mut membership: HashMap<AccountId, SampleAttribute> =
+            state.membership.iter().copied().collect();
+        if !membership.is_empty() {
+            // Resumed mid-interval: re-point the stream at the node set the
+            // checkpoint recorded.
+            streaming
+                .set_filter(subscription, membership.keys().copied())
+                .expect("subscription is open");
+        }
+        let mut segment = MonitorReport::default();
+        let start = state.next_hour;
+        let end = total_hours.min(start.saturating_add(segment_hours));
 
-        for hour_index in 0..hours {
+        for hour_index in start..end {
             if hour_index % self.config.switch_interval_hours.max(1) == 0 {
                 let switch_span = ph_telemetry::span("switch");
-                let network = make_network(engine, round);
-                round += 1;
+                let network = make_network(engine, state.round);
+                state.round += 1;
                 membership = network.membership();
+                state.membership = membership.iter().map(|(&a, &s)| (a, s)).collect();
+                state.membership.sort_by_key(|&(a, _)| a.0);
                 streaming
                     .set_filter(subscription, membership.keys().copied())
                     .expect("subscription is open");
@@ -187,9 +310,9 @@ impl Runner {
                     .config
                     .switch_interval_hours
                     .max(1)
-                    .min(hours - hour_index) as f64;
+                    .min(total_hours - hour_index) as f64;
                 for (slot, count) in network.slot_sizes() {
-                    *report.node_hours.entry(slot).or_insert(0.0) += count as f64 * interval;
+                    *segment.node_hours.entry(slot).or_insert(0.0) += count as f64 * interval;
                 }
                 switch_latency.record(switch_span.elapsed_ms());
             }
@@ -199,28 +322,48 @@ impl Runner {
             for tweet in streaming.poll(subscription).expect("subscription is open") {
                 let collected = Self::categorize(tweet, &membership, hour);
                 if let Some(c) = collected {
-                    report.collected.push(c);
+                    sink.on_tweet(&c)?;
+                    if sink.retain_in_memory() {
+                        segment.collected.push(c);
+                    }
                     collected_this_hour += 1;
                 }
             }
             tweets_per_hour.record(collected_this_hour as f64);
             ph_telemetry::cached_counter!("monitor.tweets_collected").add(collected_this_hour);
-            report.hours += 1;
+            segment.hours += 1;
+            segment.dropped = streaming.dropped(subscription).unwrap_or(0);
+            state.next_hour = hour_index + 1;
+            sink.on_hour(state, &segment)?;
         }
-        report.dropped = streaming.dropped(subscription).unwrap_or(0);
-        ph_telemetry::cached_counter!("monitor.tweets_dropped").add(report.dropped);
-        if report.dropped > 0 {
+        ph_telemetry::cached_counter!("monitor.tweets_dropped").add(segment.dropped);
+        if segment.dropped > 0 {
             ph_telemetry::log_warn!(
                 "streaming buffer shed {} tweets (capacity {})",
-                report.dropped,
+                segment.dropped,
                 self.config.buffer_capacity
             );
         }
-        for (slot, node_hours) in &report.node_hours {
+        for (slot, node_hours) in &segment.node_hours {
             ph_telemetry::gauge(&format!("monitor.node_hours.{slot}")).set(*node_hours);
         }
         streaming.close(subscription);
-        report
+        Ok(segment)
+    }
+
+    /// The standard selection strategy as a `make_network` closure: slot
+    /// plan + selector from the config, selection seed rotated per round.
+    /// [`Runner::run`] and the store-backed resumable runs share it so a
+    /// resumed run re-selects exactly as the original would have.
+    pub fn standard_networks(&self) -> impl FnMut(&Engine, u64) -> PseudoHoneypotNetwork + '_ {
+        move |engine, round| {
+            select_network(
+                engine,
+                &self.config.slots,
+                &self.config.selector,
+                self.config.seed.wrapping_add(round),
+            )
+        }
     }
 
     /// Tags one delivered tweet with node/slot context.
@@ -390,6 +533,108 @@ mod tests {
             report.dropped,
             full.collected.len()
         );
+    }
+
+    #[test]
+    fn merged_report_accumulates_dropped_and_node_hours() {
+        let slot_a = SampleAttribute::profile(ProfileAttribute::FriendsCount, 1_000.0);
+        let slot_b = SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0);
+        let mut base = MonitorReport {
+            node_hours: [(slot_a, 10.0), (slot_b, 4.0)].into_iter().collect(),
+            hours: 5,
+            dropped: 3,
+            ..Default::default()
+        };
+        let later = MonitorReport {
+            node_hours: [(slot_a, 2.5)].into_iter().collect(),
+            hours: 7,
+            dropped: 9,
+            ..Default::default()
+        };
+        base.merge(&later);
+        assert_eq!(base.hours, 12);
+        assert_eq!(base.dropped, 12);
+        assert_eq!(base.node_hours[&slot_a], 12.5);
+        assert_eq!(base.node_hours[&slot_b], 4.0);
+        assert!(base.collected.is_empty());
+    }
+
+    #[test]
+    fn segmented_run_merges_to_uninterrupted_run() {
+        let runner = small_runner(11);
+        let mut full_engine = engine();
+        let full = runner.run(&mut full_engine, 12);
+
+        let mut seg_engine = engine();
+        let mut state = RunState::default();
+        let mut merged = runner
+            .run_segment(
+                &mut seg_engine,
+                &mut state,
+                12,
+                5,
+                runner.standard_networks(),
+                &mut MemorySink,
+            )
+            .unwrap();
+        assert_eq!(state.next_hour, 5);
+        let tail = runner
+            .run_segment(
+                &mut seg_engine,
+                &mut state,
+                12,
+                7,
+                runner.standard_networks(),
+                &mut MemorySink,
+            )
+            .unwrap();
+        merged.merge(&tail);
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn crashed_run_resumes_on_a_fast_forwarded_engine() {
+        // switch_interval 3 with a crash at hour 4 forces the resume to
+        // restore the checkpointed membership (re-selecting at the
+        // fast-forwarded engine state would pick a different node set).
+        let runner = Runner::new(RunnerConfig {
+            switch_interval_hours: 3,
+            ..small_runner(12).config().clone()
+        });
+        let mut full_engine = engine();
+        let full = runner.run(&mut full_engine, 10);
+
+        // First 4 hours, then "crash": only the RunState and the segment
+        // report survive.
+        let mut first_engine = engine();
+        let mut state = RunState::default();
+        let mut merged = runner
+            .run_segment(
+                &mut first_engine,
+                &mut state,
+                10,
+                4,
+                runner.standard_networks(),
+                &mut MemorySink,
+            )
+            .unwrap();
+        drop(first_engine);
+
+        // Resume: rebuild the engine deterministically and continue.
+        let mut resumed_engine = engine();
+        resumed_engine.run_hours(state.next_hour);
+        let tail = runner
+            .run_segment(
+                &mut resumed_engine,
+                &mut state,
+                10,
+                u64::MAX,
+                runner.standard_networks(),
+                &mut MemorySink,
+            )
+            .unwrap();
+        merged.merge(&tail);
+        assert_eq!(merged, full);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Little-endian cursor primitives shared by the record and checkpoint
+//! codecs — the same put/take idiom as `ph_twitter_sim::wire`, extended
+//! with `f64` fields.
+
+use crate::record::StoreDecodeError;
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn take_u8(buf: &mut &[u8]) -> Result<u8, StoreDecodeError> {
+    let (&first, rest) = buf.split_first().ok_or(StoreDecodeError::Truncated)?;
+    *buf = rest;
+    Ok(first)
+}
+
+pub(crate) fn take_u32(buf: &mut &[u8]) -> Result<u32, StoreDecodeError> {
+    if buf.len() < 4 {
+        return Err(StoreDecodeError::Truncated);
+    }
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+}
+
+pub(crate) fn take_u64(buf: &mut &[u8]) -> Result<u64, StoreDecodeError> {
+    if buf.len() < 8 {
+        return Err(StoreDecodeError::Truncated);
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
+pub(crate) fn take_f64(buf: &mut &[u8]) -> Result<f64, StoreDecodeError> {
+    Ok(f64::from_bits(take_u64(buf)?))
+}

@@ -1,0 +1,49 @@
+//! `ph-store` — durable segment log + checkpoint/replay for crash-safe,
+//! resumable sniffing runs.
+//!
+//! The paper's monitor is a long-lived streaming collector (hourly node-set
+//! switches over a 2,400-node network, §III-E); a crash must not lose a
+//! multi-day collection, and historical traffic must stay queryable for
+//! periodic retraining. This crate persists a monitoring run as:
+//!
+//! - an **append-only segment log** ([`log::SegmentLog`]) of collected
+//!   tweets — fixed-size segment files, each record length-prefixed and
+//!   CRC-32-checksummed (the framing extends
+//!   [`ph_twitter_sim::wire`] with the monitoring context: category, node,
+//!   slot, hour — see [`record`]),
+//! - a **checkpoint log** ([`checkpoint::CheckpointLog`]) of hourly
+//!   [`ph_core::monitor::RunState`] snapshots (node-hours per slot, current
+//!   network membership, run cursor, dropped count, engine clock),
+//! - a **manifest** ([`manifest::Manifest`]) pinning the simulation and
+//!   runner configuration (the engine's full RNG state is implied: the
+//!   simulation is deterministic in its seed, so "engine state at hour
+//!   `h`" is reconstructed by replaying `h` hours from the seed).
+//!
+//! **Crash recovery** is truncation-based: on reopen, torn frames at the
+//! tail of the segment log (and of the checkpoint log) are cut off, the
+//! log is rolled back to the newest checkpoint it still covers, and the
+//! monitor resumes from that hour. Because the simulation, selection, and
+//! classification are all deterministic, `run(N)` and
+//! `run(k) → crash → resume → run(N−k)` produce byte-for-byte identical
+//! segment files and identical final reports.
+//!
+//! Everything is instrumented with `ph-telemetry`: bytes written/read,
+//! fsync and segment-roll latency histograms, recovery-truncation
+//! counters, and replay timing, all landing in the JSON run report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+mod codec;
+pub mod crc;
+pub mod log;
+pub mod manifest;
+pub mod record;
+pub mod store;
+
+pub use checkpoint::{Checkpoint, CheckpointLog};
+pub use log::{CollectedReader, LogReader, RecoveryReport, SegmentLog};
+pub use manifest::Manifest;
+pub use record::{decode_collected, encode_collected, StoreDecodeError};
+pub use store::{ResumedStore, Store, StoreConfig, StoreWriter, SyncPolicy};

@@ -1,0 +1,180 @@
+//! The store manifest: the run's configuration, pinned.
+//!
+//! Resume and replay must rebuild the *identical* simulation and runner —
+//! determinism is the whole recovery story — so the store records every
+//! knob the CLI exposes in a small, diff-friendly `key = value` text file
+//! (`MANIFEST`). No timestamps or hostnames: two runs with the same
+//! configuration produce byte-identical manifests.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Manifest format version.
+pub const MANIFEST_FORMAT: u64 = 1;
+
+/// The pinned configuration of a stored sniffing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// Simulation master seed (`SimConfig::seed`).
+    pub sim_seed: u64,
+    /// Organic account count (`SimConfig::num_organic`).
+    pub organic: u64,
+    /// Spam campaign count (`SimConfig::num_campaigns`).
+    pub campaigns: u64,
+    /// Accounts per campaign (`SimConfig::accounts_per_campaign`).
+    pub per_campaign: u64,
+    /// Monitor selection seed (`RunnerConfig::seed`).
+    pub runner_seed: u64,
+    /// Phase-1 ground-truth collection hours (run before the stored
+    /// phase-2 monitoring; part of the engine fast-forward distance).
+    pub gt_hours: u64,
+    /// Phase-2 monitoring hours the run was asked for.
+    pub hours: u64,
+    /// Streaming buffer capacity (`RunnerConfig::buffer_capacity`).
+    pub buffer_capacity: u64,
+}
+
+impl Manifest {
+    /// Renders the manifest text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "format = {MANIFEST_FORMAT}");
+        let _ = writeln!(out, "sim_seed = {}", self.sim_seed);
+        let _ = writeln!(out, "organic = {}", self.organic);
+        let _ = writeln!(out, "campaigns = {}", self.campaigns);
+        let _ = writeln!(out, "per_campaign = {}", self.per_campaign);
+        let _ = writeln!(out, "runner_seed = {}", self.runner_seed);
+        let _ = writeln!(out, "gt_hours = {}", self.gt_hours);
+        let _ = writeln!(out, "hours = {}", self.hours);
+        let _ = writeln!(out, "buffer_capacity = {}", self.buffer_capacity);
+        out
+    }
+
+    /// Writes the manifest to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.render())
+    }
+
+    /// Parses manifest text.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on malformed lines,
+    /// unknown keys, an unsupported format version, or missing keys.
+    pub fn parse(text: &str) -> io::Result<Self> {
+        let bad = |why: String| io::Error::new(io::ErrorKind::InvalidData, why);
+        let mut format = None;
+        let mut fields: [(&str, Option<u64>); 8] = [
+            ("sim_seed", None),
+            ("organic", None),
+            ("campaigns", None),
+            ("per_campaign", None),
+            ("runner_seed", None),
+            ("gt_hours", None),
+            ("hours", None),
+            ("buffer_capacity", None),
+        ];
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| bad(format!("manifest line without '=': {line}")))?;
+            let (key, value) = (key.trim(), value.trim());
+            let value: u64 = value
+                .parse()
+                .map_err(|_| bad(format!("manifest {key}: not a number: {value}")))?;
+            if key == "format" {
+                format = Some(value);
+                continue;
+            }
+            let slot = fields
+                .iter_mut()
+                .find(|(name, _)| *name == key)
+                .ok_or_else(|| bad(format!("unknown manifest key: {key}")))?;
+            slot.1 = Some(value);
+        }
+        match format {
+            Some(MANIFEST_FORMAT) => {}
+            Some(v) => return Err(bad(format!("unsupported manifest format {v}"))),
+            None => return Err(bad("manifest missing format line".into())),
+        }
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .and_then(|(_, v)| *v)
+                .ok_or_else(|| bad(format!("manifest missing {name}")))
+        };
+        Ok(Self {
+            sim_seed: get("sim_seed")?,
+            organic: get("organic")?,
+            campaigns: get("campaigns")?,
+            per_campaign: get("per_campaign")?,
+            runner_seed: get("runner_seed")?,
+            gt_hours: get("gt_hours")?,
+            hours: get("hours")?,
+            buffer_capacity: get("buffer_capacity")?,
+        })
+    }
+
+    /// Reads the manifest from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and [`Manifest::parse`] errors.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::parse(&fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            sim_seed: 42,
+            organic: 2_000,
+            campaigns: 6,
+            per_campaign: 20,
+            runner_seed: 42,
+            gt_hours: 24,
+            hours: 48,
+            buffer_capacity: 65_536,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let m = sample();
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(sample().render(), sample().render());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_versions() {
+        assert!(Manifest::parse("format = 1\nwat = 3").is_err());
+        let future = sample().render().replace("format = 1", "format = 99");
+        assert!(Manifest::parse(&future).is_err());
+        assert!(Manifest::parse("sim_seed = 1").is_err(), "missing format");
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        assert!(Manifest::parse("format = 1\nsim_seed = 4").is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Record codec for the segment log.
+//!
+//! One log record is one [`CollectedTweet`]: the monitoring context
+//! (category, node, slot, hour) followed by the tweet itself in the
+//! simulator's wire framing ([`ph_twitter_sim::wire`]), which is already
+//! self-delimited. Layout (all integers little-endian):
+//!
+//! ```text
+//! u8   record type (1 = collected tweet)
+//! u8   flags (bit0: evaluation sidecar — ground-truth spam)
+//! u8   category (0 = node activity, 1 = mention of node)
+//! u32  node account id
+//! slot SampleAttribute (tagged: profile/hashtag/no-hashtag/trending)
+//! u64  collection hour
+//! …    tweet wire frame (u32 length prefix + body)
+//! ```
+//!
+//! The ground-truth bit deliberately does **not** ride the simulated
+//! Streaming API (`wire.rs` drops it: a real stream carries no labels).
+//! The store is not the stream, though: it is *our* durable log, and the
+//! `replay` regression harness needs the evaluation oracle offline — so
+//! the bit is persisted here as an explicitly evaluation-only sidecar. A
+//! production deployment would write zero for it and never read it.
+
+use ph_core::attributes::{AttributeKind, ProfileAttribute, SampleAttribute, TrendAttribute};
+use ph_core::monitor::{CollectedTweet, TweetCategory};
+use ph_twitter_sim::wire::{self, DecodeError as WireDecodeError};
+use ph_twitter_sim::{AccountId, TopicCategory};
+
+use crate::codec::{put_f64, put_u32, put_u64, put_u8, take_f64, take_u32, take_u64, take_u8};
+
+/// Record-type discriminant of a collected tweet.
+pub const RECORD_COLLECTED: u8 = 1;
+
+/// Errors produced when decoding a store record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreDecodeError {
+    /// Record shorter than a field requires.
+    Truncated,
+    /// Unknown enum discriminant.
+    BadDiscriminant {
+        /// The field containing the bad value.
+        field: &'static str,
+        /// The offending value.
+        value: u8,
+    },
+    /// The embedded tweet frame failed to decode.
+    BadTweet(WireDecodeError),
+}
+
+impl std::fmt::Display for StoreDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreDecodeError::Truncated => write!(f, "store record truncated"),
+            StoreDecodeError::BadDiscriminant { field, value } => {
+                write!(f, "invalid {field} discriminant {value}")
+            }
+            StoreDecodeError::BadTweet(e) => write!(f, "embedded tweet frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreDecodeError {}
+
+impl From<WireDecodeError> for StoreDecodeError {
+    fn from(e: WireDecodeError) -> Self {
+        StoreDecodeError::BadTweet(e)
+    }
+}
+
+/// Slot encoding tags.
+const SLOT_PROFILE: u8 = 0;
+const SLOT_HASHTAG: u8 = 1;
+const SLOT_NO_HASHTAG: u8 = 2;
+const SLOT_TRENDING: u8 = 3;
+
+/// Appends a [`SampleAttribute`] to `buf` (1–10 bytes depending on kind).
+pub(crate) fn put_slot(buf: &mut Vec<u8>, slot: &SampleAttribute) {
+    match slot.kind {
+        AttributeKind::Profile(attr) => {
+            put_u8(buf, SLOT_PROFILE);
+            let index = ProfileAttribute::ALL
+                .iter()
+                .position(|&a| a == attr)
+                .expect("attribute is in ALL");
+            put_u8(buf, index as u8);
+            put_f64(buf, slot.sample_value.unwrap_or(f64::NAN));
+        }
+        AttributeKind::Hashtag(Some(category)) => {
+            put_u8(buf, SLOT_HASHTAG);
+            let index = TopicCategory::ALL
+                .iter()
+                .position(|&c| c == category)
+                .expect("category is in ALL");
+            put_u8(buf, index as u8);
+        }
+        AttributeKind::Hashtag(None) => put_u8(buf, SLOT_NO_HASHTAG),
+        AttributeKind::Trending(trend) => {
+            put_u8(buf, SLOT_TRENDING);
+            let index = TrendAttribute::ALL
+                .iter()
+                .position(|&t| t == trend)
+                .expect("trend is in ALL");
+            put_u8(buf, index as u8);
+        }
+    }
+}
+
+/// Decodes a [`SampleAttribute`] from the cursor.
+pub(crate) fn take_slot(buf: &mut &[u8]) -> Result<SampleAttribute, StoreDecodeError> {
+    match take_u8(buf)? {
+        SLOT_PROFILE => {
+            let index = take_u8(buf)?;
+            let attr = *ProfileAttribute::ALL.get(index as usize).ok_or(
+                StoreDecodeError::BadDiscriminant {
+                    field: "profile attribute",
+                    value: index,
+                },
+            )?;
+            let value = take_f64(buf)?;
+            Ok(SampleAttribute {
+                kind: AttributeKind::Profile(attr),
+                sample_value: if value.is_nan() { None } else { Some(value) },
+            })
+        }
+        SLOT_HASHTAG => {
+            let index = take_u8(buf)?;
+            let category = *TopicCategory::ALL.get(index as usize).ok_or(
+                StoreDecodeError::BadDiscriminant {
+                    field: "topic category",
+                    value: index,
+                },
+            )?;
+            Ok(SampleAttribute::hashtag(Some(category)))
+        }
+        SLOT_NO_HASHTAG => Ok(SampleAttribute::hashtag(None)),
+        SLOT_TRENDING => {
+            let index = take_u8(buf)?;
+            let trend = *TrendAttribute::ALL.get(index as usize).ok_or(
+                StoreDecodeError::BadDiscriminant {
+                    field: "trend attribute",
+                    value: index,
+                },
+            )?;
+            Ok(SampleAttribute::trending(trend))
+        }
+        value => Err(StoreDecodeError::BadDiscriminant {
+            field: "slot kind",
+            value,
+        }),
+    }
+}
+
+/// Encodes one collected tweet into a record payload (the segment log adds
+/// its own length + CRC framing around this).
+#[must_use]
+pub fn encode_collected(collected: &CollectedTweet) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(96 + collected.tweet.text.len());
+    put_u8(&mut buf, RECORD_COLLECTED);
+    put_u8(
+        &mut buf,
+        u8::from(collected.tweet.evaluation_sidecar_spam()),
+    );
+    put_u8(
+        &mut buf,
+        match collected.category {
+            TweetCategory::NodeActivity => 0,
+            TweetCategory::MentionOfNode => 1,
+        },
+    );
+    put_u32(&mut buf, collected.node.0);
+    put_slot(&mut buf, &collected.slot);
+    put_u64(&mut buf, collected.hour);
+    buf.extend_from_slice(&wire::encode_frame(&collected.tweet));
+    buf
+}
+
+/// Decodes one record payload back into a collected tweet.
+///
+/// # Errors
+///
+/// Returns a [`StoreDecodeError`] on truncated or malformed payloads; never
+/// panics, whatever the input bytes.
+pub fn decode_collected(payload: &[u8]) -> Result<CollectedTweet, StoreDecodeError> {
+    let mut buf = payload;
+    let record_type = take_u8(&mut buf)?;
+    if record_type != RECORD_COLLECTED {
+        return Err(StoreDecodeError::BadDiscriminant {
+            field: "record type",
+            value: record_type,
+        });
+    }
+    let flags = take_u8(&mut buf)?;
+    if flags > 1 {
+        return Err(StoreDecodeError::BadDiscriminant {
+            field: "flags",
+            value: flags,
+        });
+    }
+    let category = match take_u8(&mut buf)? {
+        0 => TweetCategory::NodeActivity,
+        1 => TweetCategory::MentionOfNode,
+        value => {
+            return Err(StoreDecodeError::BadDiscriminant {
+                field: "category",
+                value,
+            })
+        }
+    };
+    let node = AccountId(take_u32(&mut buf)?);
+    let slot = take_slot(&mut buf)?;
+    let hour = take_u64(&mut buf)?;
+    let mut tweet = wire::decode_frame(buf)?;
+    tweet.set_evaluation_sidecar_spam(flags & 1 != 0);
+    Ok(CollectedTweet {
+        tweet,
+        category,
+        node,
+        slot,
+        hour,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_twitter_sim::time::SimTime;
+    use ph_twitter_sim::tweet::{Tweet, TweetId, TweetKind, TweetSource};
+
+    fn collected() -> CollectedTweet {
+        let mut tweet = Tweet::observed(
+            TweetId(901),
+            AccountId(17),
+            SimTime::from_minutes(601),
+            TweetKind::Original,
+            TweetSource::Mobile,
+            "win cash now http://phish.example/x".into(),
+            vec!["tech_3".into()],
+            vec![AccountId(4)],
+            vec!["http://phish.example/x".into()],
+            Some(SimTime::from_minutes(598)),
+        );
+        tweet.set_evaluation_sidecar_spam(true);
+        CollectedTweet {
+            tweet,
+            category: TweetCategory::MentionOfNode,
+            node: AccountId(4),
+            slot: SampleAttribute::profile(ProfileAttribute::ListsPerDay, 1.0),
+            hour: 10,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let c = collected();
+        let decoded = decode_collected(&encode_collected(&c)).unwrap();
+        assert_eq!(decoded, c);
+    }
+
+    #[test]
+    fn roundtrip_preserves_ground_truth_sidecar() {
+        let mut c = collected();
+        c.tweet.set_evaluation_sidecar_spam(false);
+        let decoded = decode_collected(&encode_collected(&c)).unwrap();
+        assert!(!decoded.tweet.evaluation_sidecar_spam());
+    }
+
+    #[test]
+    fn all_slot_kinds_roundtrip() {
+        for slot in SampleAttribute::standard_slots() {
+            let mut buf = Vec::new();
+            put_slot(&mut buf, &slot);
+            let mut cursor = buf.as_slice();
+            assert_eq!(take_slot(&mut cursor).unwrap(), slot);
+            assert!(cursor.is_empty(), "trailing bytes for {slot}");
+        }
+    }
+
+    #[test]
+    fn truncation_errors_at_every_cut() {
+        let payload = encode_collected(&collected());
+        for cut in 0..payload.len() {
+            assert!(
+                decode_collected(&payload[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_discriminants_error() {
+        let mut payload = encode_collected(&collected());
+        payload[0] = 99;
+        assert!(matches!(
+            decode_collected(&payload),
+            Err(StoreDecodeError::BadDiscriminant {
+                field: "record type",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,482 @@
+//! The store facade: one directory holding a manifest, a segment log, and
+//! a checkpoint log, plus the [`MonitorSink`] that streams a live run into
+//! it and the resume logic that picks the run back up after a crash.
+//!
+//! Directory layout:
+//!
+//! ```text
+//! store/
+//! ├── MANIFEST              pinned run configuration (text)
+//! ├── checkpoints.log       hourly RunState + cumulative counters
+//! ├── segment-00000000.seg  collected tweets, CRC-framed
+//! ├── segment-00000001.seg
+//! └── …
+//! ```
+//!
+//! **Resume invariant**: the log is rolled back to the newest checkpoint
+//! the recovered log still fully covers, and monitoring restarts from that
+//! checkpoint's hour. Anything the crash tore off belongs to an hour that
+//! will be re-run — and because the simulation is deterministic, the
+//! re-run appends byte-identical records, so
+//! `run(N) ≡ run(k) → crash → resume → run(N−k)` on the log.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ph_core::monitor::{CollectedTweet, MonitorReport, MonitorSink, RunState};
+
+use crate::checkpoint::{Checkpoint, CheckpointLog};
+use crate::log::{CollectedReader, RecoveryReport, SegmentLog, DEFAULT_MAX_SEGMENT_BYTES};
+use crate::manifest::Manifest;
+use crate::record::encode_collected;
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Checkpoint log file name inside a store directory.
+pub const CHECKPOINT_FILE: &str = "checkpoints.log";
+
+/// When the segment log is fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Fsync at every hour boundary, just before the checkpoint — at most
+    /// one hour of collection is re-run after a crash. The default.
+    #[default]
+    EveryHour,
+    /// Fsync after every record. Durable to the last tweet, at a heavy
+    /// throughput cost; exists for the bench to quantify that cost.
+    EveryRecord,
+}
+
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Segment capacity before rolling to a new file.
+    pub max_segment_bytes: u64,
+    /// Hours between checkpoints (1 = every hour boundary).
+    pub checkpoint_interval_hours: u64,
+    /// Fsync policy.
+    pub sync: SyncPolicy,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            max_segment_bytes: DEFAULT_MAX_SEGMENT_BYTES,
+            checkpoint_interval_hours: 1,
+            sync: SyncPolicy::EveryHour,
+        }
+    }
+}
+
+/// An open store directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    manifest: Manifest,
+    log: SegmentLog,
+    checkpoints: CheckpointLog,
+}
+
+impl Store {
+    /// Creates a fresh store in `dir` (created if missing) for a run
+    /// described by `manifest`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::AlreadyExists`] if `dir` already holds
+    /// a store; propagates I/O failures.
+    pub fn create(dir: &Path, manifest: Manifest, config: StoreConfig) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} already holds a store (resume it instead)",
+                    dir.display()
+                ),
+            ));
+        }
+        let log = SegmentLog::create(dir, config.max_segment_bytes)?;
+        let checkpoints = CheckpointLog::create(&dir.join(CHECKPOINT_FILE))?;
+        manifest.save(&manifest_path)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            config,
+            manifest,
+            log,
+            checkpoints,
+        })
+    }
+
+    /// Reopens the store in `dir` after a crash (or a clean stop):
+    /// recovers the segment and checkpoint logs by truncating torn tails,
+    /// rolls the segment log back to the newest checkpoint it still
+    /// covers, and returns everything the caller needs to continue the
+    /// run from that hour.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` holds no readable manifest; propagates I/O failures.
+    pub fn open_resume(dir: &Path, config: StoreConfig) -> io::Result<ResumedStore> {
+        let manifest = Manifest::load(&dir.join(MANIFEST_FILE))?;
+        let (mut log, recovery) = SegmentLog::open(dir, config.max_segment_bytes)?;
+        let checkpoint_path = dir.join(CHECKPOINT_FILE);
+        let (checkpoints, all) = if checkpoint_path.exists() {
+            CheckpointLog::open(&checkpoint_path)?
+        } else {
+            (CheckpointLog::create(&checkpoint_path)?, Vec::new())
+        };
+        // Newest checkpoint the recovered log still covers. A torn tail
+        // can leave the log shorter than the last checkpoint recorded —
+        // then we roll back one more hour, never forward.
+        let chosen = all.into_iter().rfind(|c| c.records <= log.record_count());
+        let (state, report, engine_hours, target) = match &chosen {
+            Some(c) => (c.state.clone(), c.report(), c.engine_hours, c.records),
+            None => (
+                RunState::default(),
+                MonitorReport::default(),
+                manifest.gt_hours,
+                0,
+            ),
+        };
+        log.truncate_to(target)?;
+        let store = Self {
+            dir: dir.to_path_buf(),
+            config,
+            manifest,
+            log,
+            checkpoints,
+        };
+        Ok(ResumedStore {
+            store,
+            manifest,
+            state,
+            report,
+            engine_hours,
+            recovery,
+        })
+    }
+
+    /// The pinned run configuration.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records currently in the segment log.
+    pub fn record_count(&self) -> u64 {
+        self.log.record_count()
+    }
+
+    /// Streaming reader over every stored tweet, in collection order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures listing the directory.
+    pub fn reader(&self) -> io::Result<CollectedReader> {
+        CollectedReader::open(&self.dir)
+    }
+
+    /// Fsyncs the segment log (the writer also syncs per its policy; call
+    /// this once more when a run finishes cleanly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.log.sync()
+    }
+
+    /// A [`MonitorSink`] appending this run segment into the store.
+    /// `prior` is the cumulative report of all *previous* segments (empty
+    /// on a fresh run; [`ResumedStore::report`] on a resume) — checkpoints
+    /// record `prior + current segment` so counters survive any number of
+    /// crashes.
+    pub fn writer(&mut self, prior: &MonitorReport) -> StoreWriter<'_> {
+        let mut base = prior.clone();
+        base.collected.clear();
+        StoreWriter { store: self, base }
+    }
+}
+
+/// Everything [`Store::open_resume`] hands back.
+#[derive(Debug)]
+pub struct ResumedStore {
+    /// The reopened store, ready for [`Store::writer`].
+    pub store: Store,
+    /// The pinned run configuration (convenience copy).
+    pub manifest: Manifest,
+    /// The monitor cursor to continue from.
+    pub state: RunState,
+    /// Cumulative counters of the completed hours (`collected` empty — the
+    /// tweets live in the log).
+    pub report: MonitorReport,
+    /// Absolute engine hour to fast-forward a fresh engine to.
+    pub engine_hours: u64,
+    /// What torn-tail recovery truncated on open (checkpoint rollback not
+    /// included; that lands in `store.recovery.rolled_back_records`).
+    pub recovery: RecoveryReport,
+}
+
+impl ResumedStore {
+    /// Monitoring hours still owed (`manifest.hours − completed`).
+    pub fn remaining_hours(&self) -> u64 {
+        self.manifest.hours.saturating_sub(self.state.next_hour)
+    }
+
+    /// Whether the stored run already completed all its hours.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_hours() == 0
+    }
+}
+
+/// The durable [`MonitorSink`]: appends every collected tweet to the
+/// segment log and checkpoints the run cursor at hour boundaries.
+#[derive(Debug)]
+pub struct StoreWriter<'a> {
+    store: &'a mut Store,
+    /// Cumulative report of prior segments (collected always empty).
+    base: MonitorReport,
+}
+
+impl MonitorSink for StoreWriter<'_> {
+    fn on_tweet(&mut self, collected: &CollectedTweet) -> io::Result<()> {
+        self.store.log.append(&encode_collected(collected))?;
+        if self.store.config.sync == SyncPolicy::EveryRecord {
+            self.store.log.sync()?;
+        }
+        Ok(())
+    }
+
+    fn on_hour(&mut self, state: &RunState, segment: &MonitorReport) -> io::Result<()> {
+        if !state
+            .next_hour
+            .is_multiple_of(self.store.config.checkpoint_interval_hours.max(1))
+            && state.next_hour < self.store.manifest.hours
+        {
+            return Ok(());
+        }
+        // Records must be durable before the checkpoint that covers them.
+        self.store.log.sync()?;
+        let mut cumulative = self.base.clone();
+        cumulative.merge(segment);
+        let checkpoint = Checkpoint::new(
+            self.store.log.record_count(),
+            self.store.manifest.gt_hours + state.next_hour,
+            state,
+            &cumulative,
+        );
+        self.store.checkpoints.append(&checkpoint)
+    }
+
+    fn retain_in_memory(&self) -> bool {
+        // The log is the collection; arbitrarily long runs stay O(1) RAM.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::monitor::{Runner, RunnerConfig};
+    use ph_twitter_sim::engine::{Engine, SimConfig};
+    use std::fs;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ph-store-store-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest() -> Manifest {
+        Manifest {
+            sim_seed: 5,
+            organic: 600,
+            campaigns: 3,
+            per_campaign: 8,
+            runner_seed: 11,
+            gt_hours: 0,
+            hours: 10,
+            buffer_capacity: ph_twitter_sim::api::DEFAULT_QUEUE_CAPACITY as u64,
+        }
+    }
+
+    fn engine(m: &Manifest) -> Engine {
+        Engine::new(SimConfig {
+            seed: m.sim_seed,
+            num_organic: m.organic as usize,
+            num_campaigns: m.campaigns as usize,
+            accounts_per_campaign: m.per_campaign as usize,
+            ..Default::default()
+        })
+    }
+
+    fn runner(m: &Manifest) -> Runner {
+        Runner::new(RunnerConfig {
+            seed: m.runner_seed,
+            switch_interval_hours: 3, // crash mid-interval exercises membership restore
+            buffer_capacity: m.buffer_capacity as usize,
+            ..Default::default()
+        })
+    }
+
+    fn store_config() -> StoreConfig {
+        StoreConfig {
+            max_segment_bytes: 16 * 1024, // force several rolls in a short run
+            ..Default::default()
+        }
+    }
+
+    fn read_all(store: &Store) -> Vec<CollectedTweet> {
+        store
+            .reader()
+            .unwrap()
+            .collect::<io::Result<Vec<_>>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn crash_and_resume_matches_uninterrupted_run() {
+        let m = manifest();
+
+        // Reference: uninterrupted in-memory run.
+        let full = runner(&m).run(&mut engine(&m), m.hours);
+
+        // Stored run, "crashing" after 4 of 10 hours (mid switch-interval).
+        let dir = temp_dir("resume");
+        let mut store = Store::create(&dir, m, store_config()).unwrap();
+        let mut eng = engine(&m);
+        let mut state = RunState::default();
+        let r = runner(&m);
+        let first = r
+            .run_segment(
+                &mut eng,
+                &mut state,
+                m.hours,
+                4,
+                r.standard_networks(),
+                &mut store.writer(&MonitorReport::default()),
+            )
+            .unwrap();
+        assert!(first.collected.is_empty(), "durable sink retained tweets");
+        drop(store);
+        drop(eng); // the crash
+
+        // Resume from disk alone.
+        let mut resumed = Store::open_resume(&dir, store_config()).unwrap();
+        assert_eq!(resumed.state.next_hour, 4);
+        assert_eq!(resumed.remaining_hours(), 6);
+        assert!(!resumed.state.membership.is_empty(), "membership lost");
+        let mut eng = engine(&resumed.manifest);
+        eng.run_hours(resumed.state.next_hour);
+        let mut merged = resumed.report.clone();
+        let tail = r
+            .run_segment(
+                &mut eng,
+                &mut resumed.state,
+                resumed.manifest.hours,
+                u64::MAX,
+                r.standard_networks(),
+                &mut resumed.store.writer(&resumed.report),
+            )
+            .unwrap();
+        merged.merge(&tail);
+
+        // Counters match the uninterrupted run; tweets come from the log.
+        assert_eq!(merged.hours, full.hours);
+        assert_eq!(merged.dropped, full.dropped);
+        assert_eq!(merged.node_hours, full.node_hours);
+        assert_eq!(read_all(&resumed.store), full.collected);
+    }
+
+    #[test]
+    fn torn_tail_rolls_back_to_a_covered_checkpoint() {
+        let m = manifest();
+        let dir = temp_dir("rollback");
+        let mut store = Store::create(&dir, m, store_config()).unwrap();
+        let mut eng = engine(&m);
+        let mut state = RunState::default();
+        let r = runner(&m);
+        r.run_segment(
+            &mut eng,
+            &mut state,
+            m.hours,
+            5,
+            r.standard_networks(),
+            &mut store.writer(&MonitorReport::default()),
+        )
+        .unwrap();
+        let records_at_5 = store.record_count();
+        drop(store);
+
+        // Corrupt the very last record: recovery truncates it, leaving the
+        // log one record short of the hour-5 checkpoint → resume must fall
+        // back to hour 4's checkpoint, not resume at 5.
+        let mut segs: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let p = e.unwrap().path();
+                p.file_name()?
+                    .to_str()?
+                    .starts_with("segment-")
+                    .then_some(p)
+            })
+            .collect();
+        segs.sort();
+        let last = segs.pop().unwrap();
+        let len = fs::metadata(&last).unwrap().len();
+        let mut bytes = fs::read(&last).unwrap();
+        bytes[(len - 3) as usize] ^= 0xFF;
+        fs::write(&last, bytes).unwrap();
+
+        let resumed = Store::open_resume(&dir, store_config()).unwrap();
+        assert_eq!(resumed.state.next_hour, 4, "did not roll back an hour");
+        assert!(resumed.store.record_count() < records_at_5);
+        assert!(resumed.recovery.truncated_bytes > 0);
+        assert_eq!(resumed.report.hours, 4);
+    }
+
+    #[test]
+    fn fresh_directory_cannot_be_resumed_and_store_cannot_be_recreated() {
+        let dir = temp_dir("guards");
+        assert!(Store::open_resume(&dir, store_config()).is_err());
+        let m = manifest();
+        let _store = Store::create(&dir, m, store_config()).unwrap();
+        let err = Store::create(&dir, m, store_config()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn resuming_a_complete_run_reports_zero_remaining() {
+        let m = Manifest {
+            hours: 3,
+            ..manifest()
+        };
+        let dir = temp_dir("complete");
+        let mut store = Store::create(&dir, m, store_config()).unwrap();
+        let mut eng = engine(&m);
+        let mut state = RunState::default();
+        let r = runner(&m);
+        r.run_segment(
+            &mut eng,
+            &mut state,
+            m.hours,
+            m.hours,
+            r.standard_networks(),
+            &mut store.writer(&MonitorReport::default()),
+        )
+        .unwrap();
+        drop(store);
+        let resumed = Store::open_resume(&dir, store_config()).unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.report.hours, 3);
+    }
+}

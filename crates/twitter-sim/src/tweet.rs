@@ -123,6 +123,23 @@ impl Tweet {
         }
     }
 
+    /// The simulator's hidden spam label, exposed **for evaluation
+    /// sidecars only**: `ph-store` persists it alongside each logged tweet
+    /// so an offline `replay` can score against the oracle without a live
+    /// engine. Detector, labeling, and feature code must keep going
+    /// through [`crate::engine::GroundTruth`] — consuming this from a
+    /// classification path defeats the honesty guarantee.
+    #[must_use]
+    pub fn evaluation_sidecar_spam(&self) -> bool {
+        self.ground_truth_spam
+    }
+
+    /// Restores the hidden spam label on a decoded tweet — the write half
+    /// of the evaluation sidecar (see [`Tweet::evaluation_sidecar_spam`]).
+    pub fn set_evaluation_sidecar_spam(&mut self, spam: bool) {
+        self.ground_truth_spam = spam;
+    }
+
     /// Number of characters in the tweet text.
     pub fn content_length(&self) -> usize {
         self.text.chars().count()

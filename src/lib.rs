@@ -6,11 +6,13 @@
 //! - [`sketch`] — similarity sketches (dHash, MinHash, name patterns),
 //! - [`ml`] — from-scratch classifiers and cross-validation,
 //! - [`sim`] — the Twitter-like social-network simulator,
-//! - [`core`] — the pseudo-honeypot system itself.
+//! - [`core`] — the pseudo-honeypot system itself,
+//! - [`store`] — the durable segment log + checkpoint/replay store.
 
 #![forbid(unsafe_code)]
 
 pub use ph_core as core;
 pub use ph_ml as ml;
 pub use ph_sketch as sketch;
+pub use ph_store as store;
 pub use ph_twitter_sim as sim;

@@ -4,6 +4,8 @@
 //! pseudo-honeypot attributes                      list the 24-attribute taxonomy
 //! pseudo-honeypot simulate  [--hours H] [--organic N] [--seed S]
 //! pseudo-honeypot sniff     [--hours H] [--gt-hours H] [--organic N] [--seed S]
+//!                           [--store DIR] [--resume] [--crash-after H]
+//! pseudo-honeypot replay    --store DIR
 //! pseudo-honeypot showdown  [--hours H] [--nodes N] [--seed S]
 //! ```
 //!
@@ -20,16 +22,22 @@
 //! on a simulated Twitter, collect, build ground truth, train the RF
 //! detector, and report what it caught.
 
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 use ph_telemetry::{log_info, log_warn};
 use pseudo_honeypot::core::attributes::{AttributeKind, ProfileAttribute, SampleAttribute};
 use pseudo_honeypot::core::baselines::run_random_baseline;
 use pseudo_honeypot::core::detector::{build_training_data, DetectorConfig, SpamDetector};
-use pseudo_honeypot::core::labeling::pipeline::{format_table3, label_collection, PipelineConfig};
-use pseudo_honeypot::core::monitor::{Runner, RunnerConfig};
+use pseudo_honeypot::core::labeling::pipeline::{
+    format_table3, label_collection, label_collection_stream, PipelineConfig,
+};
+use pseudo_honeypot::core::monitor::{
+    CollectedTweet, MonitorReport, RunState, Runner, RunnerConfig,
+};
 use pseudo_honeypot::core::pge::{overall_pge, pge_ranking_with_min};
 use pseudo_honeypot::sim::engine::{Engine, SimConfig};
+use pseudo_honeypot::store::{Manifest, ResumedStore, Store, StoreConfig};
 
 mod cli;
 use cli::Args;
@@ -56,10 +64,14 @@ fn main() {
         Some("sniff") => {
             validate_options(
                 &args,
-                &with_sim(&["hours", "gt-hours", "name"]),
-                &["verify"],
+                &with_sim(&["hours", "gt-hours", "name", "store", "crash-after"]),
+                &["verify", "resume"],
             );
             sniff(&args);
+        }
+        Some("replay") => {
+            validate_options(&args, &["store"], &["verify"]);
+            replay(&args);
         }
         Some("showdown") => {
             validate_options(&args, &with_sim(&["hours", "nodes"]), &[]);
@@ -140,6 +152,12 @@ fn usage() {
     );
     println!("  sniff     [--hours H] [--gt-hours H] [--organic N] [--seed S]");
     println!("                                      full pipeline: monitor, label, train, detect");
+    println!(
+        "            [--store DIR]             persist the collection to a durable segment log"
+    );
+    println!("            [--resume]                continue a crashed/stopped run from DIR's last checkpoint");
+    println!("            [--crash-after H]         stop after H monitored hours with a torn tail (exit 3)");
+    println!("  replay    --store DIR               re-run labeling + classification from a stored log alone");
     println!("  showdown  [--hours H] [--nodes N] [--seed S]");
     println!("                                      pseudo-honeypot vs random accounts");
     println!();
@@ -212,6 +230,19 @@ fn simulate(args: &Args) {
 }
 
 fn sniff(args: &Args) {
+    match args.options.get("store") {
+        Some(dir) => sniff_stored(args, &PathBuf::from(dir)),
+        None => {
+            if args.has_flag("resume") || args.options.contains_key("crash-after") {
+                eprintln!("error: --resume and --crash-after require --store DIR");
+                std::process::exit(2);
+            }
+            sniff_in_memory(args);
+        }
+    }
+}
+
+fn sniff_in_memory(args: &Args) {
     let gt_hours = args.get_u64("gt-hours", 24);
     let hours = args.get_u64("hours", 24);
     let name = args.get_str("name", "sniffing campaign");
@@ -222,20 +253,7 @@ fn sniff(args: &Args) {
         ..Default::default()
     });
 
-    log_info!("phase 1: ground truth — standard network, {gt_hours} h…");
-    let train_report = runner.run(&mut engine, gt_hours);
-    let ground_truth =
-        label_collection(&train_report.collected, &engine, &PipelineConfig::default());
-    println!("{}", format_table3(&ground_truth.summary));
-
-    log_info!("phase 2: training the Random Forest detector…");
-    let (data, _) = build_training_data(
-        &train_report.collected,
-        &ground_truth.labels,
-        &engine,
-        pseudo_honeypot::core::features::DEFAULT_TAU,
-    );
-    let detector = SpamDetector::train(&DetectorConfig::default(), &data);
+    let (detector, _) = ground_truth_and_detector(&mut engine, &runner, gt_hours, true);
 
     log_info!("phase 3: sniffing for {hours} h…");
     let report = runner.run(&mut engine, hours);
@@ -246,26 +264,7 @@ fn sniff(args: &Args) {
             report.dropped
         );
     }
-    println!(
-        "collected {} tweets from {} accounts",
-        report.collected.len(),
-        report.unique_authors()
-    );
-    println!(
-        "classified {} spams from {} spammer accounts",
-        outcome.num_spam(),
-        outcome.num_spammers()
-    );
-    let ranking = pge_ranking_with_min(&report, &outcome.predictions, hours as f64 * 2.0);
-    println!("\ntop attributes by PGE:");
-    for entry in ranking.iter().take(5) {
-        println!(
-            "  {:<44} PGE {:.4} ({} spammers)",
-            entry.slot.describe(),
-            entry.pge,
-            entry.spammers
-        );
-    }
+    print_sniff_summary(&report, &outcome.predictions, &outcome, hours);
     if args.has_flag("verify") {
         let oracle = engine.ground_truth();
         let correct = report
@@ -278,6 +277,322 @@ fn sniff(args: &Args) {
             "\noracle check: {:.2}% of verdicts correct",
             100.0 * correct as f64 / report.collected.len().max(1) as f64
         );
+    }
+}
+
+/// Phases 1–2 of the pipeline (shared by fresh, resumed, and replayed
+/// runs — all three must rebuild the *identical* detector): ground-truth
+/// collection over `gt_hours`, labeling, and Random-Forest training.
+fn ground_truth_and_detector(
+    engine: &mut Engine,
+    runner: &Runner,
+    gt_hours: u64,
+    print_table: bool,
+) -> (SpamDetector, usize) {
+    log_info!("phase 1: ground truth — standard network, {gt_hours} h…");
+    let train_report = runner.run(engine, gt_hours);
+    let ground_truth =
+        label_collection(&train_report.collected, engine, &PipelineConfig::default());
+    if print_table {
+        println!("{}", format_table3(&ground_truth.summary));
+    }
+    log_info!("phase 2: training the Random Forest detector…");
+    let (data, _) = build_training_data(
+        &train_report.collected,
+        &ground_truth.labels,
+        engine,
+        pseudo_honeypot::core::features::DEFAULT_TAU,
+    );
+    let detector = SpamDetector::train(&DetectorConfig::default(), &data);
+    (detector, train_report.collected.len())
+}
+
+/// The classification + PGE tail every sniff variant prints.
+fn print_sniff_summary(
+    report: &MonitorReport,
+    predictions: &[bool],
+    outcome: &pseudo_honeypot::core::detector::ClassificationOutcome,
+    hours: u64,
+) {
+    println!(
+        "collected {} tweets from {} accounts",
+        report.collected.len(),
+        report.unique_authors()
+    );
+    println!(
+        "classified {} spams from {} spammer accounts",
+        outcome.num_spam(),
+        outcome.num_spammers()
+    );
+    let ranking = pge_ranking_with_min(report, predictions, hours as f64 * 2.0);
+    println!("\ntop attributes by PGE:");
+    for entry in ranking.iter().take(5) {
+        println!(
+            "  {:<44} PGE {:.4} ({} spammers)",
+            entry.slot.describe(),
+            entry.pge,
+            entry.spammers
+        );
+    }
+}
+
+fn die(context: &str, e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {e}");
+    std::process::exit(1);
+}
+
+fn runner_for(manifest: &Manifest) -> Runner {
+    Runner::new(RunnerConfig {
+        seed: manifest.runner_seed,
+        buffer_capacity: manifest.buffer_capacity as usize,
+        ..Default::default()
+    })
+}
+
+fn engine_for(manifest: &Manifest) -> Engine {
+    Engine::new(SimConfig {
+        seed: manifest.sim_seed,
+        num_organic: manifest.organic as usize,
+        num_campaigns: manifest.campaigns as usize,
+        accounts_per_campaign: manifest.per_campaign as usize,
+        ..Default::default()
+    })
+}
+
+/// Store-backed sniff: every collected tweet lands in the segment log,
+/// the run checkpoints hourly, and `--resume` continues after a crash.
+fn sniff_stored(args: &Args, dir: &Path) {
+    let resume = args.has_flag("resume");
+    let crash_after = args
+        .options
+        .contains_key("crash-after")
+        .then(|| args.get_u64("crash-after", 0));
+    let name = args.get_str("name", "sniffing campaign");
+    println!("== {name} ==");
+
+    // Fresh runs pin the CLI configuration into the manifest; resumed
+    // runs take *everything* from the stored manifest (the store is the
+    // source of truth — mixing a new seed into an old log would corrupt
+    // the determinism the whole recovery story rests on).
+    let resumed: Option<ResumedStore> = if resume {
+        let r = Store::open_resume(dir, StoreConfig::default())
+            .unwrap_or_else(|e| die(&format!("cannot resume {}", dir.display()), e));
+        for key in [
+            "seed",
+            "organic",
+            "campaigns",
+            "per-campaign",
+            "gt-hours",
+            "hours",
+        ] {
+            if args.options.contains_key(key) {
+                log_warn!("--{key} ignored on --resume: the store manifest pins it");
+            }
+        }
+        log_info!(
+            "resuming {}: {} of {} h done, {} records on log ({} bytes truncated in recovery)",
+            dir.display(),
+            r.state.next_hour,
+            r.manifest.hours,
+            r.store.record_count(),
+            r.recovery.truncated_bytes
+        );
+        Some(r)
+    } else {
+        None
+    };
+    let manifest = match &resumed {
+        Some(r) => r.manifest,
+        None => Manifest {
+            sim_seed: args.get_u64("seed", 42),
+            organic: args.get_u64("organic", 2_000),
+            campaigns: args.get_u64("campaigns", 6),
+            per_campaign: args.get_u64("per-campaign", 20),
+            runner_seed: args.get_u64("seed", 42),
+            gt_hours: args.get_u64("gt-hours", 24),
+            hours: args.get_u64("hours", 24),
+            buffer_capacity: pseudo_honeypot::sim::api::DEFAULT_QUEUE_CAPACITY as u64,
+        },
+    };
+
+    let mut engine = engine_for(&manifest);
+    let runner = runner_for(&manifest);
+    let (detector, _) = ground_truth_and_detector(&mut engine, &runner, manifest.gt_hours, !resume);
+
+    let (mut store, mut state, prior) = match resumed {
+        Some(r) => {
+            // Fast-forward a fresh engine over the already-monitored hours;
+            // determinism makes this byte-equivalent to never crashing.
+            engine.run_hours(r.state.next_hour);
+            (r.store, r.state, r.report)
+        }
+        None => {
+            let store = Store::create(dir, manifest, StoreConfig::default())
+                .unwrap_or_else(|e| die(&format!("cannot create store {}", dir.display()), e));
+            (store, RunState::default(), MonitorReport::default())
+        }
+    };
+
+    let segment_hours = crash_after
+        .map(|h| h.saturating_sub(state.next_hour))
+        .unwrap_or(u64::MAX);
+    log_info!(
+        "phase 3: sniffing hours {}..{} into {}…",
+        state.next_hour,
+        manifest.hours,
+        dir.display()
+    );
+    let segment = runner
+        .run_segment(
+            &mut engine,
+            &mut state,
+            manifest.hours,
+            segment_hours,
+            runner.standard_networks(),
+            &mut store.writer(&prior),
+        )
+        .unwrap_or_else(|e| die("store write failed", e));
+    let mut report = prior;
+    report.merge(&segment);
+
+    if crash_after.is_some() && state.next_hour < manifest.hours {
+        // Simulated hard crash: die mid-append, leaving a torn half-frame
+        // on the active segment for the next open to truncate.
+        inject_torn_tail(dir);
+        log_warn!(
+            "simulated crash after {} of {} h (torn tail written); resume with --resume",
+            state.next_hour,
+            manifest.hours
+        );
+        std::process::exit(3);
+    }
+    store.sync().unwrap_or_else(|e| die("store sync failed", e));
+
+    // Classify straight off the log — the durable sink kept nothing in
+    // memory, and a real deployment would stream exactly like this.
+    let outcome = detector.classify_stream(stored_records(&store), &engine);
+    if report.dropped > 0 {
+        log_warn!(
+            "{} tweets were shed by the streaming buffer",
+            report.dropped
+        );
+    }
+    report.collected = stored_records(&store).collect();
+    print_sniff_summary(&report, &outcome.predictions, &outcome, manifest.hours);
+    println!(
+        "\nstore: {} records in {} ({} h checkpointed)",
+        store.record_count(),
+        dir.display(),
+        state.next_hour
+    );
+    if args.has_flag("verify") {
+        sidecar_check(&report.collected, &outcome.predictions);
+    }
+}
+
+/// Infallible record stream over a store's log (I/O errors abort the CLI).
+fn stored_records(store: &Store) -> impl Iterator<Item = CollectedTweet> {
+    store
+        .reader()
+        .unwrap_or_else(|e| die("cannot read store", e))
+        .map(|r| r.unwrap_or_else(|e| die("stored record unreadable", e)))
+}
+
+/// Scores predictions against the evaluation sidecar persisted in the log.
+fn sidecar_check(collected: &[CollectedTweet], predictions: &[bool]) {
+    let correct = collected
+        .iter()
+        .zip(predictions)
+        .filter(|(c, &p)| p == c.tweet.evaluation_sidecar_spam())
+        .count();
+    println!(
+        "\noracle check (stored sidecar): {:.2}% of verdicts correct",
+        100.0 * correct as f64 / collected.len().max(1) as f64
+    );
+}
+
+/// Appends half a record frame to the newest segment — what a power cut
+/// mid-`write(2)` leaves behind. Recovery must truncate exactly this.
+fn inject_torn_tail(dir: &Path) {
+    let mut segments: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| {
+                let path = e.ok()?.path();
+                let name = path.file_name()?.to_str()?;
+                (name.starts_with("segment-") && name.ends_with(".seg")).then_some(path)
+            })
+            .collect(),
+        Err(e) => die("cannot list store", e),
+    };
+    segments.sort();
+    let Some(last) = segments.pop() else { return };
+    let result = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&last)
+        .and_then(|mut f| {
+            // Length prefix promising 64 bytes, then only 3 delivered.
+            f.write_all(&64u32.to_le_bytes())?;
+            f.write_all(&0u32.to_le_bytes())?;
+            f.write_all(&[0xAA, 0xBB, 0xCC])
+        });
+    if let Err(e) = result {
+        die("cannot inject torn tail", e);
+    }
+}
+
+/// Re-runs labeling and classification *from the stored log alone*: the
+/// manifest rebuilds the deterministic engine and detector, the segment
+/// log supplies the traffic, and the checkpoint log supplies node-hours —
+/// no live monitoring anywhere.
+fn replay(args: &Args) {
+    let Some(dir) = args.options.get("store").map(PathBuf::from) else {
+        eprintln!("error: replay requires --store DIR");
+        std::process::exit(2);
+    };
+    let _span = ph_telemetry::span("replay");
+    let resumed = Store::open_resume(&dir, StoreConfig::default())
+        .unwrap_or_else(|e| die(&format!("cannot open store {}", dir.display()), e));
+    let manifest = resumed.manifest;
+    println!("== replay of {} ==", dir.display());
+    println!(
+        "manifest: seed {}, {} organic, {} campaigns × {}, gt {} h, sniff {} h",
+        manifest.sim_seed,
+        manifest.organic,
+        manifest.campaigns,
+        manifest.per_campaign,
+        manifest.gt_hours,
+        manifest.hours
+    );
+    println!(
+        "log: {} records, {} of {} h completed",
+        resumed.store.record_count(),
+        resumed.state.next_hour,
+        manifest.hours
+    );
+
+    let mut engine = engine_for(&manifest);
+    let runner = runner_for(&manifest);
+    let (detector, _) = ground_truth_and_detector(&mut engine, &runner, manifest.gt_hours, false);
+    // Advance the engine to where the stored run left off, so REST-side
+    // lookups (profiles, suspensions) see the same world state.
+    engine.run_hours(resumed.state.next_hour);
+
+    log_info!("labeling the stored collection…");
+    let reader = resumed
+        .store
+        .reader()
+        .unwrap_or_else(|e| die("cannot read store", e));
+    let (collected, dataset) = label_collection_stream(reader, &engine, &PipelineConfig::default())
+        .unwrap_or_else(|e| die("stored record unreadable", e));
+    println!("{}", format_table3(&dataset.summary));
+
+    log_info!("classifying the stored collection…");
+    let outcome = detector.classify_stream(stored_records(&resumed.store), &engine);
+    let mut report = resumed.report.clone();
+    report.collected = collected;
+    print_sniff_summary(&report, &outcome.predictions, &outcome, manifest.hours);
+    if args.has_flag("verify") {
+        sidecar_check(&report.collected, &outcome.predictions);
     }
 }
 
