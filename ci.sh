@@ -44,6 +44,15 @@ grep -q "oracle check (stored sidecar)" "$SMOKE/replay.out" \
 diff <(grep "oracle check" "$SMOKE/resume.out") <(grep "oracle check" "$SMOKE/replay.out") \
     || { echo "replay sidecar accuracy diverged from the resumed run"; exit 1; }
 
+echo "==> sharded dataflow determinism smoke (--threads 1 vs --threads 4)"
+# The ph-exec contract: thread count must be invisible in the output.
+# Replay the same store sequentially and 4-way sharded; stdout (Table III,
+# verdict counts, PGE ranking) must be byte-identical.
+"$BIN" replay --store "$SMOKE/run" --threads 1 --verify --quiet > "$SMOKE/replay-t1.out"
+"$BIN" replay --store "$SMOKE/run" --threads 4 --verify --quiet > "$SMOKE/replay-t4.out"
+diff "$SMOKE/replay-t1.out" "$SMOKE/replay-t4.out" \
+    || { echo "--threads 4 replay output diverged from --threads 1"; exit 1; }
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,74 @@
+//! Measures how the sniffing pipeline scales over the `ph-exec` sharded
+//! dataflow: pure feature extraction, labeling (sketch fan-out), and
+//! Random Forest classification at 1/2/4/8 shards, verifying on every
+//! pass that the sharded output equals the sequential reference.
+//! Telemetry (per-stage histograms, queue depths, per-worker gauges)
+//! lands in `results/pipeline_throughput.metrics.json`.
+
+use std::time::Instant;
+
+use ph_bench::{banner, fmt_count, standard_run, trained_detector, ExperimentScale};
+use ph_core::features;
+use ph_core::labeling::pipeline::{label_collection_with, PipelineConfig};
+use ph_exec::ExecConfig;
+
+/// Shard widths measured; 1 is the sequential short-circuit reference.
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let _metrics = ph_bench::metrics_scope("pipeline_throughput");
+    let scale = ExperimentScale::from_args();
+    banner("pipeline throughput — ph-exec sharded dataflow scaling");
+
+    let mut engine = scale.build_engine();
+    let (_ground_truth, _data, detector) = trained_detector(&mut engine, &scale);
+    let report = standard_run(&mut engine, &scale);
+    let collected = &report.collected;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "workload: {} collected tweets; host exposes {cores} core(s)\n",
+        fmt_count(collected.len() as u64)
+    );
+
+    println!("shards   features (krec/s)   labeling (ms)   classify (krec/s)");
+    let mut reference = None;
+    for shards in SHARDS {
+        let exec = ExecConfig::with_threads(shards);
+        let rest = engine.rest();
+
+        let start = Instant::now();
+        let pure = features::pure_batch(collected, &rest, &exec);
+        let feat_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let labels = label_collection_with(collected, &engine, &PipelineConfig::default(), &exec);
+        let label_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let outcome = detector.classify_batch(collected, &engine, &exec);
+        let class_secs = start.elapsed().as_secs_f64();
+
+        // The determinism contract, re-checked on every measured pass: a
+        // wider dataflow must change nothing but the wall-clock.
+        match &reference {
+            None => reference = Some((pure, labels, outcome)),
+            Some((ref_pure, ref_labels, ref_outcome)) => {
+                assert_eq!(&pure, ref_pure, "pure features diverged at {shards} shards");
+                assert_eq!(&labels, ref_labels, "labels diverged at {shards} shards");
+                assert_eq!(
+                    &outcome, ref_outcome,
+                    "verdicts diverged at {shards} shards"
+                );
+            }
+        }
+
+        let krecs = |secs: f64| collected.len() as f64 / secs / 1_000.0;
+        println!(
+            "{shards:>6}   {:>17.1}   {:>13.1}   {:>17.1}",
+            krecs(feat_secs),
+            label_secs * 1_000.0,
+            krecs(class_secs)
+        );
+    }
+    println!("\nsharded outputs matched the sequential reference at every width");
+}

@@ -4,6 +4,7 @@
 
 use std::collections::HashSet;
 
+use ph_exec::ExecConfig;
 use ph_ml::cv::{compare_algorithms, CrossValidation};
 use ph_ml::data::Dataset;
 use ph_ml::forest::{RandomForest, RandomForestConfig};
@@ -13,7 +14,7 @@ use ph_twitter_sim::engine::Engine;
 use ph_twitter_sim::AccountId;
 use serde::{Deserialize, Serialize};
 
-use crate::features::FeatureExtractor;
+use crate::features::{self, FeatureExtractor};
 use crate::labeling::LabeledCollection;
 use crate::monitor::CollectedTweet;
 
@@ -92,14 +93,34 @@ pub fn build_training_data(
     engine: &Engine,
     tau: f64,
 ) -> (Dataset, Vec<usize>) {
+    build_training_data_with(collected, labels, engine, tau, &ExecConfig::sequential())
+}
+
+/// [`build_training_data`] with the pure feature phase sharded across
+/// `exec`'s workers. The label lookup and environment-score feedback fold
+/// stays sequential (it is stream-order-dependent by design), so the
+/// resulting dataset is identical to the sequential build at any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if no labeled tweets exist.
+pub fn build_training_data_with(
+    collected: &[CollectedTweet],
+    labels: &LabeledCollection,
+    engine: &Engine,
+    tau: f64,
+    exec: &ExecConfig,
+) -> (Dataset, Vec<usize>) {
     let _span = ph_telemetry::span("features.extract_training");
     let rest = engine.rest();
+    let pure = features::pure_batch(collected, &rest, exec);
     let mut extractor = FeatureExtractor::with_tau(tau);
     let mut rows = Vec::new();
     let mut ys = Vec::new();
     let mut indices = Vec::new();
-    for (i, c) in collected.iter().enumerate() {
-        let features = extractor.extract(c, &rest);
+    for (i, (c, p)) in collected.iter().zip(pure).enumerate() {
+        let features = extractor.finish(c, p);
         if let Some(label) = labels.tweet_labels[i] {
             rows.push(features);
             ys.push(label.spam);
@@ -211,6 +232,37 @@ impl SpamDetector {
         outcome
     }
 
+    /// Classifies a monitored collection with the pure feature phase
+    /// sharded across `exec`'s workers. The predict + environment-score
+    /// fold stays sequential — verdict feedback makes classification
+    /// inherently stream-ordered — so the outcome equals
+    /// [`SpamDetector::classify_collection`] exactly at any thread count.
+    pub fn classify_batch(
+        &self,
+        collected: &[CollectedTweet],
+        engine: &Engine,
+        exec: &ExecConfig,
+    ) -> ClassificationOutcome {
+        let _span = ph_telemetry::span("detect.classify");
+        let rest = engine.rest();
+        let pure = features::pure_batch(collected, &rest, exec);
+        let mut extractor = FeatureExtractor::with_tau(self.tau);
+        let mut outcome = ClassificationOutcome::default();
+        for (c, p) in collected.iter().zip(pure) {
+            let features = extractor.finish(c, p);
+            let spam = self.model.predict(&features);
+            extractor.record_verdict(c.slot, spam);
+            outcome.predictions.push(spam);
+            if spam {
+                outcome.spammers.insert(c.tweet.author);
+            }
+        }
+        ph_telemetry::cached_counter!("detect.tweets_classified")
+            .add(outcome.predictions.len() as u64);
+        ph_telemetry::cached_counter!("detect.spam_predicted").add(outcome.num_spam() as u64);
+        outcome
+    }
+
     /// Classifies one pre-extracted feature vector.
     pub fn predict(&self, features: &[f64]) -> bool {
         self.model.predict(features)
@@ -305,6 +357,33 @@ mod tests {
         // Owned one-at-a-time stream, as a segment-log reader yields.
         let streamed = detector.classify_stream(collected.iter().cloned(), &engine);
         assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn sharded_training_and_classification_match_sequential() {
+        let (engine, collected, labels) = pipeline_run();
+        let (data, indices) = build_training_data(&collected, &labels, &engine, 0.01);
+        let exec = ExecConfig::with_threads(4);
+        let (par_data, par_indices) =
+            build_training_data_with(&collected, &labels, &engine, 0.01, &exec);
+        assert_eq!(par_indices, indices);
+        assert_eq!(par_data, data);
+
+        let detector = SpamDetector::train(
+            &DetectorConfig {
+                forest: RandomForestConfig {
+                    num_trees: 10,
+                    ..DetectorConfig::default().forest
+                },
+                ..Default::default()
+            },
+            &data,
+        );
+        let sequential = detector.classify_collection(&collected, &engine);
+        assert_eq!(
+            detector.classify_batch(&collected, &engine, &exec),
+            sequential
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
+use ph_exec::ExecConfig;
 use ph_twitter_sim::engine::RestApi;
 use ph_twitter_sim::{AccountId, Profile, SimTime, Tweet, TweetKind};
 use serde::{Deserialize, Serialize};
@@ -253,42 +254,35 @@ impl FeatureExtractor {
     /// Extracts the 58-feature vector for one collected tweet, then folds
     /// the tweet into the rolling aggregates. Must be called in stream
     /// order.
+    ///
+    /// Equivalent to [`pure_features`] followed by
+    /// [`FeatureExtractor::finish`] — the split the sharded pipeline uses
+    /// to move the profile/content work onto worker threads.
     pub fn extract(&mut self, collected: &CollectedTweet, rest: &RestApi<'_>) -> Vec<f64> {
+        self.finish(collected, pure_features(collected, rest))
+    }
+
+    /// Completes a [`PureFeatures`] vector into the full 58-feature vector
+    /// by filling the stream-order-dependent slots (repeated-content flag,
+    /// reciprocity, kind/source distributions, average interval,
+    /// environment score), then folds the tweet into the rolling
+    /// aggregates. Must be called in stream order with the same
+    /// `collected` the pure phase saw.
+    pub fn finish(&mut self, collected: &CollectedTweet, pure: PureFeatures) -> Vec<f64> {
         // Counter only — a span per tweet would dominate the extractor's
         // own cost in the inner loop; stage timing wraps the batch callers.
         ph_telemetry::cached_counter!("features.vectors_extracted").inc();
         let tweet = &collected.tweet;
         let sender_id = tweet.author;
-        // Receiver = the crossed node when the tweet mentions it; a node's
-        // own post has no receiver in the paper's sense.
         let receiver_id = (collected.node != sender_id).then_some(collected.node);
 
-        let mut features = Vec::with_capacity(FEATURE_COUNT);
+        let mut features = pure.0;
+        debug_assert_eq!(features.len(), FEATURE_COUNT);
 
-        // Sender profile (16).
-        match rest.profile(sender_id) {
-            Some(p) => push_profile(&mut features, p),
-            None => features.extend(std::iter::repeat_n(0.0, 16)),
-        }
-        // Receiver profile (16).
-        match receiver_id.and_then(|id| rest.profile(id)) {
-            Some(p) => push_profile(&mut features, p),
-            None => features.extend(std::iter::repeat_n(0.0, 16)),
-        }
-
-        // Content (8).
         let text_key = hash_text(&tweet.text);
         let repeated = self.seen_texts.get(&text_key).copied().unwrap_or(0) > 0;
-        features.push(if repeated { 1.0 } else { 0.0 });
-        features.push(kind_index(tweet.kind) as f64);
-        features.push(tweet.source.index() as f64);
-        features.push(tweet.hashtags.len() as f64);
-        features.push(tweet.mentions.len() as f64);
-        features.push(tweet.content_length() as f64);
-        features.push(tweet.emoji_count() as f64);
-        features.push(tweet.digit_count() as f64);
+        features[32] = if repeated { 1.0 } else { 0.0 };
 
-        // Behavior (18).
         let reciprocity = receiver_id
             .map(|r| {
                 self.pairs
@@ -297,24 +291,17 @@ impl FeatureExtractor {
                     .unwrap_or(0)
             })
             .unwrap_or(0);
-        features.push(reciprocity as f64);
+        features[40] = reciprocity as f64;
         let s_stats = self.sender.entry(sender_id).or_default().clone();
         let r_stats = receiver_id
             .map(|r| self.receiver.entry(r).or_default().clone())
             .unwrap_or_default();
-        features.extend(s_stats.kind_fractions());
-        features.extend(r_stats.kind_fractions());
-        features.extend(s_stats.source_fractions());
-        features.extend(r_stats.source_fractions());
-        let mention_time = match tweet.reacted_to_post_at {
-            Some(t) => tweet.created_at.minutes_since(t) as f64,
-            None => MENTION_TIME_SENTINEL,
-        };
-        features.push(mention_time);
-        features.push(s_stats.average_interval_minutes());
-        features.push(self.env.score(&collected.slot));
-
-        debug_assert_eq!(features.len(), FEATURE_COUNT);
+        features[41..44].copy_from_slice(&s_stats.kind_fractions());
+        features[44..47].copy_from_slice(&r_stats.kind_fractions());
+        features[47..51].copy_from_slice(&s_stats.source_fractions());
+        features[51..55].copy_from_slice(&r_stats.source_fractions());
+        features[56] = s_stats.average_interval_minutes();
+        features[57] = self.env.score(&collected.slot);
 
         // Fold this tweet into the rolling state.
         *self.seen_texts.entry(text_key).or_insert(0) += 1;
@@ -342,6 +329,81 @@ impl Default for FeatureExtractor {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// The order-independent slice of a feature vector: sender/receiver
+/// profiles, content shape, and mention time computed; every
+/// stream-order-dependent slot left at 0.0 for
+/// [`FeatureExtractor::finish`] to fill. Because [`pure_features`] reads
+/// only the tweet and the REST facade — never extractor state — it can run
+/// on any worker thread in any order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PureFeatures(Vec<f64>);
+
+/// Computes the pure (stateless) phase of feature extraction for one
+/// collected tweet. See [`PureFeatures`].
+pub fn pure_features(collected: &CollectedTweet, rest: &RestApi<'_>) -> PureFeatures {
+    let tweet = &collected.tweet;
+    let sender_id = tweet.author;
+    // Receiver = the crossed node when the tweet mentions it; a node's
+    // own post has no receiver in the paper's sense.
+    let receiver_id = (collected.node != sender_id).then_some(collected.node);
+
+    let mut features = Vec::with_capacity(FEATURE_COUNT);
+
+    // Sender profile (16).
+    match rest.profile(sender_id) {
+        Some(p) => push_profile(&mut features, p),
+        None => features.extend(std::iter::repeat_n(0.0, 16)),
+    }
+    // Receiver profile (16).
+    match receiver_id.and_then(|id| rest.profile(id)) {
+        Some(p) => push_profile(&mut features, p),
+        None => features.extend(std::iter::repeat_n(0.0, 16)),
+    }
+
+    // Content (8) — c_repeated (index 32) needs the seen-texts table.
+    features.push(0.0);
+    features.push(kind_index(tweet.kind) as f64);
+    features.push(tweet.source.index() as f64);
+    features.push(tweet.hashtags.len() as f64);
+    features.push(tweet.mentions.len() as f64);
+    features.push(tweet.content_length() as f64);
+    features.push(tweet.emoji_count() as f64);
+    features.push(tweet.digit_count() as f64);
+
+    // Behavior (18) — reciprocity (40) and the kind/source distributions
+    // (41..55) are rolling aggregates; only mention time (55) is pure.
+    features.extend(std::iter::repeat_n(0.0, 15));
+    let mention_time = match tweet.reacted_to_post_at {
+        Some(t) => tweet.created_at.minutes_since(t) as f64,
+        None => MENTION_TIME_SENTINEL,
+    };
+    features.push(mention_time);
+    features.push(0.0); // b_avg_tweet_interval
+    features.push(0.0); // b_environment_score
+
+    debug_assert_eq!(features.len(), FEATURE_COUNT);
+    PureFeatures(features)
+}
+
+/// Runs the pure extraction phase over a whole batch, sharded by author
+/// across `exec`'s workers; output order matches `collected` order, so
+/// `pure_batch(..)` zipped with [`FeatureExtractor::finish`] in stream
+/// order reproduces per-tweet [`FeatureExtractor::extract`] exactly.
+pub fn pure_batch(
+    collected: &[CollectedTweet],
+    rest: &RestApi<'_>,
+    exec: &ExecConfig,
+) -> Vec<PureFeatures> {
+    let rest = *rest;
+    ph_exec::run(
+        exec,
+        "features.pure",
+        collected.iter().collect(),
+        |c: &&CollectedTweet| u64::from(c.tweet.author.0),
+        |_worker| move |c: &CollectedTweet| pure_features(c, &rest),
+    )
 }
 
 fn push_profile(out: &mut Vec<f64>, p: &Profile) {
@@ -493,6 +555,34 @@ mod tests {
         let v = fx.extract(&collected(1, 2, 110, "b"), &e.rest());
         // The one prior tweet was ThirdParty → sender source dist = [0,0,1,0].
         assert_eq!(&v[47..51], &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn pure_batch_plus_finish_matches_extract_at_any_thread_count() {
+        let e = engine();
+        let batch: Vec<CollectedTweet> = (0u32..40)
+            .map(|i| {
+                collected(
+                    i % 7,
+                    (i % 5) + 10,
+                    100 + u64::from(i) * 7,
+                    &format!("text number {}", i % 9),
+                )
+            })
+            .collect();
+        let mut seq_fx = FeatureExtractor::new();
+        let expected: Vec<Vec<f64>> = batch.iter().map(|c| seq_fx.extract(c, &e.rest())).collect();
+        for threads in [1, 4] {
+            let exec = ExecConfig::with_threads(threads);
+            let pure = pure_batch(&batch, &e.rest(), &exec);
+            let mut fx = FeatureExtractor::new();
+            let got: Vec<Vec<f64>> = batch
+                .iter()
+                .zip(pure)
+                .map(|(c, p)| fx.finish(c, p))
+                .collect();
+            assert_eq!(got, expected, "{threads}-thread pure phase diverged");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use ph_exec::ExecConfig;
 use ph_sketch::dhash::DHash128;
 use ph_sketch::lsh::{bands_of_signature, bands_of_u128, BandIndex};
 use ph_sketch::shingle::normalize;
@@ -77,12 +78,27 @@ pub struct ClusterReport {
     pub newly_labeled_spam: usize,
 }
 
-/// Applies the clustering pass. Labels only entries that are still
-/// unlabeled; earlier passes take precedence.
+/// Applies the clustering pass sequentially. Labels only entries that are
+/// still unlabeled; earlier passes take precedence.
 pub fn apply(
     collected: &[CollectedTweet],
     rest: &RestApi<'_>,
     config: &ClusteringConfig,
+    labels: &mut LabeledCollection,
+) -> ClusterReport {
+    apply_with(collected, rest, config, &ExecConfig::sequential(), labels)
+}
+
+/// Applies the clustering pass, fanning the dHash / Σ-sequence / MinHash
+/// sketch computation out across `exec`'s workers. Candidate generation,
+/// verification, and union-find stay sequential (they are cheap and
+/// order-sensitive), so the resulting labels are identical to [`apply`]
+/// at any thread count.
+pub fn apply_with(
+    collected: &[CollectedTweet],
+    rest: &RestApi<'_>,
+    config: &ClusteringConfig,
+    exec: &ExecConfig,
     labels: &mut LabeledCollection,
 ) -> ClusterReport {
     debug_assert_eq!(collected.len(), labels.tweet_labels.len());
@@ -97,16 +113,16 @@ pub fn apply(
         authors.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     let mut account_uf = UnionFind::new(authors.len());
 
-    cluster_by_image(&authors, rest, config, &mut account_uf);
-    cluster_by_name(&authors, rest, config, &mut account_uf);
-    cluster_by_description(&authors, rest, config, &mut account_uf);
+    cluster_by_image(&authors, rest, config, exec, &mut account_uf);
+    cluster_by_name(&authors, rest, config, exec, &mut account_uf);
+    cluster_by_description(&authors, rest, config, exec, &mut account_uf);
 
     let account_groups = account_uf.components_with_min_size(2);
     report.account_groups = account_groups.len();
 
     // ---- Tweet universe ----------------------------------------------------
     let mut tweet_uf = UnionFind::new(collected.len());
-    cluster_tweets(collected, config, &mut tweet_uf);
+    cluster_tweets(collected, config, exec, &mut tweet_uf);
     let tweet_groups = tweet_uf.components_with_min_size(2);
     report.tweet_groups = tweet_groups.len();
 
@@ -185,21 +201,28 @@ fn cluster_by_image(
     authors: &[AccountId],
     rest: &RestApi<'_>,
     config: &ClusteringConfig,
+    exec: &ExecConfig,
     uf: &mut UnionFind,
 ) {
-    let hashes: Vec<Option<DHash128>> = authors
-        .iter()
-        .map(|&id| {
-            let p = rest.profile(id)?;
-            // Default (egg) avatars are identical platform-wide and carry
-            // no campaign signal; skip them.
-            if p.default_profile_image {
-                None
-            } else {
-                Some(DHash128::of(&p.profile_image))
+    let rest = *rest;
+    let hashes: Vec<Option<DHash128>> = ph_exec::run(
+        exec,
+        "clustering.image_sketch",
+        authors.to_vec(),
+        |id: &AccountId| u64::from(id.0),
+        |_worker| {
+            move |id: AccountId| {
+                let p = rest.profile(id)?;
+                // Default (egg) avatars are identical platform-wide and
+                // carry no campaign signal; skip them.
+                if p.default_profile_image {
+                    None
+                } else {
+                    Some(DHash128::of(&p.profile_image))
+                }
             }
-        })
-        .collect();
+        },
+    );
     let mut index = BandIndex::new();
     for (i, hash) in hashes.iter().enumerate() {
         let Some(h) = hash else { continue };
@@ -226,20 +249,30 @@ fn cluster_by_name(
     authors: &[AccountId],
     rest: &RestApi<'_>,
     config: &ClusteringConfig,
+    exec: &ExecConfig,
     uf: &mut UnionFind,
 ) {
     use ph_sketch::NamePattern;
+    let rest = *rest;
+    let keys: Vec<Option<(NamePattern, String)>> = ph_exec::run(
+        exec,
+        "clustering.name_sketch",
+        authors.to_vec(),
+        |id: &AccountId| u64::from(id.0),
+        |_worker| {
+            move |id: AccountId| {
+                let profile = rest.profile(id)?;
+                let name = &profile.screen_name;
+                let prefix: String = name.chars().take(3).flat_map(char::to_lowercase).collect();
+                Some((NamePattern::of(name), prefix))
+            }
+        },
+    );
     let mut groups: HashMap<(NamePattern, String), Vec<usize>> = HashMap::new();
-    for (i, &id) in authors.iter().enumerate() {
-        let Some(profile) = rest.profile(id) else {
-            continue;
-        };
-        let name = &profile.screen_name;
-        let prefix: String = name.chars().take(3).flat_map(char::to_lowercase).collect();
-        groups
-            .entry((NamePattern::of(name), prefix))
-            .or_default()
-            .push(i);
+    for (i, key) in keys.into_iter().enumerate() {
+        if let Some(key) = key {
+            groups.entry(key).or_default().push(i);
+        }
     }
     for members in groups.into_values() {
         if members.len() < config.name_group_min {
@@ -257,20 +290,28 @@ fn cluster_by_description(
     authors: &[AccountId],
     rest: &RestApi<'_>,
     config: &ClusteringConfig,
+    exec: &ExecConfig,
     uf: &mut UnionFind,
 ) {
     let hasher = MinHasher::new(config.minhash_width, config.minhash_seed);
-    let signatures: Vec<Option<ph_sketch::MinHashSignature>> = authors
-        .iter()
-        .map(|&id| {
-            let p = rest.profile(id)?;
-            let normalized = normalize(&p.description);
-            if normalized.len() < 10 {
-                return None; // too short to be a meaningful template
+    let rest = *rest;
+    let signatures: Vec<Option<ph_sketch::MinHashSignature>> = ph_exec::run(
+        exec,
+        "clustering.description_sketch",
+        authors.to_vec(),
+        |id: &AccountId| u64::from(id.0),
+        |_worker| {
+            let hasher = &hasher;
+            move |id: AccountId| {
+                let p = rest.profile(id)?;
+                let normalized = normalize(&p.description);
+                if normalized.len() < 10 {
+                    return None; // too short to be a meaningful template
+                }
+                Some(hasher.signature_of_text(&normalized))
             }
-            Some(hasher.signature_of_text(&normalized))
-        })
-        .collect();
+        },
+    );
     let mut index = BandIndex::new();
     for (i, sig) in signatures.iter().enumerate() {
         let Some(s) = sig else { continue };
@@ -286,32 +327,44 @@ fn cluster_by_description(
 }
 
 /// Near-duplicate tweets inside rolling 1-day windows, MinHash-verified.
-fn cluster_tweets(collected: &[CollectedTweet], config: &ClusteringConfig, uf: &mut UnionFind) {
+fn cluster_tweets(
+    collected: &[CollectedTweet],
+    config: &ClusteringConfig,
+    exec: &ExecConfig,
+    uf: &mut UnionFind,
+) {
     let hasher = MinHasher::new(config.minhash_width, config.minhash_seed ^ 0x5eed);
+    let signatures: Vec<Option<ph_sketch::MinHashSignature>> = ph_exec::run(
+        exec,
+        "clustering.tweet_sketch",
+        collected.iter().collect(),
+        |c: &&CollectedTweet| u64::from(c.tweet.author.0),
+        |_worker| {
+            let hasher = &hasher;
+            move |c: &CollectedTweet| {
+                if c.tweet.text.chars().count() < config.min_tweet_chars {
+                    return None;
+                }
+                let normalized = normalize(&c.tweet.text);
+                if normalized.is_empty() {
+                    return None;
+                }
+                Some(hasher.signature_of_text(&normalized))
+            }
+        },
+    );
     // The 1-day window participates in the band key so only same-window
     // tweets become candidates.
     let mut index = BandIndex::new();
-    let mut signatures: Vec<Option<ph_sketch::MinHashSignature>> =
-        Vec::with_capacity(collected.len());
-    for (i, c) in collected.iter().enumerate() {
-        if c.tweet.text.chars().count() < config.min_tweet_chars {
-            signatures.push(None);
-            continue;
-        }
-        let normalized = normalize(&c.tweet.text);
-        if normalized.is_empty() {
-            signatures.push(None);
-            continue;
-        }
-        let sig = hasher.signature_of_text(&normalized);
-        let window = c.hour / config.tweet_window_hours.max(1);
+    for (i, sig) in signatures.iter().enumerate() {
+        let Some(sig) = sig else { continue };
+        let window = collected[i].hour / config.tweet_window_hours.max(1);
         index.insert(
             i,
             bands_of_signature(sig.as_slice(), 4)
                 .into_iter()
                 .map(|(band, key)| (band, key ^ window.wrapping_mul(0x9e37_79b9))),
         );
-        signatures.push(Some(sig));
     }
     for (i, j) in index.candidate_pairs() {
         // Same-window check: the band-key mixing makes cross-window
@@ -431,6 +484,32 @@ mod tests {
             precision > 0.8,
             "cluster-propagated labels too noisy: precision {precision:.2}"
         );
+    }
+
+    #[test]
+    fn sharded_clustering_matches_sequential() {
+        let (engine, collected) = monitored_engine();
+        let mut seq_labels = LabeledCollection {
+            tweet_labels: vec![None; collected.len()],
+            ..Default::default()
+        };
+        suspended::apply(&collected, &engine.rest(), &mut seq_labels);
+        let mut par_labels = seq_labels.clone();
+        let seq_report = apply(
+            &collected,
+            &engine.rest(),
+            &ClusteringConfig::default(),
+            &mut seq_labels,
+        );
+        let par_report = apply_with(
+            &collected,
+            &engine.rest(),
+            &ClusteringConfig::default(),
+            &ExecConfig::with_threads(4),
+            &mut par_labels,
+        );
+        assert_eq!(par_report, seq_report);
+        assert_eq!(par_labels, seq_labels);
     }
 
     #[test]

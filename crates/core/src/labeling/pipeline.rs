@@ -1,5 +1,6 @@
 //! The full labeling pipeline in paper order, with Table III accounting.
 
+use ph_exec::ExecConfig;
 use ph_twitter_sim::engine::Engine;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +40,18 @@ pub fn label_collection(
     engine: &Engine,
     config: &PipelineConfig,
 ) -> GroundTruthDataset {
+    label_collection_with(collected, engine, config, &ExecConfig::sequential())
+}
+
+/// [`label_collection`] with the clustering pass's sketch computation
+/// sharded across `exec`'s workers; labels are identical to the
+/// sequential run at any thread count.
+pub fn label_collection_with(
+    collected: &[CollectedTweet],
+    engine: &Engine,
+    config: &PipelineConfig,
+    exec: &ExecConfig,
+) -> GroundTruthDataset {
     let _span = ph_telemetry::span("label");
     ph_telemetry::cached_counter!("label.tweets_labeled").add(collected.len() as u64);
     let mut labels = LabeledCollection {
@@ -47,7 +60,7 @@ pub fn label_collection(
     };
     let rest = engine.rest();
     suspended::apply(collected, &rest, &mut labels);
-    clustering::apply(collected, &rest, &config.clustering, &mut labels);
+    clustering::apply_with(collected, &rest, &config.clustering, exec, &mut labels);
     rules::apply(collected, &rest, &config.rules, &mut labels);
     manual::apply(
         collected,
@@ -80,8 +93,26 @@ pub fn label_collection_stream<I, E>(
 where
     I: IntoIterator<Item = Result<CollectedTweet, E>>,
 {
+    label_collection_stream_with(stream, engine, config, &ExecConfig::sequential())
+}
+
+/// [`label_collection_stream`] with the clustering pass sharded across
+/// `exec`'s workers (see [`label_collection_with`]).
+///
+/// # Errors
+///
+/// Returns the stream's first error, before any labeling runs.
+pub fn label_collection_stream_with<I, E>(
+    stream: I,
+    engine: &Engine,
+    config: &PipelineConfig,
+    exec: &ExecConfig,
+) -> Result<(Vec<CollectedTweet>, GroundTruthDataset), E>
+where
+    I: IntoIterator<Item = Result<CollectedTweet, E>>,
+{
     let collected: Vec<CollectedTweet> = stream.into_iter().collect::<Result<_, E>>()?;
-    let dataset = label_collection(&collected, engine, config);
+    let dataset = label_collection_with(&collected, engine, config, exec);
     Ok((collected, dataset))
 }
 

@@ -7,8 +7,9 @@
 //! the slot of the node it crossed — the key that all per-attribute
 //! statistics (Tables V–VI, Figures 3–5) aggregate over.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use ph_exec::ExecConfig;
 use ph_twitter_sim::engine::Engine;
 use ph_twitter_sim::{AccountId, Tweet};
 use serde::{Deserialize, Serialize};
@@ -61,10 +62,11 @@ pub struct MonitorReport {
 impl MonitorReport {
     /// Distinct accounts observed (authors of collected tweets).
     pub fn unique_authors(&self) -> usize {
-        let mut ids: Vec<AccountId> = self.collected.iter().map(|c| c.tweet.author).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len()
+        self.collected
+            .iter()
+            .map(|c| c.tweet.author)
+            .collect::<HashSet<AccountId>>()
+            .len()
     }
 
     /// Collected tweets whose category is `MentionOfNode`.
@@ -151,6 +153,21 @@ pub trait MonitorSink {
     /// Durable sinks surface I/O failures; the runner aborts the segment.
     fn on_tweet(&mut self, collected: &CollectedTweet) -> std::io::Result<()>;
 
+    /// Called with every tweet of one delivery batch (one simulated hour),
+    /// in delivery order. The default forwards record-by-record to
+    /// [`MonitorSink::on_tweet`]; durable sinks override it to amortize
+    /// framing and syscalls across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Durable sinks surface I/O failures; the runner aborts the segment.
+    fn on_batch(&mut self, batch: &[CollectedTweet]) -> std::io::Result<()> {
+        for collected in batch {
+            self.on_tweet(collected)?;
+        }
+        Ok(())
+    }
+
     /// Called at the end of every simulated hour with the updated cursor
     /// and the segment report accumulated so far.
     ///
@@ -199,17 +216,30 @@ fn per_hour_volume_buckets() -> Vec<f64> {
 #[derive(Debug, Clone)]
 pub struct Runner {
     config: RunnerConfig,
+    exec: ExecConfig,
 }
 
 impl Runner {
-    /// Creates a runner.
+    /// Creates a sequential runner.
     pub fn new(config: RunnerConfig) -> Self {
-        Self { config }
+        Self::with_exec(config, ExecConfig::sequential())
+    }
+
+    /// Creates a runner that shards per-hour categorization across the
+    /// given execution configuration. Collected output is byte-identical
+    /// to [`Runner::new`] at any thread count (see `ph-exec`).
+    pub fn with_exec(config: RunnerConfig, exec: ExecConfig) -> Self {
+        Self { config, exec }
     }
 
     /// The configuration.
     pub fn config(&self) -> &RunnerConfig {
         &self.config
+    }
+
+    /// The execution configuration.
+    pub fn exec(&self) -> &ExecConfig {
+        &self.exec
     }
 
     /// Monitors `engine` for `hours` hours, switching the node set every
@@ -318,16 +348,26 @@ impl Runner {
             }
             let hour = engine.now().whole_hours();
             engine.step_hour();
-            let mut collected_this_hour = 0u64;
-            for tweet in streaming.poll(subscription).expect("subscription is open") {
-                let collected = Self::categorize(tweet, &membership, hour);
-                if let Some(c) = collected {
-                    sink.on_tweet(&c)?;
-                    if sink.retain_in_memory() {
-                        segment.collected.push(c);
-                    }
-                    collected_this_hour += 1;
-                }
+            let polled: Vec<Tweet> = streaming.poll(subscription).expect("subscription is open");
+            // Categorization is a pure per-tweet function of the (fixed for
+            // this hour) membership map, so it shards freely by author; the
+            // ordered merge hands the batch back in delivery order, making
+            // the sink see the identical stream at any thread count.
+            let members = &membership;
+            let batch: Vec<CollectedTweet> = ph_exec::run(
+                &self.exec,
+                "monitor.categorize",
+                polled,
+                |tweet: &Tweet| u64::from(tweet.author.0),
+                |_worker| |tweet: Tweet| Self::categorize(tweet, members, hour),
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+            sink.on_batch(&batch)?;
+            let collected_this_hour = batch.len() as u64;
+            if sink.retain_in_memory() {
+                segment.collected.extend(batch);
             }
             tweets_per_hour.record(collected_this_hour as f64);
             ph_telemetry::cached_counter!("monitor.tweets_collected").add(collected_this_hour);
@@ -494,6 +534,24 @@ mod tests {
         let report = small_runner(5).run(&mut e, 10);
         assert!(report.unique_authors() > 0);
         assert!(report.unique_authors() <= report.collected.len());
+    }
+
+    #[test]
+    fn sharded_runner_report_equals_sequential() {
+        let mut e1 = engine();
+        let sequential = small_runner(7).run(&mut e1, 12);
+        for threads in [2, 4] {
+            let mut e2 = engine();
+            let runner = Runner::with_exec(
+                small_runner(7).config().clone(),
+                ExecConfig::with_threads(threads),
+            );
+            assert_eq!(
+                runner.run(&mut e2, 12),
+                sequential,
+                "{threads}-thread monitoring diverged"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! A bounded multi-producer single-consumer channel with blocking
+//! backpressure.
+//!
+//! `std::sync::mpsc::sync_channel` would cover the basic semantics, but the
+//! dataflow driver needs two things it does not expose: an instantaneous
+//! [`Sender::depth`] (for the queue-depth histograms the telemetry layer
+//! records) and `recv` returning `None` — rather than an error type — when
+//! every producer has hung up, which keeps worker loops a plain
+//! `while let`. The implementation is a `Mutex<VecDeque>` with two
+//! condvars; at the chunk granularity the dataflow sends at, the lock is
+//! nowhere near the bottleneck.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when the receiver is gone. Carries
+/// the rejected item so callers can recover it.
+pub struct Closed<T>(pub T);
+
+impl<T> Closed<T> {
+    /// The item the channel refused.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::fmt::Debug for Closed<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Closed(..)")
+    }
+}
+
+impl<T> std::fmt::Display for Closed<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("channel receiver disconnected")
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The producing half; clone it to add producers.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming half (single consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel holding at most `capacity` items (a capacity
+/// of 0 is treated as 1). Senders block while the channel is full — that
+/// blocking is the backpressure that keeps a fast producer from outrunning
+/// slow consumers without unbounded buffering.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends one item, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Closed`] (with the item) once the receiver is dropped.
+    pub fn send(&self, item: T) -> Result<(), Closed<T>> {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(Closed(item));
+            }
+            if state.queue.len() < state.capacity {
+                break;
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .expect("channel lock poisoned");
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Items currently buffered (racy by nature; used for depth metrics).
+    pub fn depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .queue
+            .len()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = self.shared.state.lock().expect("channel lock poisoned");
+            state.senders -= 1;
+            state.senders
+        };
+        if remaining == 0 {
+            // Wake the receiver so it can observe the hang-up.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next item, blocking while the channel is empty.
+    /// Returns `None` once every sender is dropped and the queue drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .expect("channel lock poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .receiver_alive = false;
+        // Unblock any producer stuck in the full-channel wait.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn delivers_in_fifo_order() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_returns_none_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u8>(2);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(9));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_errors_once_receiver_is_gone() {
+        let (tx, rx) = bounded::<u8>(2);
+        drop(rx);
+        let err = tx.send(7).unwrap_err();
+        assert_eq!(err.into_inner(), 7);
+    }
+
+    #[test]
+    fn full_channel_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            // Blocks until the main thread drains the single slot.
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn depth_reports_buffered_items() {
+        let (tx, _rx) = bounded(4);
+        assert_eq!(tx.depth(), 0);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.depth(), 2);
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = bounded(4);
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    tx.send(p * 1_000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got: Vec<i32> = std::iter::from_fn(|| rx.recv()).collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        let mut expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 1_000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+}

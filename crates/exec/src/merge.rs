@@ -1,0 +1,224 @@
+//! Sequence-ordered merge: the half of the determinism contract that puts
+//! sharded output back into input order.
+//!
+//! Every record entering a sharded stage is tagged with a monotone
+//! sequence number ([`Seq`]). Workers preserve arrival order within their
+//! shard, so each shard's output stream is ascending in `seq`; the merge
+//! side buffers out-of-order arrivals in a min-heap ([`Reorder`]) and
+//! releases records exactly in sequence — making the merged output of any
+//! shard count byte-identical to the sequential run.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A record tagged with its position in the stage's input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Seq<T> {
+    /// Monotone input position (0-based).
+    pub seq: u64,
+    /// The record itself.
+    pub item: T,
+}
+
+/// Heap entry ordered by sequence number alone (`T` need not be `Ord`).
+struct Entry<T>(u64, T);
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// A reorder buffer releasing records in strict sequence order.
+///
+/// Bounded in practice: an item can only wait here while `next_seq` is
+/// still in flight, so the buffer never outgrows the stage's total channel
+/// capacity plus the feeder's unflushed chunks.
+pub struct Reorder<T> {
+    next: u64,
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+}
+
+impl<T> Reorder<T> {
+    /// An empty buffer expecting sequence number 0 first.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            next: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Accepts one out-of-order arrival.
+    pub fn push(&mut self, record: Seq<T>) {
+        debug_assert!(
+            record.seq >= self.next,
+            "sequence {} arrived after {} was already released",
+            record.seq,
+            self.next
+        );
+        self.heap.push(Reverse(Entry(record.seq, record.item)));
+    }
+
+    /// Releases the next in-sequence record, if it has arrived.
+    pub fn pop_ready(&mut self) -> Option<T> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.0 == self.next) {
+            let Reverse(Entry(_, item)) = self.heap.pop().expect("peeked");
+            self.next += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    /// Records buffered while waiting for an earlier sequence number.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The sequence number the buffer will release next.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+}
+
+impl<T> Default for Reorder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Merges per-shard output streams (each ascending in `seq`, jointly a
+/// permutation of `0..n`) back into sequential order — the batch twin of
+/// the streaming [`Reorder`] the dataflow driver uses, and the reference
+/// the property tests exercise.
+///
+/// # Panics
+///
+/// Panics if the shard streams do not cover a contiguous `0..n` sequence.
+#[must_use]
+pub fn merge_shards<T>(shards: Vec<Vec<Seq<T>>>) -> Vec<T> {
+    let total: usize = shards.iter().map(Vec::len).sum();
+    let mut reorder = Reorder::new();
+    let mut merged = Vec::with_capacity(total);
+    for shard in shards {
+        for record in shard {
+            reorder.push(record);
+            while let Some(item) = reorder.pop_ready() {
+                merged.push(item);
+            }
+        }
+    }
+    while let Some(item) = reorder.pop_ready() {
+        merged.push(item);
+    }
+    assert_eq!(
+        merged.len(),
+        total,
+        "shard streams were not a contiguous permutation: released {} of {} (stuck at seq {})",
+        merged.len(),
+        total,
+        reorder.next_seq()
+    );
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn releases_in_sequence_despite_arrival_order() {
+        let mut reorder = Reorder::new();
+        reorder.push(Seq { seq: 2, item: "c" });
+        reorder.push(Seq { seq: 1, item: "b" });
+        assert_eq!(reorder.pop_ready(), None);
+        assert_eq!(reorder.pending(), 2);
+        reorder.push(Seq { seq: 0, item: "a" });
+        assert_eq!(reorder.pop_ready(), Some("a"));
+        assert_eq!(reorder.pop_ready(), Some("b"));
+        assert_eq!(reorder.pop_ready(), Some("c"));
+        assert_eq!(reorder.pop_ready(), None);
+        assert_eq!(reorder.next_seq(), 3);
+    }
+
+    #[test]
+    fn merge_shards_restores_input_order() {
+        let shards = vec![
+            vec![Seq { seq: 1, item: 1 }, Seq { seq: 4, item: 4 }],
+            vec![
+                Seq { seq: 0, item: 0 },
+                Seq { seq: 2, item: 2 },
+                Seq { seq: 3, item: 3 },
+            ],
+        ];
+        assert_eq!(merge_shards(shards), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn merge_shards_rejects_gaps() {
+        let shards = vec![vec![Seq { seq: 0, item: 0 }, Seq { seq: 2, item: 2 }]];
+        let _ = merge_shards(shards);
+    }
+
+    /// Feeds a sharded stream to the reorder buffer in a randomized
+    /// interleaving (order preserved *within* each shard, as the channel
+    /// FIFO guarantees) and checks the released order is the input order.
+    fn interleave_and_merge(assignment: &[usize], shards: usize, mut rng_state: u64) -> Vec<u64> {
+        let mut queues: Vec<std::collections::VecDeque<Seq<u64>>> =
+            vec![std::collections::VecDeque::new(); shards];
+        for (seq, &shard) in assignment.iter().enumerate() {
+            queues[shard].push_back(Seq {
+                seq: seq as u64,
+                item: seq as u64,
+            });
+        }
+        let mut reorder = Reorder::new();
+        let mut released = Vec::with_capacity(assignment.len());
+        while queues.iter().any(|q| !q.is_empty()) {
+            // SplitMix64 step picks which non-empty shard delivers next —
+            // an arbitrary but reproducible arrival interleaving.
+            rng_state = crate::shard::mix64(rng_state.wrapping_add(1));
+            let non_empty: Vec<usize> = (0..shards).filter(|&s| !queues[s].is_empty()).collect();
+            let pick = non_empty[(rng_state % non_empty.len() as u64) as usize];
+            reorder.push(queues[pick].pop_front().expect("non-empty"));
+            while let Some(item) = reorder.pop_ready() {
+                released.push(item);
+            }
+        }
+        while let Some(item) = reorder.pop_ready() {
+            released.push(item);
+        }
+        released
+    }
+
+    proptest! {
+        #[test]
+        fn ordered_merge_reproduces_sequential_order(
+            assignment in proptest::collection::vec(0usize..8, 0..200),
+            seed: u64,
+        ) {
+            let released = interleave_and_merge(&assignment, 8, seed);
+            let expected: Vec<u64> = (0..assignment.len() as u64).collect();
+            prop_assert_eq!(released, expected);
+        }
+    }
+}

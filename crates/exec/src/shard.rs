@@ -1,0 +1,66 @@
+//! Shard-by-key partitioning.
+//!
+//! A record's shard is a pure function of its key, so two runs of the same
+//! input — at any thread count — route every record identically. Keys are
+//! finalized through SplitMix64 before the modulo so that dense key spaces
+//! (sequential account ids) and sparse ones (hashes) both spread evenly.
+
+/// SplitMix64 finalizer: a cheap, well-mixed, fixed permutation of `u64`.
+#[must_use]
+pub fn mix64(mut key: u64) -> u64 {
+    key = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    key = (key ^ (key >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    key = (key ^ (key >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    key ^ (key >> 31)
+}
+
+/// The shard a key belongs to among `shards` partitions.
+///
+/// # Panics
+///
+/// Panics if `shards` is 0.
+#[must_use]
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    assert!(shards > 0, "cannot shard across zero partitions");
+    (mix64(key) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_is_deterministic() {
+        for key in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(shard_of(key, 7), shard_of(key, 7));
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        for key in 0..100 {
+            assert_eq!(shard_of(key, 1), 0);
+        }
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_shards() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for key in 0..1_000u64 {
+            counts[shard_of(key, shards)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 150,
+                "shard {shard} got only {count} of 1000 sequential keys"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero partitions")]
+    fn zero_shards_panics() {
+        let _ = shard_of(1, 0);
+    }
+}

@@ -255,6 +255,20 @@ impl MonitorSink for StoreWriter<'_> {
         Ok(())
     }
 
+    fn on_batch(&mut self, batch: &[CollectedTweet]) -> io::Result<()> {
+        if self.store.config.sync == SyncPolicy::EveryRecord {
+            // Per-record durability forces a sync between appends; batching
+            // would change what survives a crash, not just the syscall count.
+            for collected in batch {
+                self.on_tweet(collected)?;
+            }
+            return Ok(());
+        }
+        let payloads: Vec<Vec<u8>> = batch.iter().map(encode_collected).collect();
+        self.store.log.append_batch(&payloads)?;
+        Ok(())
+    }
+
     fn on_hour(&mut self, state: &RunState, segment: &MonitorReport) -> io::Result<()> {
         if !state
             .next_hour

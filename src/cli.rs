@@ -158,6 +158,21 @@ mod tests {
     }
 
     #[test]
+    fn unparseable_threads_uses_the_numeric_option_error_path() {
+        let args = Args::parse(["sniff", "--threads", "abc"]);
+        let err = args.try_get_u64("threads", 1).unwrap_err();
+        assert_eq!(
+            err,
+            BadOption {
+                key: "threads".to_string(),
+                value: "abc".to_string(),
+                expected: "an integer",
+            }
+        );
+        assert_eq!(err.to_string(), "--threads expects an integer, got 'abc'");
+    }
+
+    #[test]
     fn unknown_options_are_detected() {
         let args = Args::parse(["sniff", "--huors", "24", "--verify", "--hours", "4"]);
         let unknown = args.unknown_options(&["hours"], &[]);

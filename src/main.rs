@@ -25,12 +25,13 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use ph_exec::ExecConfig;
 use ph_telemetry::{log_info, log_warn};
 use pseudo_honeypot::core::attributes::{AttributeKind, ProfileAttribute, SampleAttribute};
 use pseudo_honeypot::core::baselines::run_random_baseline;
-use pseudo_honeypot::core::detector::{build_training_data, DetectorConfig, SpamDetector};
+use pseudo_honeypot::core::detector::{build_training_data_with, DetectorConfig, SpamDetector};
 use pseudo_honeypot::core::labeling::pipeline::{
-    format_table3, label_collection, label_collection_stream, PipelineConfig,
+    format_table3, label_collection_stream_with, label_collection_with, PipelineConfig,
 };
 use pseudo_honeypot::core::monitor::{
     CollectedTweet, MonitorReport, RunState, Runner, RunnerConfig,
@@ -64,17 +65,24 @@ fn main() {
         Some("sniff") => {
             validate_options(
                 &args,
-                &with_sim(&["hours", "gt-hours", "name", "store", "crash-after"]),
+                &with_sim(&[
+                    "hours",
+                    "gt-hours",
+                    "name",
+                    "store",
+                    "crash-after",
+                    "threads",
+                ]),
                 &["verify", "resume"],
             );
             sniff(&args);
         }
         Some("replay") => {
-            validate_options(&args, &["store"], &["verify"]);
+            validate_options(&args, &["store", "threads"], &["verify"]);
             replay(&args);
         }
         Some("showdown") => {
-            validate_options(&args, &with_sim(&["hours", "nodes"]), &[]);
+            validate_options(&args, &with_sim(&["hours", "nodes", "threads"]), &[]);
             showdown(&args);
         }
         Some(other) => {
@@ -167,6 +175,17 @@ fn usage() {
     );
     println!("  --log-level LEVEL                   error | warn | info (default) | debug");
     println!("  --quiet                             silence progress logging");
+    println!("  --threads N                         (sniff/replay/showdown) shard pipeline stages across");
+    println!("                                      N workers — 0 = all cores, 1 = sequential (default);");
+    println!("                                      output is byte-identical at any thread count");
+}
+
+/// `--threads N` → the dataflow configuration shared by every sharded
+/// stage (1 = sequential, the default; 0 = all available cores). The
+/// `ph-exec` determinism contract makes any value produce byte-identical
+/// output, so this is purely a throughput knob.
+fn exec_config(args: &Args) -> ExecConfig {
+    ExecConfig::with_threads(args.get_u64("threads", 1) as usize)
 }
 
 fn sim_config(args: &Args) -> SimConfig {
@@ -247,17 +266,21 @@ fn sniff_in_memory(args: &Args) {
     let hours = args.get_u64("hours", 24);
     let name = args.get_str("name", "sniffing campaign");
     println!("== {name} ==");
+    let exec = exec_config(args);
     let mut engine = Engine::new(sim_config(args));
-    let runner = Runner::new(RunnerConfig {
-        seed: args.get_u64("seed", 42),
-        ..Default::default()
-    });
+    let runner = Runner::with_exec(
+        RunnerConfig {
+            seed: args.get_u64("seed", 42),
+            ..Default::default()
+        },
+        exec.clone(),
+    );
 
-    let (detector, _) = ground_truth_and_detector(&mut engine, &runner, gt_hours, true);
+    let (detector, _) = ground_truth_and_detector(&mut engine, &runner, gt_hours, true, &exec);
 
     log_info!("phase 3: sniffing for {hours} h…");
     let report = runner.run(&mut engine, hours);
-    let outcome = detector.classify_collection(&report.collected, &engine);
+    let outcome = detector.classify_batch(&report.collected, &engine, &exec);
     if report.dropped > 0 {
         log_warn!(
             "{} tweets were shed by the streaming buffer",
@@ -288,20 +311,26 @@ fn ground_truth_and_detector(
     runner: &Runner,
     gt_hours: u64,
     print_table: bool,
+    exec: &ExecConfig,
 ) -> (SpamDetector, usize) {
     log_info!("phase 1: ground truth — standard network, {gt_hours} h…");
     let train_report = runner.run(engine, gt_hours);
-    let ground_truth =
-        label_collection(&train_report.collected, engine, &PipelineConfig::default());
+    let ground_truth = label_collection_with(
+        &train_report.collected,
+        engine,
+        &PipelineConfig::default(),
+        exec,
+    );
     if print_table {
         println!("{}", format_table3(&ground_truth.summary));
     }
     log_info!("phase 2: training the Random Forest detector…");
-    let (data, _) = build_training_data(
+    let (data, _) = build_training_data_with(
         &train_report.collected,
         &ground_truth.labels,
         engine,
         pseudo_honeypot::core::features::DEFAULT_TAU,
+        exec,
     );
     let detector = SpamDetector::train(&DetectorConfig::default(), &data);
     (detector, train_report.collected.len())
@@ -341,12 +370,15 @@ fn die(context: &str, e: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
-fn runner_for(manifest: &Manifest) -> Runner {
-    Runner::new(RunnerConfig {
-        seed: manifest.runner_seed,
-        buffer_capacity: manifest.buffer_capacity as usize,
-        ..Default::default()
-    })
+fn runner_for(manifest: &Manifest, exec: ExecConfig) -> Runner {
+    Runner::with_exec(
+        RunnerConfig {
+            seed: manifest.runner_seed,
+            buffer_capacity: manifest.buffer_capacity as usize,
+            ..Default::default()
+        },
+        exec,
+    )
 }
 
 fn engine_for(manifest: &Manifest) -> Engine {
@@ -415,9 +447,11 @@ fn sniff_stored(args: &Args, dir: &Path) {
         },
     };
 
+    let exec = exec_config(args);
     let mut engine = engine_for(&manifest);
-    let runner = runner_for(&manifest);
-    let (detector, _) = ground_truth_and_detector(&mut engine, &runner, manifest.gt_hours, !resume);
+    let runner = runner_for(&manifest, exec.clone());
+    let (detector, _) =
+        ground_truth_and_detector(&mut engine, &runner, manifest.gt_hours, !resume, &exec);
 
     let (mut store, mut state, prior) = match resumed {
         Some(r) => {
@@ -468,16 +502,17 @@ fn sniff_stored(args: &Args, dir: &Path) {
     }
     store.sync().unwrap_or_else(|e| die("store sync failed", e));
 
-    // Classify straight off the log — the durable sink kept nothing in
-    // memory, and a real deployment would stream exactly like this.
-    let outcome = detector.classify_stream(stored_records(&store), &engine);
+    // Classify off the log — the durable sink kept nothing in memory, so
+    // the segment reader supplies the collection (which the summary needs
+    // materialized anyway, letting the classifier shard over it).
+    report.collected = stored_records(&store).collect();
+    let outcome = detector.classify_batch(&report.collected, &engine, &exec);
     if report.dropped > 0 {
         log_warn!(
             "{} tweets were shed by the streaming buffer",
             report.dropped
         );
     }
-    report.collected = stored_records(&store).collect();
     print_sniff_summary(&report, &outcome.predictions, &outcome, manifest.hours);
     println!(
         "\nstore: {} records in {} ({} h checkpointed)",
@@ -570,9 +605,11 @@ fn replay(args: &Args) {
         manifest.hours
     );
 
+    let exec = exec_config(args);
     let mut engine = engine_for(&manifest);
-    let runner = runner_for(&manifest);
-    let (detector, _) = ground_truth_and_detector(&mut engine, &runner, manifest.gt_hours, false);
+    let runner = runner_for(&manifest, exec.clone());
+    let (detector, _) =
+        ground_truth_and_detector(&mut engine, &runner, manifest.gt_hours, false, &exec);
     // Advance the engine to where the stored run left off, so REST-side
     // lookups (profiles, suspensions) see the same world state.
     engine.run_hours(resumed.state.next_hour);
@@ -582,12 +619,13 @@ fn replay(args: &Args) {
         .store
         .reader()
         .unwrap_or_else(|e| die("cannot read store", e));
-    let (collected, dataset) = label_collection_stream(reader, &engine, &PipelineConfig::default())
-        .unwrap_or_else(|e| die("stored record unreadable", e));
+    let (collected, dataset) =
+        label_collection_stream_with(reader, &engine, &PipelineConfig::default(), &exec)
+            .unwrap_or_else(|e| die("stored record unreadable", e));
     println!("{}", format_table3(&dataset.summary));
 
     log_info!("classifying the stored collection…");
-    let outcome = detector.classify_stream(stored_records(&resumed.store), &engine);
+    let outcome = detector.classify_batch(&collected, &engine, &exec);
     let mut report = resumed.report.clone();
     report.collected = collected;
     print_sniff_summary(&report, &outcome.predictions, &outcome, manifest.hours);
@@ -602,10 +640,13 @@ fn showdown(args: &Args) {
     let seed = args.get_u64("seed", 42);
 
     let mut ph_engine = Engine::new(sim_config(args));
-    let runner = Runner::new(RunnerConfig {
-        seed,
-        ..Default::default()
-    });
+    let runner = Runner::with_exec(
+        RunnerConfig {
+            seed,
+            ..Default::default()
+        },
+        exec_config(args),
+    );
     let ph = runner.run(&mut ph_engine, hours);
     let ph_oracle = ph_engine.ground_truth();
     let ph_flags: Vec<bool> = ph

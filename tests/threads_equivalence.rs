@@ -1,0 +1,149 @@
+//! The `ph-exec` determinism contract, end to end: sharded execution at
+//! any thread count must reproduce the sequential pipeline exactly — same
+//! monitor report, same labels and Table III, same Random Forest verdicts,
+//! and (at the binary level) byte-identical stdout.
+
+use std::process::Command;
+
+use ph_exec::ExecConfig;
+use pseudo_honeypot::core::detector::{
+    build_training_data, build_training_data_with, DetectorConfig, SpamDetector,
+};
+use pseudo_honeypot::core::labeling::pipeline::{
+    format_table3, label_collection, label_collection_with, PipelineConfig,
+};
+use pseudo_honeypot::core::monitor::{Runner, RunnerConfig};
+use pseudo_honeypot::ml::forest::RandomForestConfig;
+use pseudo_honeypot::sim::engine::{Engine, SimConfig};
+
+const HOURS: u64 = 10;
+
+fn sim() -> SimConfig {
+    SimConfig {
+        seed: 29,
+        num_organic: 700,
+        num_campaigns: 4,
+        accounts_per_campaign: 10,
+        ..Default::default()
+    }
+}
+
+fn runner(exec: ExecConfig) -> Runner {
+    Runner::with_exec(
+        RunnerConfig {
+            seed: 5,
+            ..Default::default()
+        },
+        exec,
+    )
+}
+
+/// Every stage of the in-process pipeline, sequential vs 4-way sharded:
+/// the reports, labels, Table III rendering, training matrices, and
+/// per-tweet Random Forest verdicts must all be equal.
+#[test]
+fn sharded_pipeline_matches_sequential_end_to_end() {
+    let exec = ExecConfig::with_threads(4);
+
+    let mut seq_eng = Engine::new(sim());
+    let seq_report = runner(ExecConfig::sequential()).run(&mut seq_eng, HOURS);
+
+    let mut par_eng = Engine::new(sim());
+    let par_report = runner(exec.clone()).run(&mut par_eng, HOURS);
+    assert_eq!(par_report, seq_report);
+
+    let seq_labels = label_collection(&seq_report.collected, &seq_eng, &PipelineConfig::default());
+    let par_labels = label_collection_with(
+        &par_report.collected,
+        &par_eng,
+        &PipelineConfig::default(),
+        &exec,
+    );
+    assert_eq!(par_labels, seq_labels);
+    assert_eq!(
+        format_table3(&par_labels.summary),
+        format_table3(&seq_labels.summary)
+    );
+
+    let config = DetectorConfig {
+        forest: RandomForestConfig {
+            num_trees: 12, // small forest keeps the test quick
+            ..DetectorConfig::default().forest
+        },
+        ..Default::default()
+    };
+    let (seq_data, seq_idx) = build_training_data(
+        &seq_report.collected,
+        &seq_labels.labels,
+        &seq_eng,
+        config.tau,
+    );
+    let (par_data, par_idx) = build_training_data_with(
+        &par_report.collected,
+        &par_labels.labels,
+        &par_eng,
+        config.tau,
+        &exec,
+    );
+    assert_eq!(par_idx, seq_idx);
+    assert_eq!(par_data, seq_data);
+
+    let detector = SpamDetector::train(&config, &seq_data);
+    let seq_outcome = detector.classify_collection(&seq_report.collected, &seq_eng);
+    let par_outcome = detector.classify_batch(&par_report.collected, &par_eng, &exec);
+    assert_eq!(par_outcome, seq_outcome);
+}
+
+fn sniff_stdout(threads: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_pseudo-honeypot"))
+        .args([
+            "sniff",
+            "--organic",
+            "300",
+            "--campaigns",
+            "2",
+            "--per-campaign",
+            "8",
+            "--gt-hours",
+            "6",
+            "--hours",
+            "8",
+            "--quiet",
+            "--threads",
+            threads,
+        ])
+        .output()
+        .expect("failed to launch the pseudo-honeypot binary");
+    assert!(
+        out.status.success(),
+        "sniff --threads {threads} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+/// The whole sniff → label → train → classify CLI run, `--threads 4` vs
+/// `--threads 1`: stdout (Table III, verdict counts, PGE ranking) must be
+/// byte-identical.
+#[test]
+fn sniff_binary_output_is_byte_identical_across_thread_counts() {
+    let sequential = sniff_stdout("1");
+    assert_eq!(sniff_stdout("4"), sequential);
+    assert_eq!(sniff_stdout("0"), sequential); // 0 = all available cores
+}
+
+/// A malformed `--threads` value takes the friendly usage-error exit, not
+/// a panic: exit code 2 and a message naming the option and the value.
+#[test]
+fn unparseable_threads_value_exits_with_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pseudo-honeypot"))
+        .args(["sniff", "--hours", "2", "--threads", "abc"])
+        .output()
+        .expect("failed to launch the pseudo-honeypot binary");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--threads expects an integer, got 'abc'"),
+        "unexpected stderr: {stderr}"
+    );
+}
