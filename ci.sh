@@ -47,11 +47,50 @@ diff <(grep "oracle check" "$SMOKE/resume.out") <(grep "oracle check" "$SMOKE/re
 echo "==> sharded dataflow determinism smoke (--threads 1 vs --threads 4)"
 # The ph-exec contract: thread count must be invisible in the output.
 # Replay the same store sequentially and 4-way sharded; stdout (Table III,
-# verdict counts, PGE ranking) must be byte-identical.
+# verdict counts, PGE ranking) must be byte-identical. The t4 run also
+# exports Prometheus metrics (stderr-only side effect) for the check below.
 "$BIN" replay --store "$SMOKE/run" --threads 1 --verify --quiet > "$SMOKE/replay-t1.out"
-"$BIN" replay --store "$SMOKE/run" --threads 4 --verify --quiet > "$SMOKE/replay-t4.out"
+"$BIN" replay --store "$SMOKE/run" --threads 4 --verify --quiet \
+    --metrics-out "$SMOKE/replay.prom" --metrics-format prom > "$SMOKE/replay-t4.out"
 diff "$SMOKE/replay-t1.out" "$SMOKE/replay-t4.out" \
     || { echo "--threads 4 replay output diverged from --threads 1"; exit 1; }
+
+echo "==> observability smoke (inspect + prometheus export)"
+# The completed (resumed) run persisted its journal + series streams;
+# inspect must render a non-empty per-hour PGE table from the store alone.
+"$BIN" inspect --store "$SMOKE/run" --quiet > "$SMOKE/inspect.out"
+python3 - "$SMOKE/inspect.out" <<'EOF'
+import sys
+lines = open(sys.argv[1]).read().splitlines()
+start = next(i for i, l in enumerate(lines) if l.startswith("per-hour PGE"))
+rows = []
+for line in lines[start + 2:]:
+    if not line.strip():
+        break
+    rows.append(line.split())
+assert rows, "per-hour PGE table has no rows"
+assert any(int(r[1]) > 0 for r in rows), f"all-zero PGE table: {rows}"
+assert any("stage throughput" in l for l in lines), "no stage throughput section"
+assert any("journal:" in l for l in lines), "no journal tail"
+print(f"    inspect rendered {len(rows)} hour rows, "
+      f"{sum(int(r[1]) for r in rows)} tweets total")
+EOF
+# Every non-comment exposition line must be `name{labels} value`.
+python3 - "$SMOKE/replay.prom" <<'EOF'
+import re, sys
+sample = re.compile(
+    r"^[A-Za-z_][A-Za-z0-9_]*(\{[^{}]*\})? (-?[0-9][0-9.eE+-]*|[+-]Inf|NaN)$")
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l]
+samples = 0
+for line in lines:
+    if line.startswith("# HELP ") or line.startswith("# TYPE "):
+        continue
+    assert sample.match(line), f"malformed exposition line: {line!r}"
+    samples += 1
+assert samples > 0, "prometheus export has no samples"
+assert any(l.startswith("ph_series{") for l in lines), "no series samples"
+print(f"    prometheus export parsed: {samples} samples")
+EOF
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -322,12 +322,18 @@ impl CsvTable {
     }
 
     /// Writes the CSV next to the terminal output when binaries are run
-    /// with `--csv <path>`.
+    /// with `--csv <path>`, creating missing parent directories so
+    /// `--csv results/new-dir/table.csv` works on a fresh checkout.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
         std::fs::write(path, self.to_csv())
     }
 }
@@ -419,6 +425,18 @@ mod tests {
     fn csv_ragged_row_panics() {
         let mut t = CsvTable::new(["a", "b"]);
         t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn csv_write_creates_missing_parent_dirs() {
+        let dir = std::env::temp_dir().join("ph-bench-test-csv-parents");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("deeper").join("out.csv");
+        let mut t = CsvTable::new(["a"]);
+        t.push_row(["1"]);
+        t.write_to(&path).expect("write with missing parents");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

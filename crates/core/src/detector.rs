@@ -158,6 +158,15 @@ impl ClassificationOutcome {
     }
 }
 
+/// Classifier-confidence histogram: 20 uniform buckets over [0, 1].
+/// The verdict still comes from `predict()` — the score is recorded
+/// alongside, never thresholded, so classification behavior is
+/// untouched by the instrumentation.
+fn confidence_histogram() -> std::sync::Arc<ph_telemetry::Histogram> {
+    let bounds: Vec<f64> = (1..=20).map(|i| i as f64 * 0.05).collect();
+    ph_telemetry::histogram("detect.rf_confidence", &bounds)
+}
+
 /// The trained production detector.
 pub struct SpamDetector {
     model: Box<dyn Classifier>,
@@ -214,12 +223,14 @@ impl SpamDetector {
         use std::borrow::Borrow as _;
         let _span = ph_telemetry::span("detect.classify");
         let rest = engine.rest();
+        let confidence = confidence_histogram();
         let mut extractor = FeatureExtractor::with_tau(self.tau);
         let mut outcome = ClassificationOutcome::default();
         for item in stream {
             let c = item.borrow();
             let features = extractor.extract(c, &rest);
             let spam = self.model.predict(&features);
+            confidence.record(self.model.predict_score(&features));
             extractor.record_verdict(c.slot, spam);
             outcome.predictions.push(spam);
             if spam {
@@ -246,11 +257,13 @@ impl SpamDetector {
         let _span = ph_telemetry::span("detect.classify");
         let rest = engine.rest();
         let pure = features::pure_batch(collected, &rest, exec);
+        let confidence = confidence_histogram();
         let mut extractor = FeatureExtractor::with_tau(self.tau);
         let mut outcome = ClassificationOutcome::default();
         for (c, p) in collected.iter().zip(pure) {
             let features = extractor.finish(c, p);
             let spam = self.model.predict(&features);
+            confidence.record(self.model.predict_score(&features));
             extractor.record_verdict(c.slot, spam);
             outcome.predictions.push(spam);
             if spam {

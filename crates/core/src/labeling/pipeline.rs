@@ -59,15 +59,31 @@ pub fn label_collection_with(
         ..Default::default()
     };
     let rest = engine.rest();
+    // Journal one event per pass with how many tweets it newly labeled.
+    // Labels are thread-count-invariant, so these events are
+    // deterministic and persist into the store journal.
+    let mut assigned_before = 0usize;
+    let emit_pass = |labels: &LabeledCollection, pass: &str, before: &mut usize| {
+        let now = labels.tweet_labels.iter().filter(|l| l.is_some()).count();
+        ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::LabelingPass {
+            pass: pass.to_string(),
+            labeled: (now - *before) as u64,
+        });
+        *before = now;
+    };
     suspended::apply(collected, &rest, &mut labels);
+    emit_pass(&labels, "suspended", &mut assigned_before);
     clustering::apply_with(collected, &rest, &config.clustering, exec, &mut labels);
+    emit_pass(&labels, "clustering", &mut assigned_before);
     rules::apply(collected, &rest, &config.rules, &mut labels);
+    emit_pass(&labels, "rules", &mut assigned_before);
     manual::apply(
         collected,
         &engine.ground_truth(),
         &config.manual,
         &mut labels,
     );
+    emit_pass(&labels, "manual", &mut assigned_before);
     let summary = LabelingSummary::from_labels(&labels, collected.len());
     GroundTruthDataset { labels, summary }
 }

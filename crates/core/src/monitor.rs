@@ -323,6 +323,8 @@ impl Runner {
         let mut segment = MonitorReport::default();
         let start = state.next_hour;
         let end = total_hours.min(start.saturating_add(segment_hours));
+        let mut segment_collected = 0u64;
+        let mut dropped_before = 0u64;
 
         for hour_index in start..end {
             if hour_index % self.config.switch_interval_hours.max(1) == 0 {
@@ -332,6 +334,11 @@ impl Runner {
                 membership = network.membership();
                 state.membership = membership.iter().map(|(&a, &s)| (a, s)).collect();
                 state.membership.sort_by_key(|&(a, _)| a.0);
+                ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::AttributeSwitch {
+                    hour: hour_index,
+                    round: state.round - 1,
+                    nodes: membership.len() as u64,
+                });
                 streaming
                     .set_filter(subscription, membership.keys().copied())
                     .expect("subscription is open");
@@ -373,9 +380,30 @@ impl Runner {
             ph_telemetry::cached_counter!("monitor.tweets_collected").add(collected_this_hour);
             segment.hours += 1;
             segment.dropped = streaming.dropped(subscription).unwrap_or(0);
+            let dropped_this_hour = segment.dropped - dropped_before;
+            dropped_before = segment.dropped;
+            segment_collected += collected_this_hour;
+            ph_telemetry::series("monitor.collected").add(hour_index, collected_this_hour as f64);
+            ph_telemetry::series("monitor.dropped").add(hour_index, dropped_this_hour as f64);
+            ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::HourTick {
+                hour: hour_index,
+                collected: collected_this_hour,
+                dropped: dropped_this_hour,
+            });
+            if ph_telemetry::progress_enabled() {
+                ph_telemetry::progress_update(&format!(
+                    "{} hour {}/{} · {} tweets · {} shed",
+                    ph_telemetry::progress_bar(hour_index + 1, total_hours, 24),
+                    hour_index + 1,
+                    total_hours,
+                    segment_collected,
+                    segment.dropped
+                ));
+            }
             state.next_hour = hour_index + 1;
             sink.on_hour(state, &segment)?;
         }
+        ph_telemetry::progress_done();
         ph_telemetry::cached_counter!("monitor.tweets_dropped").add(segment.dropped);
         if segment.dropped > 0 {
             ph_telemetry::log_warn!(

@@ -129,6 +129,118 @@ pub fn pge_ranking_with_min(
     entries
 }
 
+/// One hour's aggregate over a collection — the row grain of the
+/// `inspect` subcommand's per-hour PGE table.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HourStats {
+    /// Monitored hour index (0-based).
+    pub hour: u64,
+    /// Tweets collected during the hour.
+    pub tweets: u64,
+    /// Tweets flagged spam during the hour.
+    pub spams: u64,
+    /// Distinct accounts behind the hour's spam tweets.
+    pub spammers: u64,
+}
+
+/// Aggregates a collection hour by hour into a dense vector of `hours`
+/// rows (hours with no traffic yield all-zero rows). Collected tweets
+/// carry the *absolute* engine hour, so `hour_offset` (the ground-truth
+/// warmup length for a standard run) rebases them onto monitored hours;
+/// tweets outside `hour_offset..hour_offset + hours` are ignored.
+///
+/// # Panics
+///
+/// Panics if `spam_flags` is not parallel to `collected`.
+pub fn per_hour_stats(
+    collected: &[CollectedTweet],
+    spam_flags: &[bool],
+    hours: u64,
+    hour_offset: u64,
+) -> Vec<HourStats> {
+    assert_eq!(collected.len(), spam_flags.len(), "flags not parallel");
+    let mut rows: Vec<HourStats> = (0..hours)
+        .map(|hour| HourStats {
+            hour,
+            ..Default::default()
+        })
+        .collect();
+    let mut spammers: Vec<HashSet<AccountId>> = vec![HashSet::new(); hours as usize];
+    for (c, &spam) in collected.iter().zip(spam_flags) {
+        let Some(hour) = c.hour.checked_sub(hour_offset) else {
+            continue;
+        };
+        let Some(row) = rows.get_mut(hour as usize) else {
+            continue;
+        };
+        row.tweets += 1;
+        if spam {
+            row.spams += 1;
+            spammers[hour as usize].insert(c.tweet.author);
+        }
+    }
+    for (row, set) in rows.iter_mut().zip(&spammers) {
+        row.spammers = set.len() as u64;
+    }
+    rows
+}
+
+/// Per-hour, per-attribute PGE with node-hours amortized evenly across the
+/// run: each attribute's total node-hours (all sample values pooled) is
+/// divided by `hours` to estimate its hourly observation budget, and each
+/// hour's distinct spammers are scored against that budget.
+///
+/// Exact per-hour node-hours are not recoverable after the fact (the
+/// monitor accrues them per switch interval, not per hour), so this is an
+/// amortized diagnostic series — fine for trend inspection, not for
+/// re-deriving Table VI. Attributes with zero node-hours are omitted.
+/// Returned vectors are dense over `0..hours`, rebased from absolute
+/// engine hours by `hour_offset` as in [`per_hour_stats`].
+///
+/// # Panics
+///
+/// Panics if `spam_flags` is not parallel to `collected`.
+pub fn per_hour_attribute_pge(
+    collected: &[CollectedTweet],
+    spam_flags: &[bool],
+    node_hours: &HashMap<SampleAttribute, f64>,
+    hours: u64,
+    hour_offset: u64,
+) -> HashMap<AttributeKind, Vec<f64>> {
+    assert_eq!(collected.len(), spam_flags.len(), "flags not parallel");
+    if hours == 0 {
+        return HashMap::new();
+    }
+    let mut budget: HashMap<AttributeKind, f64> = HashMap::new();
+    for (slot, nh) in node_hours {
+        *budget.entry(slot.kind).or_insert(0.0) += nh;
+    }
+    let mut spammers: HashMap<AttributeKind, Vec<HashSet<AccountId>>> = HashMap::new();
+    for (c, &spam) in collected.iter().zip(spam_flags) {
+        let Some(hour) = c.hour.checked_sub(hour_offset) else {
+            continue;
+        };
+        if spam && hour < hours {
+            spammers
+                .entry(c.slot.kind)
+                .or_insert_with(|| vec![HashSet::new(); hours as usize])[hour as usize]
+                .insert(c.tweet.author);
+        }
+    }
+    budget
+        .into_iter()
+        .filter(|&(_, total)| total > 0.0)
+        .map(|(kind, total)| {
+            let hourly = total / hours as f64;
+            let values = match spammers.get(&kind) {
+                Some(sets) => sets.iter().map(|s| s.len() as f64 / hourly).collect(),
+                None => vec![0.0; hours as usize],
+            };
+            (kind, values)
+        })
+        .collect()
+}
+
 /// Overall PGE of a whole run: distinct spammers per node-hour, the
 /// quantity compared against honeypot systems in Table VII.
 pub fn overall_pge(report: &MonitorReport, spam_flags: &[bool]) -> f64 {
@@ -262,5 +374,78 @@ mod tests {
     fn zero_node_hours_is_zero_pge() {
         let report = MonitorReport::default();
         assert_eq!(overall_pge(&report, &[]), 0.0);
+    }
+
+    fn collected_at(author: u32, slot: SampleAttribute, hour: u64) -> CollectedTweet {
+        CollectedTweet {
+            hour,
+            ..collected(author, slot)
+        }
+    }
+
+    #[test]
+    fn per_hour_stats_is_dense_and_counts_distinct_spammers() {
+        let data = vec![
+            collected_at(1, slot_a(), 0),
+            collected_at(1, slot_a(), 0),
+            collected_at(2, slot_a(), 2),
+            collected_at(3, slot_b(), 2),
+            collected_at(4, slot_b(), 9), // past `hours`, ignored
+        ];
+        let flags = vec![true, true, true, false, true];
+        let stats = per_hour_stats(&data, &flags, 3, 0);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(
+            stats[0],
+            HourStats {
+                hour: 0,
+                tweets: 2,
+                spams: 2,
+                spammers: 1,
+            }
+        );
+        assert_eq!(
+            stats[1],
+            HourStats {
+                hour: 1,
+                ..Default::default()
+            }
+        );
+        assert_eq!(stats[2].tweets, 2);
+        assert_eq!(stats[2].spams, 1);
+        assert_eq!(stats[2].spammers, 1);
+    }
+
+    #[test]
+    fn per_hour_attribute_pge_amortizes_node_hours() {
+        let data = vec![
+            collected_at(1, slot_a(), 0),
+            collected_at(2, slot_a(), 0),
+            collected_at(3, slot_a(), 1),
+        ];
+        let flags = vec![true, true, true];
+        // 8 node-hours over 2 hours → 4 node-hours per hour.
+        let node_hours: HashMap<SampleAttribute, f64> = [(slot_a(), 8.0)].into_iter().collect();
+        let pge = per_hour_attribute_pge(&data, &flags, &node_hours, 2, 0);
+        let values = &pge[&slot_a().kind];
+        assert_eq!(values.len(), 2);
+        assert!((values[0] - 2.0 / 4.0).abs() < 1e-12);
+        assert!((values[1] - 1.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_hour_attribute_pge_skips_unobserved_attributes() {
+        let data = vec![collected_at(1, slot_a(), 0)];
+        let node_hours: HashMap<SampleAttribute, f64> =
+            [(slot_a(), 0.0), (slot_b(), 4.0)].into_iter().collect();
+        let pge = per_hour_attribute_pge(&data, &[true], &node_hours, 1, 0);
+        assert!(!pge.contains_key(&slot_a().kind), "zero budget must drop");
+        assert_eq!(pge[&slot_b().kind], vec![0.0]);
+    }
+
+    #[test]
+    fn per_hour_helpers_tolerate_empty_runs() {
+        assert!(per_hour_stats(&[], &[], 0, 0).is_empty());
+        assert!(per_hour_attribute_pge(&[], &[], &HashMap::new(), 0, 0).is_empty());
     }
 }

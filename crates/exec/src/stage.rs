@@ -120,9 +120,12 @@ fn depth_buckets() -> Vec<f64> {
 /// result is identical either way.
 ///
 /// Telemetry: records `exec.<name>.ms` (stage wall-clock),
-/// `exec.<name>.queue_depth` (input-queue depth at each chunk send),
-/// `exec.<name>.merge_pending` (reorder-buffer occupancy), and per-worker
-/// `exec.<name>.worker.<i>.processed` gauges.
+/// `exec.<name>.items` (records processed), `exec.<name>.queue_depth`
+/// (input-queue depth at each chunk send), `exec.<name>.merge_pending`
+/// (reorder-buffer occupancy), per-worker
+/// `exec.<name>.worker.<i>.processed` gauges, and a diagnostic
+/// `ShardStall` journal event whenever a chunk send finds its channel
+/// full.
 pub fn run<In, Out, K, M, S>(
     exec: &ExecConfig,
     name: &str,
@@ -138,6 +141,7 @@ where
     S: Stage<In, Out>,
 {
     let threads = exec.resolve_threads();
+    let total = items.len() as u64;
     let start = Instant::now();
     let outputs = if threads <= 1 || items.len() <= 1 {
         let mut stage = make_stage(0);
@@ -145,6 +149,7 @@ where
     } else {
         run_sharded(exec, name, threads, items, &shard_key, &make_stage)
     };
+    ph_telemetry::counter(&format!("exec.{name}.items")).add(total);
     ph_telemetry::histogram(
         &format!("exec.{name}.ms"),
         &ph_telemetry::default_latency_buckets_ms(),
@@ -240,7 +245,18 @@ where
                 item,
             });
             if buffers[shard].len() >= chunk_size {
-                queue_depth.record(input_txs[shard].depth() as f64);
+                let depth = input_txs[shard].depth();
+                queue_depth.record(depth as f64);
+                if depth >= capacity {
+                    // The coming send will block on a full channel: a
+                    // backpressure stall. Scheduling-dependent, so the
+                    // event is diagnostic (never persisted to a store).
+                    ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::ShardStall {
+                        stage: name.to_string(),
+                        shard: shard as u64,
+                        depth: depth as u64,
+                    });
+                }
                 let full = std::mem::replace(&mut buffers[shard], Vec::with_capacity(chunk_size));
                 if input_txs[shard].send(full).is_err() {
                     break;

@@ -14,6 +14,10 @@
 //! - a **checkpoint log** ([`checkpoint::CheckpointLog`]) of hourly
 //!   [`ph_core::monitor::RunState`] snapshots (node-hours per slot, current
 //!   network membership, run cursor, dropped count, engine clock),
+//! - a **telemetry journal + series** ([`telemetry`]): the deterministic
+//!   event journal (`journal.log`, byte-stable across thread counts) and
+//!   flattened time-series points (`series.log`) written when a run
+//!   finishes, read back by the CLI's `inspect` subcommand,
 //! - a **manifest** ([`manifest::Manifest`]) pinning the simulation and
 //!   runner configuration (the engine's full RNG state is implied: the
 //!   simulation is deterministic in its seed, so "engine state at hour
@@ -41,9 +45,14 @@ pub mod log;
 pub mod manifest;
 pub mod record;
 pub mod store;
+pub mod telemetry;
 
 pub use checkpoint::{Checkpoint, CheckpointLog};
 pub use log::{CollectedReader, LogReader, RecoveryReport, SegmentLog};
 pub use manifest::Manifest;
 pub use record::{decode_collected, encode_collected, StoreDecodeError};
 pub use store::{ResumedStore, Store, StoreConfig, StoreWriter, SyncPolicy};
+pub use telemetry::{
+    decode_journal_entry, decode_series_point, encode_journal_entry, encode_series_point,
+    read_journal, read_series, write_journal, write_series, JOURNAL_FILE, SERIES_FILE,
+};

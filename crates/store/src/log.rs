@@ -414,6 +414,12 @@ impl SegmentLog {
         self.segment_bytes = SEGMENT_HEADER_LEN;
         self.segment_records = 0;
         ph_telemetry::cached_counter!("store.segments_sealed").add(1);
+        // Roll points depend only on record bytes (the per-frame roll
+        // check is batch-invariant), so this event is deterministic.
+        ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::SegmentRoll {
+            segment: u64::from(self.segment_index),
+            records: self.records,
+        });
         ph_telemetry::histogram(
             "store.segment_roll_ms",
             &ph_telemetry::default_latency_buckets_ms(),

@@ -194,6 +194,23 @@ impl Store {
         self.log.sync()
     }
 
+    /// Persists the run's telemetry (journal + series) into the store,
+    /// truncate-and-replace. Only deterministic journal events are
+    /// written — see [`crate::telemetry`] for the byte-stability
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_telemetry(
+        &self,
+        entries: &[ph_telemetry::JournalEntry],
+        points: &[ph_telemetry::SeriesPoint],
+    ) -> io::Result<()> {
+        crate::telemetry::write_journal(&self.dir, entries)?;
+        crate::telemetry::write_series(&self.dir, points)
+    }
+
     /// A [`MonitorSink`] appending this run segment into the store.
     /// `prior` is the cumulative report of all *previous* segments (empty
     /// on a fresh run; [`ResumedStore::report`] on a resume) — checkpoints
@@ -287,7 +304,12 @@ impl MonitorSink for StoreWriter<'_> {
             state,
             &cumulative,
         );
-        self.store.checkpoints.append(&checkpoint)
+        self.store.checkpoints.append(&checkpoint)?;
+        ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::CheckpointWritten {
+            hour: state.next_hour,
+            records: checkpoint.records,
+        });
+        Ok(())
     }
 
     fn retain_in_memory(&self) -> bool {

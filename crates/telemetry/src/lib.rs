@@ -24,6 +24,17 @@
 //!   written by the CLI's `--metrics-out` and by every `ph-bench` binary.
 //! - **A leveled logger** ([`set_max_level`], [`log_info!`] and
 //!   friends): the CLI's `--log-level`/`--quiet` plumbing.
+//! - **A typed event journal** ([`journal_emit`], [`TelemetryEvent`]):
+//!   ordered pipeline events (hour ticks, attribute switches, labeling
+//!   passes, checkpoint/roll, shard stalls) with monotone sequence
+//!   numbers; the deterministic subset persists into run stores.
+//! - **Time series** ([`series`]): fixed-capacity rings of per-engine-
+//!   hour buckets — per-hour collection volume, shed counts,
+//!   per-attribute PGE inputs.
+//! - **Prometheus export** ([`to_prometheus`]): the same snapshot in
+//!   text-exposition format (CLI `--metrics-format prom`).
+//! - **Live progress** ([`set_progress`], [`progress_update`]):
+//!   stderr-only status line, so stdout byte-identity is preserved.
 //!
 //! Everything lives in one process-global registry, is thread-safe, and
 //! is cheap enough for per-stage (not per-tweet-inner-loop)
@@ -34,18 +45,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event;
 mod json;
 mod logger;
 mod metrics;
+mod progress;
+mod prom;
 mod registry;
 mod report;
+mod series;
 mod spans;
 
+pub use event::{journal_emit, journal_reset, journal_snapshot, JournalEntry, TelemetryEvent};
 pub use logger::{log_args, set_max_level, set_quiet, Level, ParseLevelError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use progress::{progress_bar, progress_done, progress_enabled, progress_update, set_progress};
+pub use prom::to_prometheus;
 pub use registry::{counter, gauge, histogram, reset, snapshot};
 pub use report::{
     write_json_report, CounterSnapshot, GaugeSnapshot, HistogramReport, RunReport, SpanSnapshot,
+};
+pub use series::{
+    series, series_reset, series_snapshot, Series, SeriesPoint, DEFAULT_SERIES_CAPACITY,
 };
 pub use spans::{span, time, SpanGuard};
 

@@ -145,6 +145,55 @@ mod tests {
     }
 
     #[test]
+    fn every_level_round_trips_through_display_and_parse() {
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            let shown = level.to_string();
+            assert_eq!(shown.parse::<Level>(), Ok(level), "round-trip {shown}");
+        }
+    }
+
+    #[test]
+    fn parse_error_message_is_exact() {
+        let err = "verbose".parse::<Level>().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown log level 'verbose' (expected error, warn, info, or debug)"
+        );
+    }
+
+    // `enabled` reads the process-global level, which other tests in
+    // this binary may set; serialize the tests that touch it and always
+    // restore the default.
+    fn with_level_lock(f: impl FnOnce()) {
+        use std::sync::Mutex;
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        f();
+        set_max_level(Level::Info);
+    }
+
+    #[test]
+    fn quiet_suppresses_every_level_including_error() {
+        with_level_lock(|| {
+            set_quiet();
+            for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+                assert!(!enabled(level), "{level} should be silenced by quiet");
+            }
+        });
+    }
+
+    #[test]
+    fn max_level_gates_more_verbose_levels_only() {
+        with_level_lock(|| {
+            set_max_level(Level::Warn);
+            assert!(enabled(Level::Error));
+            assert!(enabled(Level::Warn));
+            assert!(!enabled(Level::Info));
+            assert!(!enabled(Level::Debug));
+        });
+    }
+
+    #[test]
     fn macros_compile_at_every_level() {
         // Output goes to stderr; this just exercises the macro plumbing.
         crate::log_error!("e {}", 1);

@@ -89,6 +89,16 @@ struct HistogramInner {
 
 /// A fixed-bucket histogram: `bounds` are inclusive upper edges, with an
 /// implicit overflow bucket above the last edge.
+///
+/// # Bucket-boundary semantics
+///
+/// Bucket `i` covers `(bounds[i-1], bounds[i]]` — the upper edge is
+/// **inclusive**, the lower edge exclusive (bucket 0 covers
+/// `(-inf, bounds[0]]`). A value exactly equal to an edge therefore
+/// always lands in the bucket whose upper bound it equals, never the
+/// one above. This matches Prometheus `le` bucket semantics and is
+/// pinned by the `boundary_values_land_in_the_inclusive_bucket` test —
+/// changing it would silently shift every exported distribution.
 #[derive(Debug)]
 pub struct Histogram {
     bounds: Vec<f64>,
@@ -110,7 +120,9 @@ impl Histogram {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Upper edges are inclusive: a value
+    /// exactly equal to `bounds[i]` lands in bucket `i` (see the type
+    /// docs on boundary semantics).
     pub fn record(&self, value: f64) {
         let bucket = self
             .bounds
@@ -226,6 +238,31 @@ mod tests {
         assert!((s.min - 0.5).abs() < 1e-12);
         assert!((s.max - 500.0).abs() < 1e-12);
         assert!((s.mean() - 556.5 / 5.0).abs() < 1e-12);
+    }
+
+    /// Pins the boundary rule: a value exactly equal to `bounds[i]`
+    /// lands in bucket `i` (inclusive upper edge), deterministically,
+    /// for every edge — including the last edge vs. the overflow
+    /// bucket. Exporters (JSON and Prometheus `le` buckets) rely on
+    /// this staying fixed.
+    #[test]
+    fn boundary_values_land_in_the_inclusive_bucket() {
+        let bounds = [1.0, 2.0, 4.0, 8.0];
+        let h = Histogram::new(&bounds);
+        for edge in bounds {
+            h.record(edge);
+        }
+        let s = h.snapshot();
+        // One observation per bounded bucket, none in overflow.
+        assert_eq!(s.counts, vec![1, 1, 1, 1, 0]);
+
+        // Nudging just past an edge moves to the next bucket.
+        let h = Histogram::new(&bounds);
+        h.record(2.0 + f64::EPSILON * 4.0);
+        assert_eq!(h.snapshot().counts, vec![0, 0, 1, 0, 0]);
+        // Just past the last edge goes to overflow.
+        h.record(8.000001);
+        assert_eq!(h.snapshot().counts, vec![0, 0, 1, 0, 1]);
     }
 
     #[test]

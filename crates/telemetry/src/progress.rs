@@ -1,0 +1,91 @@
+//! Opt-in live progress reporting, strictly on stderr.
+//!
+//! The pipeline's stdout is a determinism surface — byte-identity tests
+//! compare it across thread counts and resume paths — so progress lines
+//! must never touch it. When enabled (CLI `--progress`), each update
+//! redraws a single stderr status line with `\r`; [`progress_done`]
+//! terminates it with a newline so subsequent stderr output starts
+//! clean. When disabled (the default) every call is a no-op, so call
+//! sites need no guards.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns live progress reporting on or off (default: off).
+pub fn set_progress(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether progress reporting is currently enabled.
+#[must_use]
+pub fn progress_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Redraws the status line with `message` (stderr only, no newline).
+pub fn progress_update(message: &str) {
+    if !progress_enabled() {
+        return;
+    }
+    let mut stderr = std::io::stderr().lock();
+    // \r returns to column 0; \x1b[2K clears the previous, possibly
+    // longer, line so short updates don't leave stale suffixes.
+    let _ = write!(stderr, "\r\x1b[2K{message}");
+    let _ = stderr.flush();
+}
+
+/// Ends the status line with a newline (no-op when disabled).
+pub fn progress_done() {
+    if !progress_enabled() {
+        return;
+    }
+    let mut stderr = std::io::stderr().lock();
+    let _ = writeln!(stderr);
+    let _ = stderr.flush();
+}
+
+/// Renders a fixed-width progress bar, e.g. `[####----]`.
+#[must_use]
+pub fn progress_bar(done: u64, total: u64, width: usize) -> String {
+    let width = width.max(1);
+    let filled = if total == 0 {
+        width
+    } else {
+        ((done.min(total) as usize) * width) / (total as usize)
+    };
+    let mut bar = String::with_capacity(width + 2);
+    bar.push('[');
+    for i in 0..width {
+        bar.push(if i < filled { '#' } else { '-' });
+    }
+    bar.push(']');
+    bar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_toggleable() {
+        // Other tests in the binary don't toggle this, so the default
+        // is observable here.
+        assert!(!progress_enabled() || cfg!(not(test)));
+        set_progress(true);
+        assert!(progress_enabled());
+        set_progress(false);
+        assert!(!progress_enabled());
+    }
+
+    #[test]
+    fn bar_fills_proportionally() {
+        assert_eq!(progress_bar(0, 10, 8), "[--------]");
+        assert_eq!(progress_bar(5, 10, 8), "[####----]");
+        assert_eq!(progress_bar(10, 10, 8), "[########]");
+        // Degenerate totals saturate instead of dividing by zero.
+        assert_eq!(progress_bar(3, 0, 4), "[####]");
+        assert_eq!(progress_bar(99, 10, 4), "[####]");
+    }
+}

@@ -1,0 +1,237 @@
+//! Prometheus text-exposition rendering of a [`RunReport`].
+//!
+//! The output follows the text format version 0.0.4: every non-comment
+//! line is `name{labels} value` (labels optional), preceded by
+//! `# HELP`/`# TYPE` headers per metric family. Metric names are
+//! sanitized to `[a-zA-Z_][a-zA-Z0-9_]*` and prefixed `ph_`; the
+//! original dotted name survives either in the sanitized form
+//! (`monitor.tweets_collected` → `ph_monitor_tweets_collected`) or as a
+//! label (spans, series).
+
+use std::fmt::Write as _;
+
+use crate::report::RunReport;
+use crate::series::SeriesPoint;
+
+/// Maps a dotted registry name onto a legal Prometheus metric name.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("ph_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value (backslash, double quote, newline).
+fn label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value the way Prometheus expects (`+Inf`, `-Inf`,
+/// `NaN` spellings for non-finite floats).
+fn sample(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders `report` (plus flattened `series` points) in the Prometheus
+/// text exposition format.
+#[must_use]
+pub fn to_prometheus(report: &RunReport, series: &[SeriesPoint]) -> String {
+    let mut out = String::with_capacity(8192);
+
+    for c in &report.counters {
+        let name = metric_name(&c.name);
+        let _ = writeln!(out, "# HELP {name} Counter {}", label_value(&c.name));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+
+    for g in &report.gauges {
+        let name = metric_name(&g.name);
+        let _ = writeln!(out, "# HELP {name} Gauge {}", label_value(&g.name));
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", sample(g.value));
+    }
+
+    for h in &report.histograms {
+        let name = metric_name(&h.name);
+        let _ = writeln!(out, "# HELP {name} Histogram {}", label_value(&h.name));
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.snapshot.bounds.iter().zip(&h.snapshot.counts) {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                sample(*bound)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.snapshot.count);
+        let _ = writeln!(out, "{name}_sum {}", sample(h.snapshot.sum));
+        let _ = writeln!(out, "{name}_count {}", h.snapshot.count);
+    }
+
+    if !report.spans.is_empty() {
+        out.push_str("# HELP ph_span_total_ms Total wall-clock milliseconds per span path\n");
+        out.push_str("# TYPE ph_span_total_ms counter\n");
+        for s in &report.spans {
+            let _ = writeln!(
+                out,
+                "ph_span_total_ms{{path=\"{}\"}} {}",
+                label_value(&s.path),
+                sample(s.total_ms)
+            );
+        }
+        out.push_str("# HELP ph_span_count Number of closes per span path\n");
+        out.push_str("# TYPE ph_span_count counter\n");
+        for s in &report.spans {
+            let _ = writeln!(
+                out,
+                "ph_span_count{{path=\"{}\"}} {}",
+                label_value(&s.path),
+                s.count
+            );
+        }
+    }
+
+    if !series.is_empty() {
+        out.push_str("# HELP ph_series Per-engine-hour time-series buckets\n");
+        out.push_str("# TYPE ph_series gauge\n");
+        for p in series {
+            let _ = writeln!(
+                out,
+                "ph_series{{name=\"{}\",hour=\"{}\"}} {}",
+                label_value(&p.name),
+                p.hour,
+                sample(p.value)
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+    use crate::report::{CounterSnapshot, GaugeSnapshot, HistogramReport, SpanSnapshot};
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            spans: vec![SpanSnapshot {
+                path: "monitor.run".to_string(),
+                count: 2,
+                total_ms: 3.5,
+                mean_ms: 1.75,
+                min_ms: 1.0,
+                max_ms: 2.5,
+            }],
+            counters: vec![CounterSnapshot {
+                name: "monitor.tweets_collected".to_string(),
+                value: 42,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "exec.stage.queue-depth".to_string(),
+                value: 1.5,
+            }],
+            histograms: vec![HistogramReport {
+                name: "detect.rf_confidence".to_string(),
+                snapshot: HistogramSnapshot {
+                    bounds: vec![0.5, 1.0],
+                    counts: vec![3, 1, 0],
+                    count: 4,
+                    sum: 1.9,
+                    min: 0.1,
+                    max: 0.9,
+                },
+            }],
+        }
+    }
+
+    /// The shape ci.sh asserts: every line is a comment or
+    /// `name{labels} value`.
+    fn line_is_well_formed(line: &str) -> bool {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            return true;
+        }
+        let (name_part, value) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return false,
+        };
+        let name = name_part.split('{').next().unwrap_or("");
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && (value.parse::<f64>().is_ok() || ["+Inf", "-Inf", "NaN"].contains(&value))
+    }
+
+    #[test]
+    fn every_line_parses() {
+        let text = to_prometheus(
+            &sample_report(),
+            &[SeriesPoint {
+                name: "monitor.collected".to_string(),
+                hour: 3,
+                value: 17.0,
+            }],
+        );
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(line_is_well_formed(line), "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn names_are_sanitized_and_prefixed() {
+        let text = to_prometheus(&sample_report(), &[]);
+        assert!(text.contains("ph_monitor_tweets_collected 42"));
+        assert!(text.contains("ph_exec_stage_queue_depth 1.5"));
+        assert!(!text.contains("queue-depth 1.5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let text = to_prometheus(&sample_report(), &[]);
+        assert!(text.contains("ph_detect_rf_confidence_bucket{le=\"0.5\"} 3"));
+        assert!(text.contains("ph_detect_rf_confidence_bucket{le=\"1\"} 4"));
+        assert!(text.contains("ph_detect_rf_confidence_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("ph_detect_rf_confidence_count 4"));
+    }
+
+    #[test]
+    fn series_points_become_labeled_gauges() {
+        let text = to_prometheus(
+            &RunReport::default(),
+            &[SeriesPoint {
+                name: "pge.hashtag.politics".to_string(),
+                hour: 7,
+                value: 0.25,
+            }],
+        );
+        assert!(text.contains("ph_series{name=\"pge.hashtag.politics\",hour=\"7\"} 0.25"));
+    }
+}

@@ -61,9 +61,12 @@ pub(crate) fn record_span(path: &str, elapsed_ns: u64) {
 }
 
 /// Zeroes every registered metric **in place**: cached counter/gauge/
-/// histogram handles stay valid; span aggregates are cleared. Intended
-/// for the start of an instrumented run (and for tests).
+/// histogram handles stay valid; span aggregates, the event journal,
+/// and every time series are cleared. Intended for the start of an
+/// instrumented run (and for tests).
 pub fn reset() {
+    crate::event::journal_reset();
+    crate::series::series_reset();
     let registry = global();
     for c in registry
         .counters

@@ -1,0 +1,206 @@
+//! Windowed time-series metrics: per-hour buckets in a fixed-capacity
+//! ring, keyed by simulated engine hour rather than wall clock.
+//!
+//! The paper's quantities (PGE, per-hour collection volume, shed rate)
+//! are rates over *simulated* time, so a series bucket is addressed by
+//! engine hour. Each named series keeps at most `capacity` buckets;
+//! when a new hour arrives past capacity, the oldest bucket is evicted
+//! — a long-running monitor holds O(window) memory however many hours
+//! it has seen.
+//!
+//! Series are also the persistence format for derived run statistics:
+//! the CLI flattens stage throughput, span aggregates, and histogram
+//! buckets into named points (`stage.*`, `span.*`, `hist.*`) and writes
+//! them into the run's store, where `inspect` reads them back.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default ring capacity: far above any reproduction run length (the
+/// paper's window is 21 days = 504 hours) while still bounding memory.
+pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
+
+/// One named, hour-bucketed ring of values.
+#[derive(Debug)]
+pub struct Series {
+    capacity: usize,
+    buckets: Mutex<VecDeque<(u64, f64)>>,
+}
+
+impl Series {
+    /// Creates an empty series holding at most `capacity` hour buckets.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Series {
+            capacity: capacity.max(1),
+            buckets: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn with_bucket(&self, hour: u64, f: impl FnOnce(&mut f64)) {
+        let mut buckets = self.buckets.lock().expect("series lock poisoned");
+        // Hot path: the monitor advances hour by hour, so the target is
+        // almost always the final bucket.
+        if let Some(last) = buckets.back_mut() {
+            if last.0 == hour {
+                f(&mut last.1);
+                return;
+            }
+        }
+        if let Some(entry) = buckets.iter_mut().find(|(h, _)| *h == hour) {
+            f(&mut entry.1);
+            return;
+        }
+        let mut value = 0.0;
+        f(&mut value);
+        // Keep buckets sorted by hour so snapshots are ordered even if
+        // hours arrive out of order (e.g. backfill after classification).
+        let at = buckets.partition_point(|(h, _)| *h < hour);
+        buckets.insert(at, (hour, value));
+        while buckets.len() > self.capacity {
+            buckets.pop_front();
+        }
+    }
+
+    /// Adds `delta` into the bucket for `hour`, creating it at 0 first.
+    pub fn add(&self, hour: u64, delta: f64) {
+        self.with_bucket(hour, |v| *v += delta);
+    }
+
+    /// Sets the bucket for `hour` to `value` (last write wins).
+    pub fn set(&self, hour: u64, value: f64) {
+        self.with_bucket(hour, |v| *v = value);
+    }
+
+    /// Copies out `(hour, value)` pairs sorted by hour.
+    #[must_use]
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        self.buckets
+            .lock()
+            .expect("series lock poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Drops every bucket (capacity is kept).
+    pub fn zero(&self) {
+        self.buckets.lock().expect("series lock poisoned").clear();
+    }
+}
+
+/// One flattened series observation, as persisted and reported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPoint {
+    /// Series name, dotted (`"monitor.collected"`, `"pge.profile.age"`).
+    pub name: String,
+    /// Engine-hour bucket (0 for run-level derived points).
+    pub hour: u64,
+    /// Bucket value.
+    pub value: f64,
+}
+
+fn global() -> &'static Mutex<HashMap<String, Arc<Series>>> {
+    static GLOBAL: OnceLock<Mutex<HashMap<String, Arc<Series>>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetches (registering on first use) the series named `name` with the
+/// default ring capacity.
+pub fn series(name: &str) -> Arc<Series> {
+    let mut map = global().lock().expect("series registry lock poisoned");
+    Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Series::new(DEFAULT_SERIES_CAPACITY))),
+    )
+}
+
+/// Flattens every registered series into points sorted by name then
+/// hour — a stable order for reports and persistence.
+#[must_use]
+pub fn series_snapshot() -> Vec<SeriesPoint> {
+    let map = global().lock().expect("series registry lock poisoned");
+    let mut names: Vec<&String> = map.keys().collect();
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        for (hour, value) in map[name].points() {
+            out.push(SeriesPoint {
+                name: name.clone(),
+                hour,
+                value,
+            });
+        }
+    }
+    out
+}
+
+/// Clears the buckets of every registered series in place (handles
+/// stay valid).
+pub fn series_reset() {
+    for s in global()
+        .lock()
+        .expect("series registry lock poisoned")
+        .values()
+    {
+        s.zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_within_an_hour_bucket() {
+        let s = Series::new(8);
+        s.add(3, 1.0);
+        s.add(3, 2.0);
+        s.add(4, 5.0);
+        assert_eq!(s.points(), vec![(3, 3.0), (4, 5.0)]);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let s = Series::new(8);
+        s.set(1, 10.0);
+        s.set(1, 4.0);
+        assert_eq!(s.points(), vec![(1, 4.0)]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_hour_past_capacity() {
+        let s = Series::new(3);
+        for hour in 0..5 {
+            s.add(hour, 1.0);
+        }
+        assert_eq!(s.points(), vec![(2, 1.0), (3, 1.0), (4, 1.0)]);
+    }
+
+    #[test]
+    fn out_of_order_hours_stay_sorted() {
+        let s = Series::new(8);
+        s.add(5, 1.0);
+        s.add(2, 1.0);
+        s.add(7, 1.0);
+        let hours: Vec<u64> = s.points().iter().map(|(h, _)| *h).collect();
+        assert_eq!(hours, vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn registry_shares_instances_and_snapshot_is_sorted() {
+        series("test.series.zz").add(0, 1.0);
+        series("test.series.aa").add(1, 2.0);
+        series("test.series.aa").add(0, 2.0);
+        let snap = series_snapshot();
+        let ours: Vec<&SeriesPoint> = snap
+            .iter()
+            .filter(|p| p.name.starts_with("test.series."))
+            .collect();
+        assert!(ours.len() >= 3);
+        let keys: Vec<(String, u64)> = ours.iter().map(|p| (p.name.clone(), p.hour)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -6,22 +6,27 @@
 //! pseudo-honeypot sniff     [--hours H] [--gt-hours H] [--organic N] [--seed S]
 //!                           [--store DIR] [--resume] [--crash-after H]
 //! pseudo-honeypot replay    --store DIR
+//! pseudo-honeypot inspect   --store DIR [--top K] [--tail N]
 //! pseudo-honeypot showdown  [--hours H] [--nodes N] [--seed S]
 //! ```
 //!
 //! Global options (any subcommand):
 //!
 //! ```text
-//! --metrics-out FILE.json   write a machine-readable run report (spans,
-//!                           counters, gauges, histograms) on exit
-//! --log-level LEVEL         error | warn | info (default) | debug
-//! --quiet                   silence all progress logging
+//! --metrics-out FILE       write a machine-readable run report (spans,
+//!                          counters, gauges, histograms, series) on exit
+//! --metrics-format FMT     json (default) | prom (Prometheus text 0.0.4)
+//! --log-level LEVEL        error | warn | info (default) | debug
+//! --quiet                  silence all progress logging
+//! --progress               live one-line progress on stderr (stdout is
+//!                          untouched — safe to pipe)
 //! ```
 //!
 //! `sniff` runs the complete paper pipeline: deploy the Table I/II network
 //! on a simulated Twitter, collect, build ground truth, train the RF
 //! detector, and report what it caught.
 
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -36,7 +41,9 @@ use pseudo_honeypot::core::labeling::pipeline::{
 use pseudo_honeypot::core::monitor::{
     CollectedTweet, MonitorReport, RunState, Runner, RunnerConfig,
 };
-use pseudo_honeypot::core::pge::{overall_pge, pge_ranking_with_min};
+use pseudo_honeypot::core::pge::{
+    overall_pge, per_hour_attribute_pge, per_hour_stats, pge_ranking_with_min,
+};
 use pseudo_honeypot::sim::engine::{Engine, SimConfig};
 use pseudo_honeypot::store::{Manifest, ResumedStore, Store, StoreConfig};
 
@@ -44,8 +51,8 @@ mod cli;
 use cli::Args;
 
 /// Options/flags accepted by every subcommand.
-const GLOBAL_OPTIONS: &[&str] = &["metrics-out", "log-level"];
-const GLOBAL_FLAGS: &[&str] = &["quiet"];
+const GLOBAL_OPTIONS: &[&str] = &["metrics-out", "metrics-format", "log-level"];
+const GLOBAL_FLAGS: &[&str] = &["quiet", "progress"];
 
 /// Simulator-shaping options shared by the engine-driving subcommands.
 const SIM_OPTIONS: &[&str] = &["seed", "organic", "campaigns", "per-campaign"];
@@ -81,6 +88,10 @@ fn main() {
             validate_options(&args, &["store", "threads"], &["verify"]);
             replay(&args);
         }
+        Some("inspect") => {
+            validate_options(&args, &["store", "top", "tail"], &[]);
+            inspect(&args);
+        }
         Some("showdown") => {
             validate_options(&args, &with_sim(&["hours", "nodes", "threads"]), &[]);
             showdown(&args);
@@ -95,7 +106,9 @@ fn main() {
     write_metrics(&args);
 }
 
-/// Applies `--quiet` / `--log-level` before anything can log.
+/// Applies `--quiet` / `--log-level` / `--progress` before anything can
+/// log, and validates `--metrics-format` up front so a typo fails before
+/// hours of monitoring, not after.
 fn configure_logging(args: &Args) {
     if args.has_flag("quiet") {
         ph_telemetry::set_quiet();
@@ -106,6 +119,30 @@ fn configure_logging(args: &Args) {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             }
+        }
+    }
+    if args.has_flag("progress") {
+        ph_telemetry::set_progress(true);
+    }
+    let _ = metrics_format(args);
+}
+
+/// The on-disk shape `--metrics-out` writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prom,
+}
+
+/// Parses `--metrics-format` (default `json`); unknown values take the
+/// usage-error exit.
+fn metrics_format(args: &Args) -> MetricsFormat {
+    match args.options.get("metrics-format").map(String::as_str) {
+        None | Some("json") => MetricsFormat::Json,
+        Some("prom") => MetricsFormat::Prom,
+        Some(other) => {
+            eprintln!("error: --metrics-format expects 'json' or 'prom', got '{other}'");
+            std::process::exit(2);
         }
     }
 }
@@ -136,17 +173,41 @@ fn with_sim<'a>(extra: &[&'a str]) -> Vec<&'a str> {
     v
 }
 
-/// Honors `--metrics-out FILE.json` after the subcommand finishes.
+/// Honors `--metrics-out FILE` (in the `--metrics-format` of choice) after
+/// the subcommand finishes. Missing parent directories are created; an
+/// unwritable destination is a usage error (exit 2), not a crash.
 fn write_metrics(args: &Args) {
-    if let Some(path) = args.options.get("metrics-out") {
-        match ph_telemetry::write_json_report(Path::new(path)) {
-            Ok(()) => log_info!("wrote metrics report to {path}"),
-            Err(e) => {
-                eprintln!("error: failed to write metrics to {path}: {e}");
-                std::process::exit(1);
-            }
+    let Some(path) = args.options.get("metrics-out") else {
+        return;
+    };
+    let path = Path::new(path);
+    let result = match metrics_format(args) {
+        MetricsFormat::Json => ph_telemetry::write_json_report(path),
+        MetricsFormat::Prom => write_prom_report(path),
+    };
+    match result {
+        Ok(()) => log_info!("wrote metrics report to {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write metrics to {}: {e}", path.display());
+            eprintln!(
+                "hint: parent directories are created automatically — check the path is writable"
+            );
+            std::process::exit(2);
         }
     }
+}
+
+/// Snapshots the registry (including the time series) as Prometheus text
+/// exposition 0.0.4 and writes it to `path`, creating parent directories.
+fn write_prom_report(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let body =
+        ph_telemetry::to_prometheus(&ph_telemetry::snapshot(), &ph_telemetry::series_snapshot());
+    std::fs::write(path, body)
 }
 
 fn usage() {
@@ -166,15 +227,27 @@ fn usage() {
     println!("            [--resume]                continue a crashed/stopped run from DIR's last checkpoint");
     println!("            [--crash-after H]         stop after H monitored hours with a torn tail (exit 3)");
     println!("  replay    --store DIR               re-run labeling + classification from a stored log alone");
+    println!("  inspect   --store DIR [--top K] [--tail N]");
+    println!(
+        "                                      render a stored run's per-hour PGE, top attributes,"
+    );
+    println!(
+        "                                      stage throughput, span tree, and event journal —"
+    );
+    println!("                                      no re-execution");
     println!("  showdown  [--hours H] [--nodes N] [--seed S]");
     println!("                                      pseudo-honeypot vs random accounts");
     println!();
     println!("global options:");
     println!(
-        "  --metrics-out FILE.json             write a JSON run report (spans/counters/histograms)"
+        "  --metrics-out FILE                  write a run report (spans/counters/histograms/series)"
     );
+    println!("  --metrics-format FMT                json (default) | prom (Prometheus text 0.0.4)");
     println!("  --log-level LEVEL                   error | warn | info (default) | debug");
     println!("  --quiet                             silence progress logging");
+    println!(
+        "  --progress                          live one-line progress on stderr (stdout untouched)"
+    );
     println!("  --threads N                         (sniff/replay/showdown) shard pipeline stages across");
     println!("                                      N workers — 0 = all cores, 1 = sequential (default);");
     println!("                                      output is byte-identical at any thread count");
@@ -287,7 +360,7 @@ fn sniff_in_memory(args: &Args) {
             report.dropped
         );
     }
-    print_sniff_summary(&report, &outcome.predictions, &outcome, hours);
+    print_sniff_summary(&report, &outcome.predictions, &outcome, hours, gt_hours);
     if args.has_flag("verify") {
         let oracle = engine.ground_truth();
         let correct = report
@@ -336,13 +409,33 @@ fn ground_truth_and_detector(
     (detector, train_report.collected.len())
 }
 
+/// Feeds the per-attribute PGE time series (`pge.<attribute>`) into the
+/// registry, so metrics exports and the store's series stream carry the
+/// hour-by-hour efficiency trend alongside the final ranking.
+fn emit_pge_series(report: &MonitorReport, predictions: &[bool], hours: u64, gt_hours: u64) {
+    for (kind, values) in per_hour_attribute_pge(
+        &report.collected,
+        predictions,
+        &report.node_hours,
+        hours,
+        gt_hours,
+    ) {
+        let series = ph_telemetry::series(&format!("pge.{kind}"));
+        for (hour, value) in values.iter().enumerate() {
+            series.add(hour as u64, *value);
+        }
+    }
+}
+
 /// The classification + PGE tail every sniff variant prints.
 fn print_sniff_summary(
     report: &MonitorReport,
     predictions: &[bool],
     outcome: &pseudo_honeypot::core::detector::ClassificationOutcome,
     hours: u64,
+    gt_hours: u64,
 ) {
+    emit_pge_series(report, predictions, hours, gt_hours);
     println!(
         "collected {} tweets from {} accounts",
         report.collected.len(),
@@ -513,16 +606,94 @@ fn sniff_stored(args: &Args, dir: &Path) {
             report.dropped
         );
     }
-    print_sniff_summary(&report, &outcome.predictions, &outcome, manifest.hours);
+    print_sniff_summary(
+        &report,
+        &outcome.predictions,
+        &outcome,
+        manifest.hours,
+        manifest.gt_hours,
+    );
     println!(
         "\nstore: {} records in {} ({} h checkpointed)",
         store.record_count(),
         dir.display(),
         state.next_hour
     );
+
+    // Persist the run's observability record next to the data it
+    // describes: the deterministic event journal plus the flattened series
+    // (per-hour metrics and run-level `stage.*`/`span.*`/`hist.*`
+    // aggregates), so `inspect` can render the run later without
+    // re-executing anything.
+    let journal = ph_telemetry::journal_snapshot();
+    let points = run_series_points(manifest.hours.saturating_sub(1));
+    store
+        .write_telemetry(&journal, &points)
+        .unwrap_or_else(|e| die("telemetry write failed", e));
+    log_info!(
+        "telemetry: {} journal events, {} series points persisted to {}",
+        journal.len(),
+        points.len(),
+        dir.display()
+    );
     if args.has_flag("verify") {
         sidecar_check(&report.collected, &outcome.predictions);
     }
+}
+
+/// Flattens the telemetry registry into hour-keyed series points for the
+/// store's series stream: every live time-series point, plus run-level
+/// aggregates under structured names — `stage.<name>.{items,ms,tweets_per_s}`
+/// from the exec counters/histograms, `span.<path>.{count,total_ms,mean_ms}`
+/// from the span aggregates, and `hist.<name>.{count,sum,mean}` from every
+/// histogram — keyed to `final_hour`. The series stream carries wall-clock
+/// quantities and is deliberately outside the journal's byte-stability
+/// contract.
+fn run_series_points(final_hour: u64) -> Vec<ph_telemetry::SeriesPoint> {
+    let mut points = ph_telemetry::series_snapshot();
+    let report = ph_telemetry::snapshot();
+    let mut push = |name: String, value: f64| {
+        points.push(ph_telemetry::SeriesPoint {
+            name,
+            hour: final_hour,
+            value,
+        });
+    };
+    for c in &report.counters {
+        if let Some(stage) = c
+            .name
+            .strip_prefix("exec.")
+            .and_then(|s| s.strip_suffix(".items"))
+        {
+            push(format!("stage.{stage}.items"), c.value as f64);
+        }
+    }
+    for h in &report.histograms {
+        push(format!("hist.{}.count", h.name), h.snapshot.count as f64);
+        push(format!("hist.{}.sum", h.name), h.snapshot.sum);
+        push(format!("hist.{}.mean", h.name), h.snapshot.mean());
+        if let Some(stage) = h
+            .name
+            .strip_prefix("exec.")
+            .and_then(|s| s.strip_suffix(".ms"))
+        {
+            push(format!("stage.{stage}.ms"), h.snapshot.sum);
+            let items = report
+                .counter_value(&format!("exec.{stage}.items"))
+                .unwrap_or(0);
+            let secs = h.snapshot.sum / 1000.0;
+            if secs > 0.0 {
+                push(format!("stage.{stage}.tweets_per_s"), items as f64 / secs);
+            }
+        }
+    }
+    for s in &report.spans {
+        push(format!("span.{}.count", s.path), s.count as f64);
+        push(format!("span.{}.total_ms", s.path), s.total_ms);
+        push(format!("span.{}.mean_ms", s.path), s.mean_ms);
+    }
+    points.sort_by(|a, b| a.name.cmp(&b.name).then(a.hour.cmp(&b.hour)));
+    points
 }
 
 /// Infallible record stream over a store's log (I/O errors abort the CLI).
@@ -628,9 +799,256 @@ fn replay(args: &Args) {
     let outcome = detector.classify_batch(&collected, &engine, &exec);
     let mut report = resumed.report.clone();
     report.collected = collected;
-    print_sniff_summary(&report, &outcome.predictions, &outcome, manifest.hours);
+    print_sniff_summary(
+        &report,
+        &outcome.predictions,
+        &outcome,
+        manifest.hours,
+        manifest.gt_hours,
+    );
     if args.has_flag("verify") {
         sidecar_check(&report.collected, &outcome.predictions);
+    }
+}
+
+/// Renders a stored run's observability record — manifest, per-hour PGE
+/// (spam bit from the stored evaluation sidecar), top attributes, stage
+/// throughput, span tree, and the tail of the event journal — without
+/// re-running any part of the pipeline. The store is opened through the
+/// same recovery path as `--resume`, so a torn tail is truncated first.
+fn inspect(args: &Args) {
+    let Some(dir) = args.options.get("store").map(PathBuf::from) else {
+        eprintln!("error: inspect requires --store DIR");
+        std::process::exit(2);
+    };
+    let top = args.get_u64("top", 5) as usize;
+    let tail = args.get_u64("tail", 8) as usize;
+    let resumed = Store::open_resume(&dir, StoreConfig::default())
+        .unwrap_or_else(|e| die(&format!("cannot open store {}", dir.display()), e));
+    let manifest = resumed.manifest;
+    println!("== inspect of {} ==", dir.display());
+    println!(
+        "manifest: seed {}, {} organic, {} campaigns × {}, gt {} h, sniff {} h",
+        manifest.sim_seed,
+        manifest.organic,
+        manifest.campaigns,
+        manifest.per_campaign,
+        manifest.gt_hours,
+        manifest.hours
+    );
+    println!(
+        "log: {} records, {} of {} h completed",
+        resumed.store.record_count(),
+        resumed.state.next_hour,
+        manifest.hours
+    );
+
+    let mut report = resumed.report.clone();
+    report.collected = stored_records(&resumed.store).collect();
+    let flags: Vec<bool> = report
+        .collected
+        .iter()
+        .map(|c| c.tweet.evaluation_sidecar_spam())
+        .collect();
+    let hours = resumed.state.next_hour;
+
+    print_hourly_pge(&report, &flags, hours, manifest.gt_hours, top);
+    print_top_slots(&report, &flags, hours, top);
+
+    let series = pseudo_honeypot::store::read_series(&dir)
+        .unwrap_or_else(|e| die("cannot read series stream", e));
+    let journal = pseudo_honeypot::store::read_journal(&dir)
+        .unwrap_or_else(|e| die("cannot read journal stream", e));
+    if series.is_empty() && journal.is_empty() {
+        println!(
+            "\n(no telemetry streams in this store — they are written when a sniff --store run completes)"
+        );
+        return;
+    }
+    print_stage_throughput(&series);
+    print_span_tree(&series);
+    print_journal_tail(&journal, tail);
+}
+
+/// The per-hour PGE table: one row per monitored hour with overall
+/// counts, amortized node-hours, and one PGE column per top attribute.
+fn print_hourly_pge(report: &MonitorReport, flags: &[bool], hours: u64, gt_hours: u64, top: usize) {
+    if hours == 0 {
+        println!("\n(no monitored hours recorded)");
+        return;
+    }
+    let stats = per_hour_stats(&report.collected, flags, hours, gt_hours);
+    let by_attr = per_hour_attribute_pge(
+        &report.collected,
+        flags,
+        &report.node_hours,
+        hours,
+        gt_hours,
+    );
+    // Rank attribute kinds by total per-hour PGE mass and keep the top few
+    // as extra columns.
+    let mut ranked: Vec<(AttributeKind, f64)> = by_attr
+        .iter()
+        .map(|(k, v)| (*k, v.iter().sum::<f64>()))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.total_cmp(&a.1)
+            .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+    });
+    let kinds: Vec<AttributeKind> = ranked.into_iter().take(top).map(|(k, _)| k).collect();
+    let total_node_hours: f64 = report.node_hours.values().sum();
+    let hourly_node_hours = total_node_hours / hours as f64;
+
+    println!("\nper-hour PGE (spam bit from the stored evaluation sidecar; node-hours amortized):");
+    let mut header = format!(
+        "{:>4} {:>8} {:>7} {:>9} {:>9} {:>8}",
+        "hour", "tweets", "spam", "spammers", "node-hrs", "PGE"
+    );
+    for kind in &kinds {
+        header.push_str(&format!(" {:>18}", truncate_label(&kind.to_string(), 18)));
+    }
+    println!("{header}");
+    for row in &stats {
+        let pge = if hourly_node_hours > 0.0 {
+            row.spammers as f64 / hourly_node_hours
+        } else {
+            0.0
+        };
+        let mut line = format!(
+            "{:>4} {:>8} {:>7} {:>9} {:>9.1} {:>8.4}",
+            row.hour, row.tweets, row.spams, row.spammers, hourly_node_hours, pge
+        );
+        for kind in &kinds {
+            line.push_str(&format!(" {:>18.4}", by_attr[kind][row.hour as usize]));
+        }
+        println!("{line}");
+    }
+}
+
+/// Clips an attribute label to `width` characters for a table header.
+fn truncate_label(label: &str, width: usize) -> String {
+    if label.chars().count() <= width {
+        label.to_string()
+    } else {
+        let cut: String = label.chars().take(width.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+/// The whole-run slot ranking, scored off the stored sidecar.
+fn print_top_slots(report: &MonitorReport, flags: &[bool], hours: u64, top: usize) {
+    let ranking = pge_ranking_with_min(report, flags, hours as f64 * 2.0);
+    println!("\ntop attributes by PGE (whole run):");
+    if ranking.is_empty() {
+        println!("  (none above the node-hour floor)");
+        return;
+    }
+    for entry in ranking.iter().take(top) {
+        println!(
+            "  {:<44} PGE {:.4} ({} spammers over {:.0} node-hours)",
+            entry.slot.describe(),
+            entry.pge,
+            entry.spammers,
+            entry.node_hours
+        );
+    }
+}
+
+/// Per-stage throughput from the persisted `stage.*` series points.
+fn print_stage_throughput(series: &[ph_telemetry::SeriesPoint]) {
+    type StageRow = (Option<f64>, Option<f64>, Option<f64>);
+    let mut stages: BTreeMap<String, StageRow> = BTreeMap::new();
+    for p in series {
+        let Some(rest) = p.name.strip_prefix("stage.") else {
+            continue;
+        };
+        let Some((stage, metric)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        let entry = stages.entry(stage.to_string()).or_default();
+        match metric {
+            "items" => entry.0 = Some(p.value),
+            "ms" => entry.1 = Some(p.value),
+            "tweets_per_s" => entry.2 = Some(p.value),
+            _ => {}
+        }
+    }
+    if stages.is_empty() {
+        return;
+    }
+    let cell = |v: Option<f64>, precision: usize| match v {
+        Some(v) => format!("{v:.precision$}"),
+        None => "-".to_string(),
+    };
+    println!("\nstage throughput:");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "stage", "items", "total ms", "tweets/s"
+    );
+    for (stage, (items, ms, tps)) in &stages {
+        println!(
+            "{:<28} {:>12} {:>12} {:>12}",
+            stage,
+            cell(*items, 0),
+            cell(*ms, 1),
+            cell(*tps, 0)
+        );
+    }
+}
+
+/// The span tree, reconstructed from the dotted `span.<path>.*` series
+/// names: a path nests under every other recorded path that dot-prefixes
+/// it.
+fn print_span_tree(series: &[ph_telemetry::SeriesPoint]) {
+    let mut spans: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for p in series {
+        let Some(rest) = p.name.strip_prefix("span.") else {
+            continue;
+        };
+        if let Some(path) = rest.strip_suffix(".count") {
+            spans.entry(path.to_string()).or_default().0 = p.value;
+        } else if let Some(path) = rest.strip_suffix(".total_ms") {
+            spans.entry(path.to_string()).or_default().1 = p.value;
+        }
+    }
+    if spans.is_empty() {
+        return;
+    }
+    println!("\nspan tree:");
+    let paths: Vec<String> = spans.keys().cloned().collect();
+    for (path, (count, total_ms)) in &spans {
+        let depth = paths
+            .iter()
+            .filter(|p| {
+                path.len() > p.len()
+                    && path.starts_with(p.as_str())
+                    && path.as_bytes()[p.len()] == b'.'
+            })
+            .count();
+        println!(
+            "  {:indent$}{:<32} {:>8.0}× {:>12.1} ms",
+            "",
+            path,
+            count,
+            total_ms,
+            indent = depth * 2
+        );
+    }
+}
+
+/// The last `tail` events of the persisted run journal.
+fn print_journal_tail(journal: &[ph_telemetry::JournalEntry], tail: usize) {
+    if journal.is_empty() {
+        return;
+    }
+    println!(
+        "\njournal: {} deterministic events; last {}:",
+        journal.len(),
+        tail.min(journal.len())
+    );
+    let skip = journal.len().saturating_sub(tail);
+    for entry in &journal[skip..] {
+        println!("  #{:<6} {}", entry.seq, entry.event.describe());
     }
 }
 

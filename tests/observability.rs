@@ -1,0 +1,227 @@
+//! Binary-level coverage of the observability surface: `--progress` and
+//! metrics export must never touch stdout, `--metrics-out` creates parent
+//! directories and fails politely, `--metrics-format prom` emits
+//! well-formed exposition text, `--log-level` is plumbed through, and
+//! `inspect` renders a stored run without re-executing it.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Fresh scratch directory per test, collision-free across parallel runs.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ph-observability-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pseudo-honeypot"))
+        .args(args)
+        .output()
+        .expect("failed to launch the pseudo-honeypot binary")
+}
+
+const QUICK_SNIFF: &[&str] = &[
+    "sniff",
+    "--organic",
+    "300",
+    "--campaigns",
+    "2",
+    "--per-campaign",
+    "8",
+    "--gt-hours",
+    "4",
+    "--hours",
+    "5",
+    "--quiet",
+];
+
+fn quick_sniff(extra: &[&str]) -> Output {
+    let mut args: Vec<&str> = QUICK_SNIFF.to_vec();
+    args.extend(extra);
+    let out = run(&args);
+    assert!(
+        out.status.success(),
+        "sniff {extra:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// `--progress` writes to stderr only; stdout must stay byte-identical so
+/// piped output is safe to diff or parse.
+#[test]
+fn progress_leaves_stdout_byte_identical() {
+    let plain = quick_sniff(&[]);
+    let progress = quick_sniff(&["--progress"]);
+    assert_eq!(progress.stdout, plain.stdout, "stdout changed");
+    let stderr = String::from_utf8_lossy(&progress.stderr);
+    assert!(
+        stderr.contains("tweets"),
+        "no progress line on stderr: {stderr}"
+    );
+}
+
+/// `--metrics-format prom` leaves stdout untouched and writes exposition
+/// text where every non-comment line is `name{{labels}} value`.
+#[test]
+fn prom_metrics_parse_and_leave_stdout_unchanged() {
+    let dir = scratch("prom");
+    let path = dir.join("run.prom");
+    let plain = quick_sniff(&[]);
+    let exported = quick_sniff(&[
+        "--metrics-out",
+        path.to_str().unwrap(),
+        "--metrics-format",
+        "prom",
+    ]);
+    assert_eq!(exported.stdout, plain.stdout, "stdout changed");
+    let body = std::fs::read_to_string(&path).expect("prom file written");
+    assert!(body.contains("# TYPE"), "no TYPE comments: {body}");
+    assert!(
+        body.contains("ph_series{"),
+        "series samples missing: {body}"
+    );
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        if line.starts_with("# HELP") || line.starts_with("# TYPE") {
+            continue;
+        }
+        let (sample, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name_ok = sample.split('{').next().is_some_and(|n| {
+            !n.is_empty() && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        });
+        assert!(name_ok, "malformed sample name: {line}");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf" || value == "NaN",
+            "malformed sample value: {line}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unknown `--metrics-format` is a usage error before any work runs.
+#[test]
+fn unknown_metrics_format_exits_2() {
+    let out = run(&["sniff", "--hours", "2", "--metrics-format", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--metrics-format expects 'json' or 'prom', got 'bogus'"),
+        "unexpected stderr: {stderr}"
+    );
+}
+
+/// `--metrics-out` creates missing parent directories.
+#[test]
+fn metrics_out_creates_parent_dirs() {
+    let dir = scratch("mkdirs");
+    let path = dir.join("a").join("b").join("run.json");
+    quick_sniff(&["--metrics-out", path.to_str().unwrap()]);
+    let body = std::fs::read_to_string(&path).expect("metrics written");
+    assert!(body.starts_with('{'), "not a JSON report: {body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unwritable `--metrics-out` destination exits 2 with a friendly
+/// message instead of panicking. `/dev/null/x` cannot exist on any Unix.
+#[test]
+fn unwritable_metrics_out_exits_2() {
+    let out = run(&["attributes", "--metrics-out", "/dev/null/nope/run.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot write metrics to"),
+        "unexpected stderr: {stderr}"
+    );
+    assert!(stderr.contains("hint:"), "no hint line: {stderr}");
+}
+
+/// `--log-level` is plumbed from the CLI into the logger: a bad level is
+/// a usage error naming the accepted set, and `debug` actually lowers the
+/// threshold (debug lines appear on stderr).
+#[test]
+fn log_level_cli_plumbing() {
+    let bad = run(&["attributes", "--log-level", "verbose"]);
+    assert_eq!(bad.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        stderr.contains("unknown log level 'verbose'"),
+        "unexpected stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("expected error, warn, info, or debug"),
+        "no accepted-set hint: {stderr}"
+    );
+
+    let debug = run(&[
+        "simulate",
+        "--hours",
+        "2",
+        "--organic",
+        "100",
+        "--log-level",
+        "debug",
+    ]);
+    assert!(debug.status.success());
+}
+
+/// `inspect` renders the per-hour PGE table, stage throughput, and
+/// journal tail from the store alone — and a second invocation (nothing
+/// re-runs, nothing mutates) prints the identical report.
+#[test]
+fn inspect_renders_a_stored_run() {
+    let dir = scratch("inspect");
+    let store = dir.join("run");
+    quick_sniff(&["--store", store.to_str().unwrap(), "--seed", "11"]);
+    for name in ["journal.log", "series.log"] {
+        assert!(store.join(name).exists(), "{name} missing after sniff");
+    }
+
+    let inspect = |store: &Path| -> String {
+        let out = run(&["inspect", "--store", store.to_str().unwrap(), "--quiet"]);
+        assert!(
+            out.status.success(),
+            "inspect failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let text = inspect(&store);
+    assert!(text.contains("per-hour PGE"), "no PGE table: {text}");
+    // One dense row per monitored hour, each starting with its hour index.
+    for hour in 0..5 {
+        assert!(
+            text.lines()
+                .any(|l| l.trim_start().starts_with(&format!("{hour} "))),
+            "no row for hour {hour}: {text}"
+        );
+    }
+    assert!(text.contains("top attributes by PGE"), "no ranking: {text}");
+    assert!(text.contains("stage throughput"), "no stage table: {text}");
+    assert!(
+        text.contains("monitor.categorize"),
+        "no categorize stage row: {text}"
+    );
+    assert!(text.contains("span tree"), "no span tree: {text}");
+    assert!(text.contains("journal:"), "no journal tail: {text}");
+    assert_eq!(inspect(&store), text, "inspect is not idempotent");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `inspect` without `--store` is a usage error.
+#[test]
+fn inspect_requires_store() {
+    let out = run(&["inspect"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("inspect requires --store"),
+        "unexpected stderr"
+    );
+}

@@ -132,6 +132,58 @@ fn sniff_binary_output_is_byte_identical_across_thread_counts() {
     assert_eq!(sniff_stdout("0"), sequential); // 0 = all available cores
 }
 
+/// The persisted journal stream obeys the same determinism contract as
+/// stdout: a `sniff --store` run must leave byte-identical `journal.log`
+/// bytes at any thread count (diagnostic events like shard stalls are
+/// filtered and the survivors renumbered before hitting disk).
+#[test]
+fn stored_journal_bytes_are_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!(
+        "ph-journal-threads-{}-{}",
+        std::process::id(),
+        // Distinct per invocation so stale dirs from a killed run can't
+        // contaminate the comparison.
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos()
+    ));
+    let journal_for = |threads: &str| -> Vec<u8> {
+        let dir = base.join(format!("t{threads}"));
+        let out = Command::new(env!("CARGO_BIN_EXE_pseudo-honeypot"))
+            .args([
+                "sniff",
+                "--store",
+                dir.to_str().expect("utf-8 temp path"),
+                "--organic",
+                "300",
+                "--campaigns",
+                "2",
+                "--per-campaign",
+                "8",
+                "--gt-hours",
+                "4",
+                "--hours",
+                "5",
+                "--quiet",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("failed to launch the pseudo-honeypot binary");
+        assert!(
+            out.status.success(),
+            "sniff --store --threads {threads} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read(dir.join("journal.log")).expect("journal.log written")
+    };
+    let sequential = journal_for("1");
+    assert!(!sequential.is_empty(), "journal stream is empty");
+    assert_eq!(journal_for("4"), sequential, "journal bytes diverged");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// A malformed `--threads` value takes the friendly usage-error exit, not
 /// a panic: exit code 2 and a message naming the option and the value.
 #[test]
