@@ -92,6 +92,40 @@ assert any(l.startswith("ph_series{") for l in lines), "no series samples"
 print(f"    prometheus export parsed: {samples} samples")
 EOF
 
+echo "==> perf harness smoke (bench --quick + self-diff gate)"
+# The continuous-benchmark harness must produce parseable baselines and
+# the regression gate must accept a run diffed against itself. One
+# sample with no warmup keeps this a wiring check, not a measurement.
+"$BIN" perf bench --quick --samples 1 --warmup 0 --out-dir "$SMOKE/bench" --quiet \
+    > "$SMOKE/bench.out"
+BASELINES=$(ls "$SMOKE"/bench/BENCH_*.json | wc -l)
+[ "$BASELINES" -ge 5 ] || { echo "expected >=5 baselines, got $BASELINES"; exit 1; }
+for f in "$SMOKE"/bench/BENCH_*.json; do
+    python3 - "$f" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == 1, doc
+assert doc["unit"] == "ms", doc
+assert doc["samples"] and all(s >= 0 for s in doc["samples"]), doc
+assert {"rustc", "threads", "seed", "crate_version", "mode"} <= set(doc["meta"]), doc
+EOF
+    "$BIN" perf diff "$f" "$f" --quiet > /dev/null \
+        || { echo "self-diff regressed for $f"; exit 1; }
+done
+# An injected +50% median must trip the gate with the dedicated exit code 4.
+python3 - "$SMOKE/bench/BENCH_rf_train.json" "$SMOKE/bench/slow.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["samples"] = [s * 1.5 for s in doc["samples"]]
+doc["median"], doc["min"], doc["max"] = doc["median"] * 1.5, doc["min"] * 1.5, doc["max"] * 1.5
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+rc=0
+"$BIN" perf diff "$SMOKE/bench/BENCH_rf_train.json" "$SMOKE/bench/slow.json" --quiet \
+    > /dev/null || rc=$?
+[ "$rc" -eq 4 ] || { echo "expected exit 4 from injected regression, got $rc"; exit 1; }
+echo "    $BASELINES baselines parsed, self-diff clean, injected regression caught"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

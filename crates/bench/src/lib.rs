@@ -364,8 +364,10 @@ pub fn metrics_scope(name: &'static str) -> MetricsScope {
 
 impl Drop for MetricsScope {
     fn drop(&mut self) {
+        // Same shared writer as the CLI's `--metrics-out` (one JSON
+        // emitter for the whole workspace).
         let path = std::path::Path::new("results").join(format!("{}.metrics.json", self.name));
-        match ph_telemetry::write_json_report(&path) {
+        match ph_telemetry::write_report(&path, ph_telemetry::ReportFormat::Json) {
             Ok(()) => eprintln!("stage timings written to {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }

@@ -125,7 +125,12 @@ fn depth_buckets() -> Vec<f64> {
 /// (reorder-buffer occupancy), per-worker
 /// `exec.<name>.worker.<i>.processed` gauges, and a diagnostic
 /// `ShardStall` journal event whenever a chunk send finds its channel
-/// full.
+/// full. Backpressure stalls additionally feed an `exec.<name>.stalls`
+/// counter and an `exec.<name>.stall_ms` histogram timing how long the
+/// feeder blocked (both created lazily, so unstalled runs don't grow
+/// the registry). When `ph-prof` profiling is enabled, the stage body
+/// runs under an allocation-attribution scope named after the stage —
+/// on the caller thread sequentially, per worker thread when sharded.
 pub fn run<In, Out, K, M, S>(
     exec: &ExecConfig,
     name: &str,
@@ -144,6 +149,7 @@ where
     let total = items.len() as u64;
     let start = Instant::now();
     let outputs = if threads <= 1 || items.len() <= 1 {
+        let _prof = ph_prof::scope(name);
         let mut stage = make_stage(0);
         items.into_iter().map(|item| stage.process(item)).collect()
     } else {
@@ -196,6 +202,7 @@ where
         for (worker, rx) in input_rxs.into_iter().enumerate() {
             let output_tx = output_tx.clone();
             scope.spawn(move || {
+                let _prof = ph_prof::scope(name);
                 let mut stage = make_stage(worker);
                 let mut processed = 0u64;
                 while let Some(chunk) = rx.recv() {
@@ -247,7 +254,8 @@ where
             if buffers[shard].len() >= chunk_size {
                 let depth = input_txs[shard].depth();
                 queue_depth.record(depth as f64);
-                if depth >= capacity {
+                let stalled = depth >= capacity;
+                if stalled {
                     // The coming send will block on a full channel: a
                     // backpressure stall. Scheduling-dependent, so the
                     // event is diagnostic (never persisted to a store).
@@ -258,8 +266,20 @@ where
                     });
                 }
                 let full = std::mem::replace(&mut buffers[shard], Vec::with_capacity(chunk_size));
+                let send_start = stalled.then(Instant::now);
                 if input_txs[shard].send(full).is_err() {
                     break;
+                }
+                if let Some(send_start) = send_start {
+                    // How long the feeder actually blocked on the full
+                    // channel — the cost of the backpressure, not just
+                    // its occurrence count.
+                    ph_telemetry::counter(&format!("exec.{name}.stalls")).add(1);
+                    ph_telemetry::histogram(
+                        &format!("exec.{name}.stall_ms"),
+                        &ph_telemetry::default_latency_buckets_ms(),
+                    )
+                    .record(send_start.elapsed().as_secs_f64() * 1_000.0);
                 }
             }
         }
@@ -379,6 +399,45 @@ mod tests {
             },
         );
         assert_eq!(seen.load(Ordering::Relaxed), 0b1111, "idle workers");
+    }
+
+    #[test]
+    fn backpressure_stalls_are_counted_and_timed() {
+        // One hot shard, capacity-1 channels, a worker that is slower
+        // than the feeder: the feeder must block at least once, and the
+        // stall counter/histogram must see it.
+        let exec = ExecConfig {
+            chunk_size: 1,
+            channel_capacity: 1,
+            ..ExecConfig::with_threads(2)
+        };
+        let out: Vec<u64> = run(
+            &exec,
+            "test.stalltime",
+            (0..32u64).collect(),
+            |_| 3,
+            |_worker| {
+                |x: u64| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    x
+                }
+            },
+        );
+        assert_eq!(out, (0..32u64).collect::<Vec<u64>>());
+        let report = ph_telemetry::snapshot();
+        assert!(
+            report
+                .counter_value("exec.test.stalltime.stalls")
+                .is_some_and(|v| v > 0),
+            "no stalls counted"
+        );
+        assert!(
+            report
+                .histograms
+                .iter()
+                .any(|h| h.name == "exec.test.stalltime.stall_ms" && h.snapshot.count > 0),
+            "no stall durations recorded"
+        );
     }
 
     #[test]

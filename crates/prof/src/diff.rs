@@ -1,0 +1,221 @@
+//! Noise-aware comparison of two [`BenchReport`]s — the math behind
+//! `perf diff`.
+//!
+//! A raw "new median is X% slower" number is useless on a noisy box:
+//! quick-mode scenarios run for milliseconds and jitter by double-digit
+//! percentages. The gate therefore only calls a change real when it
+//! clears **all** of:
+//!
+//! 1. a relative floor ([`DiffConfig::min_rel`], default 10%),
+//! 2. a multiple of the measured spread: `noise_mult × max(old.iqr,
+//!    new.iqr) / old.median` — a run whose own IQR is 15% of its median
+//!    cannot flag an 18% delta,
+//! 3. an absolute floor ([`DiffConfig::min_abs_ms`]) so sub-tenth-of-a-
+//!    millisecond scenarios never gate on scheduler dust.
+
+use crate::bench::BenchReport;
+
+/// Tunables for [`compare`]. The defaults are deliberately
+/// conservative: CI runs on shared, throttled machines, and a perf gate
+/// that cries wolf gets deleted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Minimum relative change (fraction of the old median) before a
+    /// delta can count at all.
+    pub min_rel: f64,
+    /// Multiplier on the relative IQR; the effective threshold is
+    /// `max(min_rel, noise_mult × max(old.iqr, new.iqr) / old.median)`.
+    pub noise_mult: f64,
+    /// Absolute floor in milliseconds: deltas smaller than this are
+    /// always within noise.
+    pub min_abs_ms: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            min_rel: 0.10,
+            noise_mult: 3.0,
+            min_abs_ms: 0.05,
+        }
+    }
+}
+
+/// Outcome of comparing one scenario's old and new reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// New median is slower than the threshold allows.
+    Regression,
+    /// New median is faster than the threshold requires.
+    Improvement,
+    /// The delta does not clear the noise threshold either way.
+    WithinNoise,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Regression => "REGRESSION",
+            Verdict::Improvement => "improvement",
+            Verdict::WithinNoise => "within noise",
+        })
+    }
+}
+
+/// One scenario's comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Scenario name (identical in both inputs).
+    pub scenario: String,
+    /// Old (baseline) median, ms.
+    pub old_median: f64,
+    /// New (candidate) median, ms.
+    pub new_median: f64,
+    /// `(new − old) / old`; positive = slower.
+    pub change_ratio: f64,
+    /// Effective relative threshold the delta was held against.
+    pub threshold: f64,
+    /// The call.
+    pub verdict: Verdict,
+}
+
+/// Compares a baseline against a candidate. Errors (rather than
+/// guessing) when the files describe different scenarios or units.
+pub fn compare(
+    old: &BenchReport,
+    new: &BenchReport,
+    cfg: &DiffConfig,
+) -> Result<Comparison, String> {
+    if old.scenario != new.scenario {
+        return Err(format!(
+            "scenario mismatch: {:?} vs {:?}",
+            old.scenario, new.scenario
+        ));
+    }
+    if old.unit != new.unit {
+        return Err(format!("unit mismatch: {:?} vs {:?}", old.unit, new.unit));
+    }
+    // Degenerate medians (empty or zero-duration baselines) can't anchor
+    // a relative comparison; clamp the denominator instead of dividing
+    // by zero.
+    let denom = old.median.max(1e-9);
+    let rel_noise = old.iqr.max(new.iqr) / denom;
+    let threshold = cfg.min_rel.max(cfg.noise_mult * rel_noise);
+    let delta = new.median - old.median;
+    let change_ratio = delta / denom;
+    let verdict = if delta > threshold * denom && delta > cfg.min_abs_ms {
+        Verdict::Regression
+    } else if -delta > threshold * denom && -delta > cfg.min_abs_ms {
+        Verdict::Improvement
+    } else {
+        Verdict::WithinNoise
+    };
+    Ok(Comparison {
+        scenario: old.scenario.clone(),
+        old_median: old.median,
+        new_median: new.median,
+        change_ratio,
+        threshold,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{BenchMeta, BenchReport};
+
+    fn meta() -> BenchMeta {
+        BenchMeta {
+            rustc: "rustc-test".to_string(),
+            threads: 1,
+            seed: 42,
+            crate_version: "0.1.0".to_string(),
+            mode: "quick".to_string(),
+        }
+    }
+
+    /// Tight-IQR report centred on `center` (ms).
+    fn report(name: &str, center: f64) -> BenchReport {
+        let samples = vec![center * 0.99, center, center * 1.01];
+        BenchReport::from_samples(name, 1, samples, meta())
+    }
+
+    #[test]
+    fn identical_reports_are_within_noise() {
+        let r = report("s", 100.0);
+        let c = compare(&r, &r, &DiffConfig::default()).expect("same scenario");
+        assert_eq!(c.verdict, Verdict::WithinNoise);
+        assert_eq!(c.change_ratio, 0.0);
+    }
+
+    #[test]
+    fn twenty_percent_slower_is_a_regression() {
+        let old = report("s", 100.0);
+        let new = report("s", 120.0);
+        let c = compare(&old, &new, &DiffConfig::default()).expect("same scenario");
+        assert_eq!(c.verdict, Verdict::Regression);
+        assert!((c.change_ratio - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn twenty_percent_faster_is_an_improvement() {
+        let old = report("s", 100.0);
+        let new = report("s", 80.0);
+        let c = compare(&old, &new, &DiffConfig::default()).expect("same scenario");
+        assert_eq!(c.verdict, Verdict::Improvement);
+    }
+
+    #[test]
+    fn small_delta_stays_within_noise() {
+        let old = report("s", 100.0);
+        let new = report("s", 105.0); // 5% < 10% floor
+        let c = compare(&old, &new, &DiffConfig::default()).expect("same scenario");
+        assert_eq!(c.verdict, Verdict::WithinNoise);
+    }
+
+    #[test]
+    fn wide_iqr_raises_the_threshold() {
+        // 15% slower would clear the 10% floor, but the baseline's own
+        // spread is huge: IQR ≈ 40ms on a 100ms median ⇒ threshold
+        // 3 × 0.4 = 120%, so the delta must be called noise.
+        let old = BenchReport::from_samples("s", 1, vec![60.0, 80.0, 100.0, 120.0, 140.0], meta());
+        let new = report("s", 115.0);
+        let c = compare(&old, &new, &DiffConfig::default()).expect("same scenario");
+        assert_eq!(c.verdict, Verdict::WithinNoise);
+        assert!(
+            c.threshold > 1.0,
+            "threshold {} should exceed 100%",
+            c.threshold
+        );
+    }
+
+    #[test]
+    fn absolute_floor_filters_microsecond_dust() {
+        // 50% slower but only 0.015ms in absolute terms — below the
+        // 0.05ms floor, so not actionable.
+        let old = report("s", 0.030);
+        let new = report("s", 0.045);
+        let c = compare(&old, &new, &DiffConfig::default()).expect("same scenario");
+        assert_eq!(c.verdict, Verdict::WithinNoise);
+    }
+
+    #[test]
+    fn zero_median_baseline_does_not_divide_by_zero() {
+        let old = BenchReport::from_samples("s", 0, vec![], meta());
+        let new = report("s", 1.0);
+        let c = compare(&old, &new, &DiffConfig::default()).expect("same scenario");
+        assert!(c.change_ratio.is_finite());
+        assert_eq!(c.verdict, Verdict::Regression);
+    }
+
+    #[test]
+    fn mismatched_inputs_error() {
+        let a = report("a", 1.0);
+        let b = report("b", 1.0);
+        assert!(compare(&a, &b, &DiffConfig::default()).is_err());
+        let mut a2 = report("a", 1.0);
+        a2.unit = "s".to_string();
+        assert!(compare(&a, &a2, &DiffConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! `ph-prof` — self-profiling and continuous benchmarking for the
+//! pseudo-honeypot pipeline.
+//!
+//! The ROADMAP's north star is a system that runs "as fast as the
+//! hardware allows", and the paper's own pitch is *efficiency* (§VI
+//! compares collection cost per spammer across honeypot designs). Speed
+//! only improves durably when every run is measured against a recorded
+//! baseline, so this crate provides the two halves of that discipline:
+//!
+//! **Profiling** (where time and memory go *inside* a run):
+//!
+//! - [`CountingAllocator`]: a drop-in `#[global_allocator]` wrapper
+//!   around the system allocator that counts allocations, bytes, frees,
+//!   live bytes, and the high-water mark. Disabled it costs one relaxed
+//!   atomic load per allocation; enabled ([`enable`]) it attributes
+//!   every allocation to the current [`scope`].
+//! - [`scope`]: scoped per-stage attribution. A pipeline stage opens a
+//!   scope (`let _s = ph_prof::scope("features.pure");`) and every
+//!   allocation on that thread while the guard lives is charged to the
+//!   stage. Scopes nest (inner wins) and are thread-local, so sharded
+//!   workers attribute independently.
+//! - [`publish`]: flushes the per-stage tallies, heap high-water mark,
+//!   and process CPU/wall rollups into the `ph-telemetry` registry as
+//!   `prof.*` metrics, where the existing JSON report, Prometheus
+//!   exporter, and `inspect` pick them up for free.
+//!
+//! **Benchmarking** (whether a change made things faster or slower):
+//!
+//! - [`BenchReport`]: the stable on-disk schema for `BENCH_<scenario>.json`
+//!   baseline files — raw samples, median/IQR, and build metadata — with
+//!   a hand-rolled codec ([`BenchReport::to_json`] /
+//!   [`BenchReport::from_json`]) that never panics on malformed input.
+//! - [`compare`]: the noise-aware diff behind `perf diff`: a change only
+//!   counts as a regression when it clears both a relative floor and a
+//!   multiple of the measured inter-quartile spread.
+//!
+//! The crate is std-only. The single `unsafe` block lives in the
+//! allocator shim (see [`alloc`]); everything else is forbidden from
+//! using `unsafe`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod bench;
+pub mod diff;
+mod jsonv;
+mod sysstat;
+
+pub use alloc::{
+    disable, enable, is_enabled, publish, scope, stage_stats, AllocStats, CountingAllocator,
+    ScopeGuard,
+};
+pub use bench::{bench_file_name, iqr, median, percentile, BenchMeta, BenchReport, ParseError};
+pub use diff::{compare, Comparison, DiffConfig, Verdict};
+pub use sysstat::process_cpu_ms;
+
+// The unit-test binary installs the counting allocator so the alloc
+// tests exercise real attribution end to end.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: CountingAllocator = CountingAllocator::new();

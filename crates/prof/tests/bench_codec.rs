@@ -1,0 +1,126 @@
+//! Property-based coverage of the `BENCH_*.json` codec: encode → decode
+//! is exact for any finite report, and the decoder never panics on
+//! malformed input — it returns `Err` for garbage and either outcome
+//! (but no crash) for structure-preserving mutations of valid files.
+
+use proptest::prelude::*;
+
+use ph_prof::{compare, BenchMeta, BenchReport, DiffConfig};
+
+/// Samples in a realistic millisecond range. The codec's exactness
+/// guarantee is for finite values, which `0.001..100_000.0` stays in.
+fn sample_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..100_000.0, 0..20)
+}
+
+fn meta(threads: u64, seed: u64, quick: bool) -> BenchMeta {
+    BenchMeta {
+        rustc: "rustc 1.95.0 (prop test)".to_string(),
+        threads,
+        seed,
+        crate_version: "0.1.0".to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+    }
+}
+
+proptest! {
+    /// Any report built from finite samples encodes to JSON that decodes
+    /// back to an equal report (floats use shortest-round-trip `Display`,
+    /// so equality is exact, not approximate).
+    #[test]
+    fn encode_decode_round_trips_exactly(
+        samples in sample_vec(),
+        scenario in "[a-z_]{1,24}",
+        warmup in 0u64..10,
+        threads in 0u64..16,
+        seed in 0u64..1_000_000,
+        quick: bool,
+    ) {
+        let report = BenchReport::from_samples(
+            &scenario,
+            warmup,
+            samples,
+            meta(threads, seed, quick),
+        );
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text);
+        prop_assert!(back.is_ok(), "round-trip failed: {:?}", back.err());
+        prop_assert_eq!(back.expect("checked"), report);
+    }
+
+    /// A decoded report always survives a self-diff: derived stats are
+    /// consistent enough for `compare` to accept the file against itself
+    /// with a non-regression verdict.
+    #[test]
+    fn decoded_reports_self_diff_clean(samples in sample_vec(), seed in 0u64..1000) {
+        let report = BenchReport::from_samples("prop_scenario", 1, samples, meta(1, seed, true));
+        let back = BenchReport::from_json(&report.to_json()).expect("round-trips");
+        let cmp = compare(&back, &back, &DiffConfig::default());
+        prop_assert!(cmp.is_ok(), "self-compare failed: {:?}", cmp.err());
+        let cmp = cmp.expect("checked");
+        prop_assert!(
+            cmp.verdict != ph_prof::Verdict::Regression,
+            "self-diff regressed: {:?}",
+            cmp
+        );
+    }
+
+    /// Arbitrary non-JSON bytes never panic the decoder — they yield a
+    /// `ParseError` (random text is never a valid schema-1 report).
+    #[test]
+    fn garbage_input_errors_without_panicking(text in "[ -~\n\t]{0,200}") {
+        prop_assert!(BenchReport::from_json(&text).is_err());
+    }
+
+    /// JSON-flavored garbage (brackets, quotes, colons, digits — the
+    /// characters most likely to reach deep parser states) also never
+    /// panics. A parse success is allowed only if it's a real report.
+    #[test]
+    fn json_shaped_garbage_never_panics(text in "[{}\\[\\]\",:0-9a-z.eE+-]{0,120}") {
+        let _ = BenchReport::from_json(&text);
+    }
+
+    /// Truncating a valid document at any byte boundary never panics:
+    /// every proper prefix is either rejected or (for the full length)
+    /// accepted.
+    #[test]
+    fn truncated_documents_never_panic(
+        samples in sample_vec(),
+        cut_permille in 0u64..1000,
+    ) {
+        let text = BenchReport::from_samples("trunc", 1, samples, meta(1, 42, true)).to_json();
+        let cut = (text.len() as u64 * cut_permille / 1000) as usize;
+        // Stay on a UTF-8 boundary (the JSON here is ASCII, but be safe).
+        let mut cut = cut.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let prefix = &text[..cut];
+        if cut < text.len() {
+            prop_assert!(BenchReport::from_json(prefix).is_err());
+        }
+    }
+
+    /// Single-byte corruption of a valid document never panics, and any
+    /// document that still parses keeps finite summary stats (the
+    /// decoder's finiteness validation holds under mutation).
+    #[test]
+    fn mutated_documents_never_panic(
+        samples in proptest::collection::vec(0.001f64..1000.0, 1..8),
+        pos_permille in 0u64..1000,
+        replacement in "[ -~]",
+    ) {
+        let text = BenchReport::from_samples("mutate", 1, samples, meta(1, 42, true)).to_json();
+        let pos = ((text.len() as u64 * pos_permille / 1000) as usize).min(text.len() - 1);
+        let mut mutated = text.into_bytes();
+        mutated[pos] = replacement.as_bytes()[0];
+        let Ok(mutated) = String::from_utf8(mutated) else {
+            return Ok(()); // can't happen for ASCII, but don't assume
+        };
+        if let Ok(report) = BenchReport::from_json(&mutated) {
+            prop_assert!(report.median.is_finite());
+            prop_assert!(report.iqr.is_finite());
+            prop_assert!(report.samples.iter().all(|s| s.is_finite()));
+        }
+    }
+}

@@ -61,9 +61,10 @@ pub use logger::{log_args, set_max_level, set_quiet, Level, ParseLevelError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use progress::{progress_bar, progress_done, progress_enabled, progress_update, set_progress};
 pub use prom::to_prometheus;
-pub use registry::{counter, gauge, histogram, reset, snapshot};
+pub use registry::{counter, gauge, histogram, reset, set_meta, snapshot};
 pub use report::{
-    write_json_report, CounterSnapshot, GaugeSnapshot, HistogramReport, RunReport, SpanSnapshot,
+    write_json_report, write_report, CounterSnapshot, GaugeSnapshot, HistogramReport, ReportFormat,
+    RunReport, SpanSnapshot,
 };
 pub use series::{
     series, series_reset, series_snapshot, Series, SeriesPoint, DEFAULT_SERIES_CAPACITY,

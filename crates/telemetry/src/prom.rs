@@ -61,6 +61,19 @@ fn sample(value: f64) -> String {
 pub fn to_prometheus(report: &RunReport, series: &[SeriesPoint]) -> String {
     let mut out = String::with_capacity(8192);
 
+    if !report.meta.is_empty() {
+        out.push_str("# HELP ph_meta Run metadata as key/value labels\n");
+        out.push_str("# TYPE ph_meta gauge\n");
+        for (key, value) in &report.meta {
+            let _ = writeln!(
+                out,
+                "ph_meta{{key=\"{}\",value=\"{}\"}} 1",
+                label_value(key),
+                label_value(value)
+            );
+        }
+    }
+
     for c in &report.counters {
         let name = metric_name(&c.name);
         let _ = writeln!(out, "# HELP {name} Counter {}", label_value(&c.name));
@@ -141,6 +154,7 @@ mod tests {
 
     fn sample_report() -> RunReport {
         RunReport {
+            meta: vec![("threads".to_string(), "4".to_string())],
             spans: vec![SpanSnapshot {
                 path: "monitor.run".to_string(),
                 count: 2,
@@ -203,6 +217,13 @@ mod tests {
         for line in text.lines() {
             assert!(line_is_well_formed(line), "bad line: {line}");
         }
+    }
+
+    #[test]
+    fn meta_becomes_labeled_constant_gauges() {
+        let text = to_prometheus(&sample_report(), &[]);
+        assert!(text.contains("ph_meta{key=\"threads\",value=\"4\"} 1"));
+        assert!(!to_prometheus(&RunReport::default(), &[]).contains("ph_meta"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ struct Registry {
     gauges: Mutex<HashMap<String, Arc<Gauge>>>,
     histograms: Mutex<HashMap<String, Arc<Histogram>>>,
     spans: Mutex<HashMap<String, SpanStats>>,
+    meta: Mutex<HashMap<String, String>>,
 }
 
 fn global() -> &'static Registry {
@@ -50,6 +51,15 @@ pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new(bounds))),
     )
+}
+
+/// Records a key/value pair of run metadata (thread count, seed, crate
+/// version, …) carried verbatim into every report so files from
+/// different runs/machines are comparable. Last write per key wins;
+/// cleared by [`reset`].
+pub fn set_meta(key: &str, value: &str) {
+    let mut meta = global().meta.lock().expect("registry lock poisoned");
+    meta.insert(key.to_string(), value.to_string());
 }
 
 pub(crate) fn record_span(path: &str, elapsed_ns: u64) {
@@ -94,6 +104,11 @@ pub fn reset() {
     }
     registry
         .spans
+        .lock()
+        .expect("registry lock poisoned")
+        .clear();
+    registry
+        .meta
         .lock()
         .expect("registry lock poisoned")
         .clear();
@@ -160,7 +175,17 @@ pub fn snapshot() -> RunReport {
         .collect();
     spans.sort_by(|a, b| a.path.cmp(&b.path));
 
+    let mut meta: Vec<(String, String)> = registry
+        .meta
+        .lock()
+        .expect("registry lock poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    meta.sort();
+
     RunReport {
+        meta,
         spans,
         counters,
         gauges,

@@ -55,6 +55,9 @@ pub struct HistogramReport {
 /// Everything the registry knew at snapshot time, sorted by name.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
+    /// Run metadata key/value pairs (thread count, seed, crate
+    /// version, …), sorted by key. See [`crate::set_meta`].
+    pub meta: Vec<(String, String)>,
     /// Span timing aggregates, sorted by path.
     pub spans: Vec<SpanSnapshot>,
     /// Counters, sorted by name.
@@ -85,7 +88,14 @@ impl RunReport {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"spans\": [");
+        out.push_str("{\n  \"meta\": {");
+        for (i, (key, value)) in self.meta.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::push_str_literal(&mut out, key);
+            out.push_str(": ");
+            json::push_str_literal(&mut out, value);
+        }
+        out.push_str("\n  },\n  \"spans\": [");
         for (i, s) in self.spans.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             out.push_str("    {\"path\": ");
@@ -140,15 +150,38 @@ impl RunReport {
     }
 }
 
-/// Snapshots the registry and writes the JSON report to `path`, creating
-/// parent directories as needed.
-pub fn write_json_report(path: &Path) -> io::Result<()> {
+/// Output format for [`write_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// The pretty-printed JSON run report ([`RunReport::to_json`]).
+    Json,
+    /// Prometheus text exposition ([`crate::to_prometheus`]), including
+    /// the flattened time series.
+    Prom,
+}
+
+/// Snapshots the registry and writes the report to `path` in the chosen
+/// format, creating parent directories as needed. The one metrics-file
+/// writer behind both the CLI's `--metrics-out` and the bench binaries'
+/// `results/<name>.metrics.json` files.
+pub fn write_report(path: &Path, format: ReportFormat) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, crate::snapshot().to_json())
+    let body = match format {
+        ReportFormat::Json => crate::snapshot().to_json(),
+        ReportFormat::Prom => crate::to_prometheus(&crate::snapshot(), &crate::series_snapshot()),
+    };
+    std::fs::write(path, body)
+}
+
+/// Snapshots the registry and writes the JSON report to `path`, creating
+/// parent directories as needed. Equivalent to
+/// `write_report(path, ReportFormat::Json)`.
+pub fn write_json_report(path: &Path) -> io::Result<()> {
+    write_report(path, ReportFormat::Json)
 }
 
 #[cfg(test)]
@@ -157,6 +190,10 @@ mod tests {
 
     fn sample_report() -> RunReport {
         RunReport {
+            meta: vec![
+                ("seed".to_string(), "42".to_string()),
+                ("threads".to_string(), "1".to_string()),
+            ],
             spans: vec![SpanSnapshot {
                 path: "a.b".to_string(),
                 count: 2,
@@ -191,6 +228,9 @@ mod tests {
     fn json_contains_every_section() {
         let json = sample_report().to_json();
         for needle in [
+            "\"meta\"",
+            "\"seed\": \"42\"",
+            "\"threads\": \"1\"",
             "\"spans\"",
             "\"counters\"",
             "\"gauges\"",

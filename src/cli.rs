@@ -8,6 +8,9 @@ use std::fmt;
 pub struct Args {
     /// First positional argument.
     pub command: Option<String>,
+    /// Positional arguments after the command, in order (e.g.
+    /// `perf diff OLD NEW` → `["diff", "OLD", "NEW"]`).
+    pub positionals: Vec<String>,
     /// `--key value` pairs (keys without the leading dashes).
     pub options: HashMap<String, String>,
     /// Bare `--flag`s (no value).
@@ -57,6 +60,8 @@ impl Args {
                 }
             } else if args.command.is_none() {
                 args.command = Some(arg);
+            } else {
+                args.positionals.push(arg);
             }
         }
         args
@@ -145,6 +150,15 @@ mod tests {
     fn empty_input_is_safe() {
         let args = Args::parse(Vec::<String>::new());
         assert_eq!(args.command, None);
+        assert!(args.positionals.is_empty());
+    }
+
+    #[test]
+    fn extra_positionals_are_kept_in_order() {
+        let args = Args::parse(["perf", "diff", "OLD.json", "NEW.json", "--quiet"]);
+        assert_eq!(args.command.as_deref(), Some("perf"));
+        assert_eq!(args.positionals, vec!["diff", "OLD.json", "NEW.json"]);
+        assert!(args.has_flag("quiet"));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! pseudo-honeypot replay    --store DIR
 //! pseudo-honeypot inspect   --store DIR [--top K] [--tail N]
 //! pseudo-honeypot showdown  [--hours H] [--nodes N] [--seed S]
+//! pseudo-honeypot perf bench [--quick] [--only NAMES] [--out-dir DIR]
+//! pseudo-honeypot perf diff OLD.json NEW.json
 //! ```
 //!
 //! Global options (any subcommand):
@@ -20,6 +22,9 @@
 //! --quiet                  silence all progress logging
 //! --progress               live one-line progress on stderr (stdout is
 //!                          untouched — safe to pipe)
+//! --profile                enable the counting allocator + per-stage
+//!                          attribution; `prof.*` metrics land in the
+//!                          `--metrics-out` report (stdout is unchanged)
 //! ```
 //!
 //! `sniff` runs the complete paper pipeline: deploy the Table I/II network
@@ -48,11 +53,19 @@ use pseudo_honeypot::sim::engine::{Engine, SimConfig};
 use pseudo_honeypot::store::{Manifest, ResumedStore, Store, StoreConfig};
 
 mod cli;
+mod perf;
 use cli::Args;
+
+/// The whole binary runs under the counting allocator: until
+/// `--profile` flips it on it costs one relaxed atomic load per
+/// allocation, and with it on every pipeline stage's allocations are
+/// attributed by the `ph_prof::scope` hooks inside `ph-exec`.
+#[global_allocator]
+static ALLOC: ph_prof::CountingAllocator = ph_prof::CountingAllocator::new();
 
 /// Options/flags accepted by every subcommand.
 const GLOBAL_OPTIONS: &[&str] = &["metrics-out", "metrics-format", "log-level"];
-const GLOBAL_FLAGS: &[&str] = &["quiet", "progress"];
+const GLOBAL_FLAGS: &[&str] = &["quiet", "progress", "profile"];
 
 /// Simulator-shaping options shared by the engine-driving subcommands.
 const SIM_OPTIONS: &[&str] = &["seed", "organic", "campaigns", "per-campaign"];
@@ -96,6 +109,14 @@ fn main() {
             validate_options(&args, &with_sim(&["hours", "nodes", "threads"]), &[]);
             showdown(&args);
         }
+        Some("perf") => {
+            validate_options(
+                &args,
+                &["only", "samples", "warmup", "out-dir", "seed", "threads"],
+                &["quick"],
+            );
+            perf::run(&args);
+        }
         Some(other) => {
             eprintln!("unknown command '{other}'");
             usage();
@@ -103,13 +124,22 @@ fn main() {
         }
         None => usage(),
     }
+    if args.has_flag("profile") {
+        // Flush the allocator/CPU/wall rollups into the registry so the
+        // metrics report written next carries them.
+        ph_prof::publish();
+    }
     write_metrics(&args);
 }
 
-/// Applies `--quiet` / `--log-level` / `--progress` before anything can
-/// log, and validates `--metrics-format` up front so a typo fails before
-/// hours of monitoring, not after.
+/// Applies `--quiet` / `--log-level` / `--progress` / `--profile` before
+/// anything can log or allocate meaningfully, and validates
+/// `--metrics-format` up front so a typo fails before hours of
+/// monitoring, not after.
 fn configure_logging(args: &Args) {
+    if args.has_flag("profile") {
+        ph_prof::enable();
+    }
     if args.has_flag("quiet") {
         ph_telemetry::set_quiet();
     } else if let Some(level) = args.options.get("log-level") {
@@ -127,19 +157,12 @@ fn configure_logging(args: &Args) {
     let _ = metrics_format(args);
 }
 
-/// The on-disk shape `--metrics-out` writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MetricsFormat {
-    Json,
-    Prom,
-}
-
 /// Parses `--metrics-format` (default `json`); unknown values take the
 /// usage-error exit.
-fn metrics_format(args: &Args) -> MetricsFormat {
+fn metrics_format(args: &Args) -> ph_telemetry::ReportFormat {
     match args.options.get("metrics-format").map(String::as_str) {
-        None | Some("json") => MetricsFormat::Json,
-        Some("prom") => MetricsFormat::Prom,
+        None | Some("json") => ph_telemetry::ReportFormat::Json,
+        Some("prom") => ph_telemetry::ReportFormat::Prom,
         Some(other) => {
             eprintln!("error: --metrics-format expects 'json' or 'prom', got '{other}'");
             std::process::exit(2);
@@ -181,11 +204,7 @@ fn write_metrics(args: &Args) {
         return;
     };
     let path = Path::new(path);
-    let result = match metrics_format(args) {
-        MetricsFormat::Json => ph_telemetry::write_json_report(path),
-        MetricsFormat::Prom => write_prom_report(path),
-    };
-    match result {
+    match ph_telemetry::write_report(path, metrics_format(args)) {
         Ok(()) => log_info!("wrote metrics report to {}", path.display()),
         Err(e) => {
             eprintln!("error: cannot write metrics to {}: {e}", path.display());
@@ -197,17 +216,13 @@ fn write_metrics(args: &Args) {
     }
 }
 
-/// Snapshots the registry (including the time series) as Prometheus text
-/// exposition 0.0.4 and writes it to `path`, creating parent directories.
-fn write_prom_report(path: &Path) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let body =
-        ph_telemetry::to_prometheus(&ph_telemetry::snapshot(), &ph_telemetry::series_snapshot());
-    std::fs::write(path, body)
+/// Pins the run configuration into the registry's metadata section so
+/// `--metrics-out` reports (JSON `"meta"` object, Prometheus `ph_meta`
+/// gauges) are comparable across machines and thread counts.
+fn record_run_meta(threads: usize, seed: u64) {
+    ph_telemetry::set_meta("crate_version", env!("CARGO_PKG_VERSION"));
+    ph_telemetry::set_meta("threads", &threads.to_string());
+    ph_telemetry::set_meta("seed", &seed.to_string());
 }
 
 fn usage() {
@@ -237,6 +252,12 @@ fn usage() {
     println!("                                      no re-execution");
     println!("  showdown  [--hours H] [--nodes N] [--seed S]");
     println!("                                      pseudo-honeypot vs random accounts");
+    println!("  perf bench [--quick] [--only A,B] [--samples N] [--warmup N] [--out-dir DIR]");
+    println!(
+        "                                      run the fixed benchmark matrix, write BENCH_*.json"
+    );
+    println!("  perf diff OLD.json NEW.json         noise-aware baseline comparison; exit 4 on a");
+    println!("                                      perf regression");
     println!();
     println!("global options:");
     println!(
@@ -247,6 +268,10 @@ fn usage() {
     println!("  --quiet                             silence progress logging");
     println!(
         "  --progress                          live one-line progress on stderr (stdout untouched)"
+    );
+    println!("  --profile                           count allocations per pipeline stage (prof.* metrics");
+    println!(
+        "                                      in the --metrics-out report; stdout unchanged)"
     );
     println!("  --threads N                         (sniff/replay/showdown) shard pipeline stages across");
     println!("                                      N workers — 0 = all cores, 1 = sequential (default);");
@@ -340,6 +365,7 @@ fn sniff_in_memory(args: &Args) {
     let name = args.get_str("name", "sniffing campaign");
     println!("== {name} ==");
     let exec = exec_config(args);
+    record_run_meta(exec.threads, args.get_u64("seed", 42));
     let mut engine = Engine::new(sim_config(args));
     let runner = Runner::with_exec(
         RunnerConfig {
@@ -541,6 +567,7 @@ fn sniff_stored(args: &Args, dir: &Path) {
     };
 
     let exec = exec_config(args);
+    record_run_meta(exec.threads, manifest.sim_seed);
     let mut engine = engine_for(&manifest);
     let runner = runner_for(&manifest, exec.clone());
     let (detector, _) =
@@ -777,6 +804,7 @@ fn replay(args: &Args) {
     );
 
     let exec = exec_config(args);
+    record_run_meta(exec.threads, manifest.sim_seed);
     let mut engine = engine_for(&manifest);
     let runner = runner_for(&manifest, exec.clone());
     let (detector, _) =
@@ -861,7 +889,7 @@ fn inspect(args: &Args) {
         .unwrap_or_else(|e| die("cannot read journal stream", e));
     if series.is_empty() && journal.is_empty() {
         println!(
-            "\n(no telemetry streams in this store — they are written when a sniff --store run completes)"
+            "\n(no telemetry recorded in this store — the journal/series streams are written when a sniff --store run completes)"
         );
         return;
     }
@@ -1056,6 +1084,7 @@ fn showdown(args: &Args) {
     let hours = args.get_u64("hours", 36);
     let nodes = args.get_u64("nodes", 100) as usize;
     let seed = args.get_u64("seed", 42);
+    record_run_meta(exec_config(args).threads, seed);
 
     let mut ph_engine = Engine::new(sim_config(args));
     let runner = Runner::with_exec(

@@ -215,6 +215,43 @@ fn inspect_renders_a_stored_run() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A store whose telemetry streams are missing (a run persisted before
+/// the journal existed, or one whose streams were pruned) still inspects
+/// cleanly: the PGE tables render from the manifest/segments and a notice
+/// replaces the journal-backed sections instead of an error.
+#[test]
+fn inspect_degrades_gracefully_without_telemetry_streams() {
+    let dir = scratch("inspect-nostreams");
+    let store = dir.join("run");
+    quick_sniff(&["--store", store.to_str().unwrap(), "--seed", "11"]);
+    for name in ["journal.log", "series.log"] {
+        let path = store.join(name);
+        assert!(path.exists(), "{name} missing after sniff");
+        std::fs::remove_file(&path).expect("prune telemetry stream");
+    }
+
+    let out = run(&["inspect", "--store", store.to_str().unwrap(), "--quiet"]);
+    assert!(
+        out.status.success(),
+        "inspect failed on a pre-journal store: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(
+        text.contains("per-hour PGE"),
+        "PGE table should still render: {text}"
+    );
+    assert!(
+        text.contains("no telemetry recorded in this store"),
+        "missing degradation notice: {text}"
+    );
+    assert!(
+        !text.contains("stage throughput"),
+        "stage table should be skipped without series data: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `inspect` without `--store` is a usage error.
 #[test]
 fn inspect_requires_store() {

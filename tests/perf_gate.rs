@@ -1,0 +1,308 @@
+//! Binary-level coverage of the `perf` harness and its regression gate:
+//! `perf bench` writes parseable schema-1 baselines for the whole
+//! scenario matrix, `perf diff` exits 0 on identical inputs and 4 on an
+//! injected regression, usage errors exit 2 before any work runs, and
+//! `--profile` never perturbs stdout.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use ph_prof::{bench_file_name, BenchMeta, BenchReport};
+
+/// Fresh scratch directory per test, collision-free across parallel runs.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ph-perf-gate-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pseudo-honeypot"))
+        .args(args)
+        .output()
+        .expect("failed to launch the pseudo-honeypot binary")
+}
+
+/// Writes a synthetic schema-1 baseline with the given samples under
+/// `file_name` (several versions of one scenario must coexist, so the
+/// name is explicit) and returns its path. Tight samples → tiny IQR →
+/// the diff threshold stays at the 10% relative floor, so verdicts are
+/// deterministic regardless of machine noise.
+fn write_baseline(dir: &Path, scenario: &str, file_name: &str, samples: &[f64]) -> PathBuf {
+    let meta = BenchMeta {
+        rustc: "rustc 1.95.0 (test)".to_string(),
+        threads: 1,
+        seed: 42,
+        crate_version: "0.0.0".to_string(),
+        mode: "quick".to_string(),
+    };
+    let report = BenchReport::from_samples(scenario, 1, samples.to_vec(), meta);
+    let path = dir.join(file_name);
+    std::fs::write(&path, report.to_json()).expect("write baseline");
+    path
+}
+
+/// `perf bench --quick` writes one parseable baseline per scenario in
+/// the matrix (well above the ≥5 the gate needs), and each file decodes
+/// through the published schema-1 codec with self-consistent contents.
+#[test]
+fn bench_quick_writes_parseable_baselines() {
+    let dir = scratch("bench");
+    let out = run(&[
+        "perf",
+        "bench",
+        "--quick",
+        "--samples",
+        "1",
+        "--warmup",
+        "0",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "perf bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let baselines: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("read out-dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    assert!(
+        baselines.len() >= 5,
+        "expected at least 5 baselines, found {}: {baselines:?}",
+        baselines.len()
+    );
+
+    for path in &baselines {
+        let text = std::fs::read_to_string(path).expect("read baseline");
+        let report = BenchReport::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        assert_eq!(report.unit, "ms", "{}", path.display());
+        assert_eq!(report.samples.len(), 1, "{}", path.display());
+        assert_eq!(report.meta.mode, "quick", "{}", path.display());
+        assert!(
+            report.samples.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "non-finite or negative sample in {}",
+            path.display()
+        );
+        let expected_name = bench_file_name(&report.scenario);
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some(expected_name.as_str()),
+            "scenario/file-name mismatch"
+        );
+    }
+
+    // Acceptance: a baseline diffed against itself is never a regression.
+    let sample = baselines[0].to_str().unwrap();
+    let diff = run(&["perf", "diff", sample, sample]);
+    assert_eq!(
+        diff.status.code(),
+        Some(0),
+        "self-diff regressed: {}",
+        String::from_utf8_lossy(&diff.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&diff.stdout).contains("within noise"),
+        "unexpected self-diff verdict: {}",
+        String::from_utf8_lossy(&diff.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A +30% median shift on tight samples trips the gate: exit 4 (distinct
+/// from 1 = error and 2 = usage) with a REGRESSION verdict. The same
+/// shift downward is an improvement and passes.
+#[test]
+fn injected_regression_exits_4_and_improvement_passes() {
+    let dir = scratch("inject");
+    let old = write_baseline(
+        &dir,
+        "rf_train",
+        "BENCH_rf_train.json",
+        &[100.0, 100.2, 99.8, 100.1, 99.9],
+    );
+    let slow_path = write_baseline(
+        &dir,
+        "rf_train",
+        "BENCH_rf_train_slow.json",
+        &[130.0, 130.3, 129.7, 130.1, 129.9],
+    );
+    let fast_path = write_baseline(
+        &dir,
+        "rf_train",
+        "BENCH_rf_train_fast.json",
+        &[70.0, 70.2, 69.8, 70.1, 69.9],
+    );
+
+    let regressed = run(&[
+        "perf",
+        "diff",
+        old.to_str().unwrap(),
+        slow_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        regressed.status.code(),
+        Some(4),
+        "regression did not exit 4: stdout={} stderr={}",
+        String::from_utf8_lossy(&regressed.stdout),
+        String::from_utf8_lossy(&regressed.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&regressed.stdout).contains("[REGRESSION]"),
+        "no REGRESSION verdict: {}",
+        String::from_utf8_lossy(&regressed.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&regressed.stderr).contains("perf regression in 'rf_train'"),
+        "no regression error line: {}",
+        String::from_utf8_lossy(&regressed.stderr)
+    );
+
+    let improved = run(&[
+        "perf",
+        "diff",
+        old.to_str().unwrap(),
+        fast_path.to_str().unwrap(),
+    ]);
+    assert_eq!(improved.status.code(), Some(0), "improvement must pass");
+    assert!(
+        String::from_utf8_lossy(&improved.stdout).contains("[improvement]"),
+        "no improvement verdict: {}",
+        String::from_utf8_lossy(&improved.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Usage and error paths: bare `perf`, an unknown subcommand, a missing
+/// diff operand, and an unknown `--only` scenario are usage errors
+/// (exit 2); a nonexistent baseline file is a runtime error (exit 1);
+/// comparing baselines of different scenarios is refused.
+#[test]
+fn perf_usage_and_error_paths() {
+    let bare = run(&["perf"]);
+    assert_eq!(bare.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&bare.stderr).contains("usage:"),
+        "no usage text"
+    );
+
+    let unknown = run(&["perf", "tune"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&unknown.stderr).contains("unknown perf subcommand 'tune'"),
+        "unexpected stderr: {}",
+        String::from_utf8_lossy(&unknown.stderr)
+    );
+
+    let one_operand = run(&["perf", "diff", "only-one.json"]);
+    assert_eq!(one_operand.status.code(), Some(2));
+
+    let bad_only = run(&["perf", "bench", "--quick", "--only", "rf_train,warp_drive"]);
+    assert_eq!(bad_only.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&bad_only.stderr).contains("unknown scenario 'warp_drive'"),
+        "unexpected stderr: {}",
+        String::from_utf8_lossy(&bad_only.stderr)
+    );
+
+    let dir = scratch("errors");
+    let missing = dir.join("BENCH_missing.json");
+    let exists = write_baseline(&dir, "rf_train", "BENCH_rf_train.json", &[1.0, 1.0, 1.0]);
+    let absent = run(&[
+        "perf",
+        "diff",
+        exists.to_str().unwrap(),
+        missing.to_str().unwrap(),
+    ]);
+    assert_eq!(absent.status.code(), Some(1), "missing file is exit 1");
+
+    let other = write_baseline(
+        &dir,
+        "store_read",
+        "BENCH_store_read.json",
+        &[1.0, 1.0, 1.0],
+    );
+    let mismatch = run(&[
+        "perf",
+        "diff",
+        exists.to_str().unwrap(),
+        other.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        mismatch.status.code(),
+        Some(1),
+        "scenario mismatch is exit 1"
+    );
+    assert!(
+        String::from_utf8_lossy(&mismatch.stderr).contains("cannot compare"),
+        "unexpected stderr: {}",
+        String::from_utf8_lossy(&mismatch.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--profile` must be observability-only: the sniff stdout stays
+/// byte-identical, while the metrics report gains the allocator and
+/// CPU-time gauges.
+#[test]
+fn profile_keeps_stdout_byte_identical_and_records_gauges() {
+    let dir = scratch("profile");
+    let metrics = dir.join("run.metrics.json");
+    let sniff = |extra: &[&str]| -> Output {
+        let mut args = vec![
+            "sniff",
+            "--organic",
+            "300",
+            "--campaigns",
+            "2",
+            "--per-campaign",
+            "8",
+            "--gt-hours",
+            "4",
+            "--hours",
+            "5",
+            "--quiet",
+        ];
+        args.extend(extra);
+        let out = run(&args);
+        assert!(
+            out.status.success(),
+            "sniff {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+
+    let plain = sniff(&[]);
+    let profiled = sniff(&["--profile", "--metrics-out", metrics.to_str().unwrap()]);
+    assert_eq!(
+        profiled.stdout, plain.stdout,
+        "--profile changed sniff stdout"
+    );
+
+    let body = std::fs::read_to_string(&metrics).expect("metrics written");
+    for gauge in [
+        "prof.alloc.total.allocs",
+        "prof.alloc.total.bytes",
+        "prof.heap.peak_bytes",
+        "prof.wall_ms",
+    ] {
+        assert!(body.contains(gauge), "missing {gauge} in metrics: {body}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
