@@ -126,6 +126,48 @@ rc=0
 [ "$rc" -eq 4 ] || { echo "expected exit 4 from injected regression, got $rc"; exit 1; }
 echo "    $BASELINES baselines parsed, self-diff clean, injected regression caught"
 
+echo "==> timeline trace smoke (--trace export + perf critical-path)"
+# Tracing must be invisible on stdout, the exported Chrome trace JSON
+# must parse strictly and name every pipeline stage, and the
+# critical-path report must produce a sane parallel-efficiency figure.
+# Byte-identity pair runs without --store (the store banner prints its
+# own path, which would differ between two store directories).
+"$BIN" sniff "${SNIFF_ARGS[@]}" --threads 2 --quiet > "$SMOKE/trace-off.out"
+"$BIN" sniff "${SNIFF_ARGS[@]}" --threads 2 --quiet \
+    --trace "$SMOKE/t.json" > "$SMOKE/trace-on.out"
+diff "$SMOKE/trace-off.out" "$SMOKE/trace-on.out" \
+    || { echo "--trace changed sniff stdout"; exit 1; }
+# A stored traced run feeds the offline critical-path report below.
+"$BIN" sniff --store "$SMOKE/trace-on" "${SNIFF_ARGS[@]}" --threads 2 --quiet \
+    --trace "$SMOKE/t-stored.json" > /dev/null
+python3 - "$SMOKE/t.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]), parse_constant=lambda c: (_ for _ in ()).throw(ValueError(c)))
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+procs = {e["args"]["name"] for e in events
+         if e["ph"] == "M" and e["name"] == "process_name"}
+for stage in ("monitor.categorize", "features.pure", "clustering.image_sketch",
+              "clustering.name_sketch", "clustering.description_sketch",
+              "clustering.tweet_sketch"):
+    assert stage in procs, f"stage {stage} missing from trace: {procs}"
+assert any(e["ph"] == "C" for e in events), "no counter tracks"
+assert doc["otherData"]["dropped_events"] == 0, doc["otherData"]
+print(f"    trace JSON valid: {len(events)} events across {len(procs)} stage tracks")
+EOF
+"$BIN" perf critical-path --store "$SMOKE/trace-on" > "$SMOKE/critical-path.out"
+python3 - "$SMOKE/critical-path.out" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"parallel efficiency ([0-9.]+)", text)
+assert m, f"no parallel-efficiency figure:\n{text}"
+eff = float(m.group(1))
+assert 0.0 < eff <= 1.0, f"implausible efficiency {eff}"
+assert "per-stage wall-clock split" in text, text
+assert "critical chain" in text, text
+print(f"    critical-path report OK: parallel efficiency {eff}")
+EOF
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

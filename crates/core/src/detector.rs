@@ -113,6 +113,7 @@ pub fn build_training_data_with(
     exec: &ExecConfig,
 ) -> (Dataset, Vec<usize>) {
     let _span = ph_telemetry::span("features.extract_training");
+    let _phase = ph_trace::phase("features.extract_training");
     let rest = engine.rest();
     let pure = features::pure_batch(collected, &rest, exec);
     let mut extractor = FeatureExtractor::with_tau(tau);
@@ -185,6 +186,7 @@ impl SpamDetector {
     /// Trains the configured algorithm on a training set.
     pub fn train(config: &DetectorConfig, data: &Dataset) -> Self {
         let _span = ph_telemetry::span("ml.train");
+        let _phase = ph_trace::phase("ml.train");
         let model: Box<dyn Classifier> = match config.algorithm {
             PaperAlgorithm::RandomForest => {
                 Box::new(RandomForest::fit(&config.forest, data, config.seed))
@@ -222,6 +224,7 @@ impl SpamDetector {
     {
         use std::borrow::Borrow as _;
         let _span = ph_telemetry::span("detect.classify");
+        let _phase = ph_trace::phase("detect.classify");
         let rest = engine.rest();
         let confidence = confidence_histogram();
         let mut extractor = FeatureExtractor::with_tau(self.tau);
@@ -255,6 +258,7 @@ impl SpamDetector {
         exec: &ExecConfig,
     ) -> ClassificationOutcome {
         let _span = ph_telemetry::span("detect.classify");
+        let _phase = ph_trace::phase("detect.classify");
         let rest = engine.rest();
         let pure = features::pure_batch(collected, &rest, exec);
         let confidence = confidence_histogram();

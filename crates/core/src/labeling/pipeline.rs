@@ -53,6 +53,7 @@ pub fn label_collection_with(
     exec: &ExecConfig,
 ) -> GroundTruthDataset {
     let _span = ph_telemetry::span("label");
+    let _phase = ph_trace::phase("label");
     ph_telemetry::cached_counter!("label.tweets_labeled").add(collected.len() as u64);
     let mut labels = LabeledCollection {
         tweet_labels: vec![None; collected.len()],
@@ -71,18 +72,30 @@ pub fn label_collection_with(
         });
         *before = now;
     };
-    suspended::apply(collected, &rest, &mut labels);
+    {
+        let _pass = ph_trace::phase("label.suspended");
+        suspended::apply(collected, &rest, &mut labels);
+    }
     emit_pass(&labels, "suspended", &mut assigned_before);
-    clustering::apply_with(collected, &rest, &config.clustering, exec, &mut labels);
+    {
+        let _pass = ph_trace::phase("label.clustering");
+        clustering::apply_with(collected, &rest, &config.clustering, exec, &mut labels);
+    }
     emit_pass(&labels, "clustering", &mut assigned_before);
-    rules::apply(collected, &rest, &config.rules, &mut labels);
+    {
+        let _pass = ph_trace::phase("label.rules");
+        rules::apply(collected, &rest, &config.rules, &mut labels);
+    }
     emit_pass(&labels, "rules", &mut assigned_before);
-    manual::apply(
-        collected,
-        &engine.ground_truth(),
-        &config.manual,
-        &mut labels,
-    );
+    {
+        let _pass = ph_trace::phase("label.manual");
+        manual::apply(
+            collected,
+            &engine.ground_truth(),
+            &config.manual,
+            &mut labels,
+        );
+    }
     emit_pass(&labels, "manual", &mut assigned_before);
     let summary = LabelingSummary::from_labels(&labels, collected.len());
     GroundTruthDataset { labels, summary }

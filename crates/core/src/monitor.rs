@@ -302,6 +302,7 @@ impl Runner {
         S: MonitorSink,
     {
         let _run_span = ph_telemetry::span("monitor.run");
+        let _run_phase = ph_trace::phase("monitor.run");
         let switch_latency = ph_telemetry::histogram(
             "monitor.switch_latency_ms",
             &ph_telemetry::default_latency_buckets_ms(),
@@ -329,6 +330,7 @@ impl Runner {
         for hour_index in start..end {
             if hour_index % self.config.switch_interval_hours.max(1) == 0 {
                 let switch_span = ph_telemetry::span("switch");
+                let _switch_phase = ph_trace::phase("monitor.switch");
                 let network = make_network(engine, state.round);
                 state.round += 1;
                 membership = network.membership();

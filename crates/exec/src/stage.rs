@@ -147,13 +147,48 @@ where
 {
     let threads = exec.resolve_threads();
     let total = items.len() as u64;
+    // One relaxed load per stage invocation; when tracing is off every
+    // per-batch hook below is skipped via `sid == None`.
+    let sid = ph_trace::is_enabled().then(|| ph_trace::stage_id(name));
+    let trace_start = sid.map(|_| ph_trace::now_us());
+    let sequential = threads <= 1 || items.len() <= 1;
+    let workers = if sequential { 1 } else { threads };
     let start = Instant::now();
-    let outputs = if threads <= 1 || items.len() <= 1 {
+    let outputs = if sequential {
         let _prof = ph_prof::scope(name);
         let mut stage = make_stage(0);
-        items.into_iter().map(|item| stage.process(item)).collect()
+        if let Some(sid) = sid {
+            // Chunked drive of the same iterator: identical outputs,
+            // but each chunk gets a batch interval (worker 0).
+            let chunk_size = exec.chunk_size.max(1);
+            let mut outputs = Vec::with_capacity(items.len());
+            let mut iter = items.into_iter();
+            loop {
+                let batch_start = ph_trace::now_us();
+                let before = outputs.len();
+                outputs.extend(
+                    iter.by_ref()
+                        .take(chunk_size)
+                        .map(|item| stage.process(item)),
+                );
+                let produced = (outputs.len() - before) as u32;
+                if produced == 0 {
+                    break;
+                }
+                ph_trace::record_batch(
+                    sid,
+                    0,
+                    batch_start,
+                    ph_trace::now_us().saturating_sub(batch_start),
+                    produced,
+                );
+            }
+            outputs
+        } else {
+            items.into_iter().map(|item| stage.process(item)).collect()
+        }
     } else {
-        run_sharded(exec, name, threads, items, &shard_key, &make_stage)
+        run_sharded(exec, name, threads, items, &shard_key, &make_stage, sid)
     };
     ph_telemetry::counter(&format!("exec.{name}.items")).add(total);
     ph_telemetry::histogram(
@@ -161,9 +196,22 @@ where
         &ph_telemetry::default_latency_buckets_ms(),
     )
     .record(start.elapsed().as_secs_f64() * 1_000.0);
+    if let (Some(sid), Some(trace_start)) = (sid, trace_start) {
+        ph_trace::record_stage(
+            sid,
+            trace_start,
+            ph_trace::now_us().saturating_sub(trace_start),
+            workers as u32,
+            total,
+        );
+        // The caller thread fed (or ran) the stage; move its buffered
+        // events to the sink now that the hot path is over.
+        ph_trace::flush_thread();
+    }
     outputs
 }
 
+#[allow(clippy::too_many_lines)]
 fn run_sharded<In, Out, K, M, S>(
     exec: &ExecConfig,
     name: &str,
@@ -171,6 +219,7 @@ fn run_sharded<In, Out, K, M, S>(
     items: Vec<In>,
     shard_key: &K,
     make_stage: &M,
+    sid: Option<ph_trace::StageId>,
 ) -> Vec<Out>
 where
     In: Send,
@@ -207,6 +256,8 @@ where
                 let mut processed = 0u64;
                 while let Some(chunk) = rx.recv() {
                     processed += chunk.len() as u64;
+                    let batch_start = sid.map(|_| ph_trace::now_us());
+                    let batch_len = chunk.len() as u32;
                     let outputs: Vec<Seq<Out>> = chunk
                         .into_iter()
                         .map(|record| Seq {
@@ -214,12 +265,24 @@ where
                             item: stage.process(record.item),
                         })
                         .collect();
+                    if let (Some(sid), Some(batch_start)) = (sid, batch_start) {
+                        ph_trace::record_batch(
+                            sid,
+                            worker as u32,
+                            batch_start,
+                            ph_trace::now_us().saturating_sub(batch_start),
+                            batch_len,
+                        );
+                    }
                     if output_tx.send(outputs).is_err() {
                         break; // merger gone (panic unwinding) — stop early
                     }
                 }
                 ph_telemetry::gauge(&format!("exec.{name}.worker.{worker}.processed"))
                     .set(processed as f64);
+                if sid.is_some() {
+                    ph_trace::flush_thread();
+                }
             });
         }
         drop(output_tx); // workers hold the only remaining clones
@@ -227,7 +290,17 @@ where
         let merger = scope.spawn(move || {
             let mut reorder = Reorder::new();
             let mut merged = Vec::with_capacity(total);
-            while let Some(chunk) = output_rx.recv() {
+            loop {
+                let wait_start = sid.map(|_| ph_trace::now_us());
+                let Some(chunk) = output_rx.recv() else { break };
+                if let (Some(sid), Some(wait_start)) = (sid, wait_start) {
+                    ph_trace::record_merge_wait(
+                        sid,
+                        wait_start,
+                        ph_trace::now_us().saturating_sub(wait_start),
+                        reorder.pending() as u32,
+                    );
+                }
                 for record in chunk {
                     reorder.push(record);
                 }
@@ -235,6 +308,9 @@ where
                     merged.push(item);
                 }
                 merge_pending.record(reorder.pending() as f64);
+            }
+            if sid.is_some() {
+                ph_trace::flush_thread();
             }
             merged
         });
@@ -245,6 +321,11 @@ where
         let mut buffers: Vec<Vec<Seq<In>>> = (0..threads)
             .map(|_| Vec::with_capacity(chunk_size))
             .collect();
+        // Low-rate per-shard depth sampler: at most one trace sample per
+        // shard per sample window, so tracing cost stays flat however
+        // many chunks flow.
+        const DEPTH_SAMPLE_US: u64 = 500;
+        let mut last_depth_sample: Vec<Option<u64>> = vec![None; threads];
         for (seq, item) in items.into_iter().enumerate() {
             let shard = shard_of(shard_key(&item), threads);
             buffers[shard].push(Seq {
@@ -265,8 +346,18 @@ where
                         depth: depth as u64,
                     });
                 }
+                if let Some(sid) = sid {
+                    let at = ph_trace::now_us();
+                    if last_depth_sample[shard]
+                        .is_none_or(|t| at.saturating_sub(t) >= DEPTH_SAMPLE_US)
+                    {
+                        last_depth_sample[shard] = Some(at);
+                        ph_trace::record_depth(sid, shard as u32, at, depth as u32);
+                    }
+                }
                 let full = std::mem::replace(&mut buffers[shard], Vec::with_capacity(chunk_size));
                 let send_start = stalled.then(Instant::now);
+                let trace_stall_start = (stalled && sid.is_some()).then(ph_trace::now_us);
                 if input_txs[shard].send(full).is_err() {
                     break;
                 }
@@ -280,6 +371,14 @@ where
                         &ph_telemetry::default_latency_buckets_ms(),
                     )
                     .record(send_start.elapsed().as_secs_f64() * 1_000.0);
+                    if let (Some(sid), Some(stall_start)) = (sid, trace_stall_start) {
+                        ph_trace::record_stall(
+                            sid,
+                            shard as u32,
+                            stall_start,
+                            ph_trace::now_us().saturating_sub(stall_start),
+                        );
+                    }
                 }
             }
         }
@@ -437,6 +536,57 @@ mod tests {
                 .iter()
                 .any(|h| h.name == "exec.test.stalltime.stall_ms" && h.snapshot.count > 0),
             "no stall durations recorded"
+        );
+    }
+
+    #[test]
+    fn tracing_keeps_outputs_identical_and_records_the_timeline() {
+        let untraced = square(&ExecConfig::sequential(), 300);
+        ph_trace::enable();
+        // Sequential: chunked loop, batches on worker 0.
+        assert_eq!(square(&ExecConfig::sequential(), 300), untraced);
+        // Sharded: per-worker batches + merge waits.
+        assert_eq!(square(&ExecConfig::with_threads(3), 300), untraced);
+        ph_trace::disable();
+        let log = ph_trace::snapshot();
+        let events: Vec<&ph_trace::TraceEvent> = log
+            .events
+            .iter()
+            .filter(|e| e.name() == "test.square")
+            .collect();
+        let has = |pred: &dyn Fn(&ph_trace::TraceEvent) -> bool| events.iter().any(|e| pred(e));
+        assert!(
+            has(&|e| matches!(e, ph_trace::TraceEvent::Stage { workers: 1, .. })),
+            "no sequential stage envelope"
+        );
+        assert!(
+            has(&|e| matches!(e, ph_trace::TraceEvent::Stage { workers: 3, .. })),
+            "no sharded stage envelope"
+        );
+        assert!(
+            has(&|e| matches!(e, ph_trace::TraceEvent::Batch { .. })),
+            "no batch events"
+        );
+        assert!(
+            has(&|e| matches!(e, ph_trace::TraceEvent::MergeWait { .. })),
+            "no merge-wait events"
+        );
+        // And once disabled, a run records nothing new (checked under a
+        // unique stage name — tracing state is process-global and other
+        // tests run concurrently).
+        let _: Vec<u64> = run(
+            &ExecConfig::with_threads(2),
+            "test.square.untraced",
+            (0..100u64).collect(),
+            |&x| x,
+            |_worker| |x: u64| x,
+        );
+        assert!(
+            !ph_trace::snapshot()
+                .events
+                .iter()
+                .any(|e| e.name() == "test.square.untraced"),
+            "events recorded while tracing was off"
         );
     }
 

@@ -1,37 +1,50 @@
-//! A minimal, panic-free JSON value parser for reading `BENCH_*.json`
-//! files. The workspace's vendored `serde` is a no-op API shim (the
-//! container has no network), so decoding is hand-rolled here: a
-//! depth-limited recursive-descent parser over bytes that returns
-//! `Err` on every malformed input instead of panicking.
+//! A minimal, panic-free JSON value parser — used for reading
+//! `BENCH_*.json` files and by the binary tests to strictly validate
+//! emitted JSON (e.g. the `--trace` Chrome trace-event export). The
+//! workspace's vendored `serde` is a no-op API shim (the container has
+//! no network), so decoding is hand-rolled here: a depth-limited
+//! recursive-descent parser over bytes that returns `Err` on every
+//! malformed input instead of panicking.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any number (JSON has one numeric type).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs (duplicates preserved).
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
     /// Object field lookup (first occurrence wins).
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The value as an exact non-negative integer, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
@@ -40,14 +53,18 @@ impl Json {
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    /// The items, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -58,7 +75,11 @@ impl Json {
 const MAX_DEPTH: usize = 32;
 
 /// Parses a complete JSON document; trailing non-whitespace is an error.
-pub(crate) fn parse(input: &str) -> Result<Json, String> {
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error; never panics.
+pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,

@@ -44,7 +44,7 @@
 pub mod alloc;
 pub mod bench;
 pub mod diff;
-mod jsonv;
+pub mod jsonv;
 mod sysstat;
 
 pub use alloc::{

@@ -20,6 +20,11 @@ pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
 pub(crate) fn take_u8(buf: &mut &[u8]) -> Result<u8, StoreDecodeError> {
     let (&first, rest) = buf.split_first().ok_or(StoreDecodeError::Truncated)?;
     *buf = rest;
@@ -46,4 +51,18 @@ pub(crate) fn take_u64(buf: &mut &[u8]) -> Result<u64, StoreDecodeError> {
 
 pub(crate) fn take_f64(buf: &mut &[u8]) -> Result<f64, StoreDecodeError> {
     Ok(f64::from_bits(take_u64(buf)?))
+}
+
+pub(crate) fn take_str(buf: &mut &[u8]) -> Result<String, StoreDecodeError> {
+    let len = take_u64(buf)?;
+    if len > buf.len() as u64 {
+        return Err(StoreDecodeError::Truncated);
+    }
+    let (head, rest) = buf.split_at(len as usize);
+    let s = std::str::from_utf8(head).map_err(|_| StoreDecodeError::BadDiscriminant {
+        field: "utf-8 string",
+        value: head.iter().copied().find(|&b| b >= 0x80).unwrap_or(0),
+    })?;
+    *buf = rest;
+    Ok(s.to_string())
 }

@@ -46,6 +46,7 @@ pub mod manifest;
 pub mod record;
 pub mod store;
 pub mod telemetry;
+pub mod trace;
 
 pub use checkpoint::{Checkpoint, CheckpointLog};
 pub use log::{CollectedReader, LogReader, RecoveryReport, SegmentLog};
@@ -55,4 +56,7 @@ pub use store::{ResumedStore, Store, StoreConfig, StoreWriter, SyncPolicy};
 pub use telemetry::{
     decode_journal_entry, decode_series_point, encode_journal_entry, encode_series_point,
     read_journal, read_series, write_journal, write_series, JOURNAL_FILE, SERIES_FILE,
+};
+pub use trace::{
+    decode_trace_event, encode_trace_event, read_trace, read_trace_file, write_trace, TRACE_FILE,
 };

@@ -31,7 +31,7 @@ use std::path::Path;
 
 use ph_telemetry::{JournalEntry, SeriesPoint, TelemetryEvent};
 
-use crate::codec::{put_f64, put_u64, put_u8, take_f64, take_u64, take_u8};
+use crate::codec::{put_f64, put_str, put_u64, put_u8, take_f64, take_str, take_u64, take_u8};
 use crate::crc::crc32;
 use crate::record::StoreDecodeError;
 
@@ -54,25 +54,6 @@ const EVENT_LABELING_PASS: u8 = 2;
 const EVENT_CHECKPOINT: u8 = 3;
 const EVENT_SEGMENT_ROLL: u8 = 4;
 const EVENT_SHARD_STALL: u8 = 5;
-
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u64(buf, s.len() as u64);
-    buf.extend_from_slice(s.as_bytes());
-}
-
-fn take_str(buf: &mut &[u8]) -> Result<String, StoreDecodeError> {
-    let len = take_u64(buf)?;
-    if len > buf.len() as u64 {
-        return Err(StoreDecodeError::Truncated);
-    }
-    let (head, rest) = buf.split_at(len as usize);
-    let s = std::str::from_utf8(head).map_err(|_| StoreDecodeError::BadDiscriminant {
-        field: "utf-8 string",
-        value: head.iter().copied().find(|&b| b >= 0x80).unwrap_or(0),
-    })?;
-    *buf = rest;
-    Ok(s.to_string())
-}
 
 /// Encodes one journal entry into a frame payload.
 #[must_use]
@@ -208,7 +189,7 @@ pub fn decode_series_point(payload: &[u8]) -> Result<SeriesPoint, StoreDecodeErr
     Ok(SeriesPoint { name, hour, value })
 }
 
-fn write_framed(path: &Path, magic: &[u8; 8], payloads: &[Vec<u8>]) -> io::Result<()> {
+pub(crate) fn write_framed(path: &Path, magic: &[u8; 8], payloads: &[Vec<u8>]) -> io::Result<()> {
     let mut file = OpenOptions::new()
         .write(true)
         .create(true)
@@ -228,7 +209,7 @@ fn write_framed(path: &Path, magic: &[u8; 8], payloads: &[Vec<u8>]) -> io::Resul
     Ok(())
 }
 
-fn read_framed(path: &Path, magic: &[u8; 8]) -> io::Result<Vec<Vec<u8>>> {
+pub(crate) fn read_framed(path: &Path, magic: &[u8; 8]) -> io::Result<Vec<Vec<u8>>> {
     let mut file = File::open(path)?;
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes)?;

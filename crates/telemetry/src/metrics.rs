@@ -198,6 +198,51 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear interpolation
+    /// inside the bucket holding the target rank.
+    ///
+    /// # Quantile semantics
+    ///
+    /// The walk is over cumulative counts with the same inclusive upper
+    /// edges the buckets use. The interpolation range of bucket `i` is
+    /// `(bounds[i-1], bounds[i]]` **intersected with the observed range
+    /// `[min, max]`** — so bucket 0's lower edge is [`min`](Self::min)
+    /// (not −∞), the overflow bucket's upper edge is [`max`](Self::max)
+    /// (not +∞), and no estimate ever leaves `[min, max]`. An empty
+    /// snapshot yields 0. These rules are pinned by the
+    /// `quantiles_interpolate_within_buckets` test.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut below = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let cumulative = below + count;
+            if cumulative as f64 >= rank {
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                let frac = ((rank - below as f64) / count as f64).clamp(0.0, 1.0);
+                let value = lower + (upper - lower) * frac;
+                return value.clamp(self.min, self.max);
+            }
+            below = cumulative;
+        }
+        self.max
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +308,42 @@ mod tests {
         // Just past the last edge goes to overflow.
         h.record(8.000001);
         assert_eq!(h.snapshot().counts, vec![0, 0, 1, 0, 1]);
+    }
+
+    /// Pins the quantile rules: interpolation inside the target bucket,
+    /// bucket 0 anchored at `min`, the overflow bucket at `max`, and
+    /// results clamped to `[min, max]`.
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[10.0, 20.0, 40.0]);
+        // 10 observations: 5 in (min, 10], 4 in (10, 20], 1 in (20, 40].
+        for v in [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 30.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![5, 4, 1, 0]);
+        // p50: rank 5 closes bucket 0 exactly → its upper edge.
+        assert!(
+            (s.quantile(0.50) - 10.0).abs() < 1e-9,
+            "{}",
+            s.quantile(0.50)
+        );
+        // p90: rank 9 closes bucket 1 exactly → its upper edge.
+        assert!((s.quantile(0.90) - 20.0).abs() < 1e-9);
+        // p95: rank 9.5 is halfway through bucket 2, whose lower edge is
+        // 20 and whose upper edge is max (30), not the bound (40).
+        assert!(
+            (s.quantile(0.95) - 25.0).abs() < 1e-9,
+            "{}",
+            s.quantile(0.95)
+        );
+        // Extremes clamp to the observed range.
+        assert!((s.quantile(0.0) - s.min).abs() < 1e-9);
+        assert!((s.quantile(1.0) - s.max).abs() < 1e-9);
+        // Bucket 0 interpolates from min (2), not from −∞.
+        assert!(s.quantile(0.10) >= s.min);
+        // Empty snapshots yield 0.
+        assert_eq!(Histogram::new(&[1.0]).snapshot().quantile(0.5), 0.0);
     }
 
     #[test]

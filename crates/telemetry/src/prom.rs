@@ -27,13 +27,31 @@ fn metric_name(name: &str) -> String {
     out
 }
 
-/// Escapes a label value (backslash, double quote, newline).
+/// Escapes a label value. Text format 0.0.4: inside label values,
+/// backslash, double quote, and line feed become `\\`, `\"`, `\n`.
 fn label_value(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {
             '\\' => out.push_str("\\\\"),
             '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` docstring text. Text format 0.0.4 escapes **only**
+/// backslash and line feed in HELP lines — a double quote must pass
+/// through verbatim (escaping it as `\"` renders a literal backslash in
+/// scrapers, which is the bug this replaces: HELP lines used to reuse
+/// [`label_value`]).
+fn help_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             _ => out.push(c),
         }
@@ -76,21 +94,21 @@ pub fn to_prometheus(report: &RunReport, series: &[SeriesPoint]) -> String {
 
     for c in &report.counters {
         let name = metric_name(&c.name);
-        let _ = writeln!(out, "# HELP {name} Counter {}", label_value(&c.name));
+        let _ = writeln!(out, "# HELP {name} Counter {}", help_text(&c.name));
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {}", c.value);
     }
 
     for g in &report.gauges {
         let name = metric_name(&g.name);
-        let _ = writeln!(out, "# HELP {name} Gauge {}", label_value(&g.name));
+        let _ = writeln!(out, "# HELP {name} Gauge {}", help_text(&g.name));
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {}", sample(g.value));
     }
 
     for h in &report.histograms {
         let name = metric_name(&h.name);
-        let _ = writeln!(out, "# HELP {name} Histogram {}", label_value(&h.name));
+        let _ = writeln!(out, "# HELP {name} Histogram {}", help_text(&h.name));
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (bound, count) in h.snapshot.bounds.iter().zip(&h.snapshot.counts) {
@@ -241,6 +259,42 @@ mod tests {
         assert!(text.contains("ph_detect_rf_confidence_bucket{le=\"1\"} 4"));
         assert!(text.contains("ph_detect_rf_confidence_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("ph_detect_rf_confidence_count 4"));
+    }
+
+    /// A hostile meta value (quotes, backslashes, newlines) must escape
+    /// per text format 0.0.4: `\\`, `\"`, `\n` inside the label value —
+    /// one physical line, no raw quote terminating the value early —
+    /// while HELP docstrings escape only backslash and newline (a
+    /// double quote stays verbatim there).
+    #[test]
+    fn hostile_meta_and_names_escape_per_text_format() {
+        let report = RunReport {
+            meta: vec![(
+                "cmdline".to_string(),
+                "sniff --name \"ab\\cd\"\nsecond line".to_string(),
+            )],
+            counters: vec![CounterSnapshot {
+                name: "weird\"name".to_string(),
+                value: 1,
+            }],
+            ..Default::default()
+        };
+        let text = to_prometheus(&report, &[]);
+        assert!(
+            text.contains(
+                r#"ph_meta{key="cmdline",value="sniff --name \"ab\\cd\"\nsecond line"} 1"#
+            ),
+            "meta line not escaped as expected:\n{text}"
+        );
+        // The label value must not smuggle a raw newline into the output.
+        for line in text.lines() {
+            assert!(line_is_well_formed(line), "bad line: {line}");
+        }
+        // HELP text keeps the quote verbatim (no `\"` there).
+        assert!(
+            text.contains("# HELP ph_weird_name Counter weird\"name"),
+            "HELP line over-escaped:\n{text}"
+        );
     }
 
     #[test]

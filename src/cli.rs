@@ -84,10 +84,12 @@ impl Args {
     }
 
     /// A numeric option with a default. On a malformed value, prints the
-    /// error and exits with status 2 (usage error) instead of panicking.
+    /// error plus a corrective hint and exits with status 2 (usage
+    /// error) instead of panicking.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.try_get_u64(key, default).unwrap_or_else(|e| {
             eprintln!("error: {e}");
+            eprintln!("hint: pass a non-negative integer, e.g. --{key} {default}");
             std::process::exit(2);
         })
     }

@@ -6,10 +6,11 @@
 //! pseudo-honeypot sniff     [--hours H] [--gt-hours H] [--organic N] [--seed S]
 //!                           [--store DIR] [--resume] [--crash-after H]
 //! pseudo-honeypot replay    --store DIR
-//! pseudo-honeypot inspect   --store DIR [--top K] [--tail N]
+//! pseudo-honeypot inspect   --store DIR [--top K] [--tail N] [--timeline]
 //! pseudo-honeypot showdown  [--hours H] [--nodes N] [--seed S]
 //! pseudo-honeypot perf bench [--quick] [--only NAMES] [--out-dir DIR]
 //! pseudo-honeypot perf diff OLD.json NEW.json
+//! pseudo-honeypot perf critical-path (--store DIR | TRACE.log)
 //! ```
 //!
 //! Global options (any subcommand):
@@ -25,6 +26,11 @@
 //! --profile                enable the counting allocator + per-stage
 //!                          attribution; `prof.*` metrics land in the
 //!                          `--metrics-out` report (stdout is unchanged)
+//! --trace FILE             record the causal timeline (per-worker
+//!                          batches, stalls, merge waits, queue depths,
+//!                          pipeline phases) and export it as Chrome
+//!                          trace-event JSON — load FILE in Perfetto.
+//!                          Stdout is byte-identical to an untraced run
 //! ```
 //!
 //! `sniff` runs the complete paper pipeline: deploy the Table I/II network
@@ -64,7 +70,7 @@ use cli::Args;
 static ALLOC: ph_prof::CountingAllocator = ph_prof::CountingAllocator::new();
 
 /// Options/flags accepted by every subcommand.
-const GLOBAL_OPTIONS: &[&str] = &["metrics-out", "metrics-format", "log-level"];
+const GLOBAL_OPTIONS: &[&str] = &["metrics-out", "metrics-format", "log-level", "trace"];
 const GLOBAL_FLAGS: &[&str] = &["quiet", "progress", "profile"];
 
 /// Simulator-shaping options shared by the engine-driving subcommands.
@@ -102,7 +108,7 @@ fn main() {
             replay(&args);
         }
         Some("inspect") => {
-            validate_options(&args, &["store", "top", "tail"], &[]);
+            validate_options(&args, &["store", "top", "tail"], &["timeline"]);
             inspect(&args);
         }
         Some("showdown") => {
@@ -112,7 +118,9 @@ fn main() {
         Some("perf") => {
             validate_options(
                 &args,
-                &["only", "samples", "warmup", "out-dir", "seed", "threads"],
+                &[
+                    "only", "samples", "warmup", "out-dir", "seed", "threads", "store",
+                ],
                 &["quick"],
             );
             perf::run(&args);
@@ -130,6 +138,7 @@ fn main() {
         ph_prof::publish();
     }
     write_metrics(&args);
+    write_trace_export(&args);
 }
 
 /// Applies `--quiet` / `--log-level` / `--progress` / `--profile` before
@@ -139,6 +148,16 @@ fn main() {
 fn configure_logging(args: &Args) {
     if args.has_flag("profile") {
         ph_prof::enable();
+    }
+    if args.flags.iter().any(|f| f == "trace") {
+        eprintln!("error: --trace expects a file path for the Chrome trace-event JSON export");
+        eprintln!("hint: pseudo-honeypot sniff --threads 0 --trace timeline.json");
+        std::process::exit(2);
+    }
+    if args.options.contains_key("trace") {
+        // Flip the recorder on before any stage can run; everything else
+        // about tracing happens at exit (export) or in the store writer.
+        ph_trace::enable();
     }
     if args.has_flag("quiet") {
         ph_telemetry::set_quiet();
@@ -216,6 +235,42 @@ fn write_metrics(args: &Args) {
     }
 }
 
+/// Honors `--trace FILE` after the subcommand finishes: snapshots the
+/// recorded timeline and writes it as Chrome trace-event JSON (open the
+/// file in Perfetto / `chrome://tracing`). Missing parent directories
+/// are created; an unwritable destination is a usage error (exit 2).
+/// Stdout is untouched, keeping traced runs byte-identical.
+fn write_trace_export(args: &Args) {
+    let Some(path) = args.options.get("trace") else {
+        return;
+    };
+    let path = Path::new(path);
+    let log = ph_trace::snapshot();
+    let json = ph_trace::chrome::to_chrome_json(&log);
+    let result = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => std::fs::create_dir_all(parent),
+        _ => Ok(()),
+    }
+    .and_then(|()| std::fs::write(path, json));
+    match result {
+        Ok(()) => {
+            log_info!(
+                "wrote {} trace events to {} ({} dropped)",
+                log.events.len(),
+                path.display(),
+                log.dropped
+            );
+        }
+        Err(e) => {
+            eprintln!("error: cannot write trace to {}: {e}", path.display());
+            eprintln!(
+                "hint: parent directories are created automatically — check the path is writable"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Pins the run configuration into the registry's metadata section so
 /// `--metrics-out` reports (JSON `"meta"` object, Prometheus `ph_meta`
 /// gauges) are comparable across machines and thread counts.
@@ -242,14 +297,15 @@ fn usage() {
     println!("            [--resume]                continue a crashed/stopped run from DIR's last checkpoint");
     println!("            [--crash-after H]         stop after H monitored hours with a torn tail (exit 3)");
     println!("  replay    --store DIR               re-run labeling + classification from a stored log alone");
-    println!("  inspect   --store DIR [--top K] [--tail N]");
+    println!("  inspect   --store DIR [--top K] [--tail N] [--timeline]");
     println!(
         "                                      render a stored run's per-hour PGE, top attributes,"
     );
     println!(
         "                                      stage throughput, span tree, and event journal —"
     );
-    println!("                                      no re-execution");
+    println!("                                      no re-execution; --timeline adds the stored");
+    println!("                                      trace's critical-path analysis");
     println!("  showdown  [--hours H] [--nodes N] [--seed S]");
     println!("                                      pseudo-honeypot vs random accounts");
     println!("  perf bench [--quick] [--only A,B] [--samples N] [--warmup N] [--out-dir DIR]");
@@ -258,6 +314,12 @@ fn usage() {
     );
     println!("  perf diff OLD.json NEW.json         noise-aware baseline comparison; exit 4 on a");
     println!("                                      perf regression");
+    println!("  perf critical-path (--store DIR | TRACE.log)");
+    println!("                                      analyze a recorded timeline: per-stage busy/");
+    println!(
+        "                                      stall/idle fractions, parallel efficiency, and"
+    );
+    println!("                                      the serialized chain bounding the run");
     println!();
     println!("global options:");
     println!(
@@ -276,6 +338,14 @@ fn usage() {
     println!("  --threads N                         (sniff/replay/showdown) shard pipeline stages across");
     println!("                                      N workers — 0 = all cores, 1 = sequential (default);");
     println!("                                      output is byte-identical at any thread count");
+    println!("  --trace FILE                        record the causal timeline and write Chrome");
+    println!(
+        "                                      trace-event JSON to FILE (load it in Perfetto);"
+    );
+    println!(
+        "                                      sniff --store runs also persist trace.log in the"
+    );
+    println!("                                      store; stdout stays byte-identical");
 }
 
 /// `--threads N` → the dataflow configuration shared by every sharded
@@ -663,6 +733,21 @@ fn sniff_stored(args: &Args, dir: &Path) {
         points.len(),
         dir.display()
     );
+    if ph_trace::is_enabled() {
+        // The durable twin of the --trace JSON export: the framed+CRC'd
+        // trace.log lands next to journal.log/series.log so
+        // `inspect --timeline` and `perf critical-path --store` can
+        // analyze the run later without the recording process.
+        let trace = ph_trace::snapshot();
+        pseudo_honeypot::store::write_trace(dir, &trace)
+            .unwrap_or_else(|e| die("trace write failed", e));
+        log_info!(
+            "trace: {} timeline events persisted to {} ({} dropped)",
+            trace.events.len(),
+            dir.display(),
+            trace.dropped
+        );
+    }
     if args.has_flag("verify") {
         sidecar_check(&report.collected, &outcome.predictions);
     }
@@ -672,8 +757,8 @@ fn sniff_stored(args: &Args, dir: &Path) {
 /// store's series stream: every live time-series point, plus run-level
 /// aggregates under structured names — `stage.<name>.{items,ms,tweets_per_s}`
 /// from the exec counters/histograms, `span.<path>.{count,total_ms,mean_ms}`
-/// from the span aggregates, and `hist.<name>.{count,sum,mean}` from every
-/// histogram — keyed to `final_hour`. The series stream carries wall-clock
+/// from the span aggregates, and `hist.<name>.{count,sum,mean,p50,p95,p99}`
+/// (interpolated quantiles) from every histogram — keyed to `final_hour`. The series stream carries wall-clock
 /// quantities and is deliberately outside the journal's byte-stability
 /// contract.
 fn run_series_points(final_hour: u64) -> Vec<ph_telemetry::SeriesPoint> {
@@ -699,6 +784,9 @@ fn run_series_points(final_hour: u64) -> Vec<ph_telemetry::SeriesPoint> {
         push(format!("hist.{}.count", h.name), h.snapshot.count as f64);
         push(format!("hist.{}.sum", h.name), h.snapshot.sum);
         push(format!("hist.{}.mean", h.name), h.snapshot.mean());
+        push(format!("hist.{}.p50", h.name), h.snapshot.quantile(0.50));
+        push(format!("hist.{}.p95", h.name), h.snapshot.quantile(0.95));
+        push(format!("hist.{}.p99", h.name), h.snapshot.quantile(0.99));
         if let Some(stage) = h
             .name
             .strip_prefix("exec.")
@@ -891,11 +979,73 @@ fn inspect(args: &Args) {
         println!(
             "\n(no telemetry recorded in this store — the journal/series streams are written when a sniff --store run completes)"
         );
+    } else {
+        print_stage_throughput(&series);
+        print_stall_quantiles(&series);
+        print_span_tree(&series);
+        print_journal_tail(&journal, tail);
+    }
+    if args.has_flag("timeline") {
+        let trace = pseudo_honeypot::store::read_trace(&dir)
+            .unwrap_or_else(|e| die("cannot read trace stream", e));
+        if trace.events.is_empty() {
+            println!(
+                "\n(no timeline trace in this store — record one with sniff --store DIR --trace FILE)"
+            );
+        } else {
+            perf::print_timeline(&ph_trace::timeline::analyze(&trace));
+        }
+    }
+}
+
+/// Backpressure-stall latency quantiles per stage, from the persisted
+/// `hist.exec.<stage>.stall_ms.*` series points (interpolated p50/p95/p99
+/// plus the stall count).
+fn print_stall_quantiles(series: &[ph_telemetry::SeriesPoint]) {
+    type StallRow = (Option<f64>, Option<f64>, Option<f64>, Option<f64>);
+    let mut stages: BTreeMap<String, StallRow> = BTreeMap::new();
+    for p in series {
+        let Some(rest) = p.name.strip_prefix("hist.exec.") else {
+            continue;
+        };
+        let Some((stage, metric)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        let Some(stage) = stage.strip_suffix(".stall_ms") else {
+            continue;
+        };
+        let entry = stages.entry(stage.to_string()).or_default();
+        match metric {
+            "count" => entry.0 = Some(p.value),
+            "p50" => entry.1 = Some(p.value),
+            "p95" => entry.2 = Some(p.value),
+            "p99" => entry.3 = Some(p.value),
+            _ => {}
+        }
+    }
+    stages.retain(|_, (count, ..)| count.is_some_and(|c| c > 0.0));
+    if stages.is_empty() {
         return;
     }
-    print_stage_throughput(&series);
-    print_span_tree(&series);
-    print_journal_tail(&journal, tail);
+    let cell = |v: Option<f64>, precision: usize| match v {
+        Some(v) => format!("{v:.precision$}"),
+        None => "-".to_string(),
+    };
+    println!("\nbackpressure stalls (ms):");
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>10}",
+        "stage", "stalls", "p50", "p95", "p99"
+    );
+    for (stage, (count, p50, p95, p99)) in &stages {
+        println!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10}",
+            stage,
+            cell(*count, 0),
+            cell(*p50, 3),
+            cell(*p95, 3),
+            cell(*p99, 3)
+        );
+    }
 }
 
 /// The per-hour PGE table: one row per monitored hour with overall

@@ -11,6 +11,12 @@
 //! the noise-aware thresholds in `ph_prof::diff` and exits 4 when the
 //! candidate regressed, which is what lets `ci.sh` gate on performance.
 //!
+//! `perf critical-path` analyzes a timeline recorded with `--trace`
+//! (from a store's `trace.log` via `--store DIR`, or a standalone
+//! `trace.log` path): per-stage busy/stall/idle wall-clock fractions,
+//! overall parallel efficiency, and the ranked serialized-phase report
+//! that answers why `--threads N` barely beats `--threads 1`.
+//!
 //! Scenario inputs are generated deterministically from `--seed`
 //! (default 42), so two runs on the same machine measure identical
 //! work. `--quick` shrinks every scenario to CI-smoke size; the default
@@ -18,7 +24,7 @@
 //! matrix still finishes in minutes.
 
 use std::hint::black_box;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use ph_exec::ExecConfig;
@@ -102,20 +108,143 @@ impl Sizes {
     }
 }
 
-/// Entry point for `perf <bench|diff> …`.
+/// Entry point for `perf <bench|diff|critical-path> …`.
 pub fn run(args: &Args) {
     match args.positionals.first().map(String::as_str) {
         Some("bench") => bench(args),
         Some("diff") => diff(args),
+        Some("critical-path") => critical_path(args),
         Some(other) => {
-            eprintln!("error: unknown perf subcommand '{other}' (expected 'bench' or 'diff')");
+            eprintln!(
+                "error: unknown perf subcommand '{other}' (expected 'bench', 'diff', or 'critical-path')"
+            );
             std::process::exit(2);
         }
         None => {
             eprintln!("usage: pseudo-honeypot perf bench [--quick] [--only A,B] [--out-dir DIR]");
             eprintln!("       pseudo-honeypot perf diff OLD.json NEW.json");
+            eprintln!("       pseudo-honeypot perf critical-path (--store DIR | TRACE.log)");
             std::process::exit(2);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// perf critical-path
+// ---------------------------------------------------------------------------
+
+/// Loads a recorded timeline — from a store directory's `trace.log`
+/// (`--store DIR`) or an explicit `trace.log` path — and prints the
+/// critical-path analysis. Exit 0 on success, 1 when the trace is
+/// missing or empty, 2 on usage errors.
+fn critical_path(args: &Args) {
+    let log = match (args.options.get("store"), args.positionals.get(1)) {
+        (Some(dir), _) => {
+            let dir = Path::new(dir);
+            let log = pseudo_honeypot::store::read_trace(dir)
+                .unwrap_or_else(|e| die(&format!("cannot read trace in {}", dir.display()), e));
+            if log.events.is_empty() {
+                eprintln!(
+                    "error: no timeline trace in {} — record one with: sniff --store {} --trace t.json",
+                    dir.display(),
+                    dir.display()
+                );
+                std::process::exit(1);
+            }
+            log
+        }
+        (None, Some(path)) => {
+            let path = Path::new(path);
+            pseudo_honeypot::store::read_trace_file(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {}", path.display()), e))
+        }
+        (None, None) => {
+            eprintln!("usage: pseudo-honeypot perf critical-path (--store DIR | TRACE.log)");
+            std::process::exit(2);
+        }
+    };
+    print_timeline(&ph_trace::timeline::analyze(&log));
+}
+
+/// Renders a [`ph_trace::timeline::TimelineReport`]: the overall
+/// parallel-efficiency figure, per-stage busy/stall/idle fractions, the
+/// ranked serialized-phase list, and the top-level chain bounding the
+/// run. Shared by `perf critical-path` and `inspect --timeline`.
+pub fn print_timeline(r: &ph_trace::timeline::TimelineReport) {
+    let ms = |us: u64| us as f64 / 1_000.0;
+    println!("\ntimeline ({} events dropped while recording):", r.dropped);
+    println!(
+        "  run wall {:.1} ms, max workers {}, worker busy {:.1} ms",
+        ms(r.run_wall_us),
+        r.max_workers,
+        ms(r.total_busy_us)
+    );
+    println!(
+        "  parallel efficiency {:.3}  =  {:.1} ms busy / ({:.1} ms wall x {} workers)",
+        r.parallel_efficiency,
+        ms(r.total_busy_us),
+        ms(r.run_wall_us),
+        r.max_workers
+    );
+
+    if !r.stages.is_empty() {
+        println!("\nper-stage wall-clock split:");
+        println!(
+            "  {:<28} {:>5} {:>4} {:>10} {:>7} {:>7} {:>7} {:>8}",
+            "stage", "inv", "wrk", "wall ms", "busy", "stall", "idle", "eff.par"
+        );
+        for s in &r.stages {
+            println!(
+                "  {:<28} {:>5} {:>4} {:>10.1} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.2}",
+                s.name,
+                s.invocations,
+                s.workers,
+                ms(s.wall_us),
+                100.0 * s.busy_frac(),
+                100.0 * s.stall_frac(),
+                100.0 * s.idle_frac(),
+                s.effective_parallelism()
+            );
+        }
+    }
+
+    if !r.phases.is_empty() {
+        println!("\nwhy t0 \u{2248} t1 — phases ranked by exclusive serialized time:");
+        println!(
+            "  {:<28} {:>5} {:>10} {:>10} {:>8}  verdict",
+            "phase", "inv", "wall ms", "excl ms", "par"
+        );
+        for p in &r.phases {
+            println!(
+                "  {:<28} {:>5} {:>10.1} {:>10.1} {:>8.2}  {}",
+                p.name,
+                p.invocations,
+                ms(p.wall_us),
+                ms(p.exclusive_us),
+                p.parallelism(),
+                if p.serialized() {
+                    "serialized"
+                } else {
+                    "parallel"
+                }
+            );
+        }
+    }
+
+    if !r.chain.is_empty() {
+        println!("\ncritical chain (top-level phases in run order):");
+        for link in &r.chain {
+            println!(
+                "  {:>10.1} ms  {:<28} (+{:.1} ms into the run)",
+                ms(link.dur_us),
+                link.name,
+                ms(link.start_us)
+            );
+        }
+        println!(
+            "  {:>10.1} ms  (wall outside any phase)",
+            ms(r.uncovered_us)
+        );
     }
 }
 
