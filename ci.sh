@@ -168,6 +168,65 @@ assert "critical chain" in text, text
 print(f"    critical-path report OK: parallel efficiency {eff}")
 EOF
 
+echo "==> serve daemon smoke (socket ingest + /metrics + SIGTERM drain + resume)"
+# A live daemon fed over its ingest socket must expose Prometheus metrics
+# with the pinned content type, drain cleanly on SIGTERM (exit 5, store
+# checkpointed), and then --resume with the built-in load generator to a
+# complete, inspectable store.
+SERVE_ARGS=(--seed 7 --organic 400 --campaigns 3 --gt-hours 3 --hours 6)
+"$BIN" serve --store "$SMOKE/daemon" "${SERVE_ARGS[@]}" --quiet &
+SERVE_PID=$!
+for _ in $(seq 1 600); do
+    [ -s "$SMOKE/daemon/ENDPOINTS" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "serve died before binding"; exit 1; }
+    sleep 0.1
+done
+[ -s "$SMOKE/daemon/ENDPOINTS" ] || { echo "no ENDPOINTS file within 60 s"; exit 1; }
+INGEST=$(sed -n 's/^ingest=//p' "$SMOKE/daemon/ENDPOINTS")
+HTTP=$(sed -n 's/^http=//p' "$SMOKE/daemon/ENDPOINTS")
+# Stream the first 2 of 6 hours from the standalone producer (same sim
+# shape, shorter horizon), then watch them land through /metrics.
+"$BIN" feed --connect "$INGEST" --seed 7 --organic 400 --campaigns 3 \
+    --gt-hours 3 --hours 2 --quiet > "$SMOKE/feed.out"
+grep -q "over 2 hours" "$SMOKE/feed.out" || { echo "feed fell short: $(cat "$SMOKE/feed.out")"; exit 1; }
+python3 - "$HTTP" <<'EOF'
+import re, sys, time, urllib.request
+addr = sys.argv[1]
+deadline = time.time() + 60
+while True:
+    try:
+        resp = urllib.request.urlopen(f"http://{addr}/metrics", timeout=5)
+        ct = resp.headers.get("Content-Type")
+        assert ct == "text/plain; version=0.0.4", f"wrong content type: {ct!r}"
+        body = resp.read().decode()
+        m = re.search(r"^ph_serve_hours_done(?:\{[^}]*\})? ([0-9.]+)$", body, re.M)
+        if m and float(m.group(1)) >= 2:
+            break
+    except AssertionError:
+        raise
+    except Exception:
+        pass
+    assert time.time() < deadline, "daemon never reported 2 monitored hours"
+    time.sleep(0.2)
+health = urllib.request.urlopen(f"http://{addr}/healthz", timeout=5).read().decode()
+assert health == "ok\n", repr(health)
+print("    /metrics content type pinned, 2 hours ingested, /healthz ok")
+EOF
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+[ "$rc" -eq 5 ] || { echo "expected exit 5 from SIGTERM drain, got $rc"; exit 1; }
+# The drained store resumes with the built-in load generator and finishes.
+"$BIN" serve --store "$SMOKE/daemon" --resume --loadgen --quiet > "$SMOKE/serve-resume.out"
+grep -q "serve: 6 of 6 h monitored" "$SMOKE/serve-resume.out" \
+    || { echo "resume did not complete the run: $(cat "$SMOKE/serve-resume.out")"; exit 1; }
+[ -s "$SMOKE/daemon/verdicts.ndjson" ] || { echo "no verdict stream"; exit 1; }
+VERDICTS=$(wc -l < "$SMOKE/daemon/verdicts.ndjson")
+"$BIN" inspect --store "$SMOKE/daemon" --quiet > "$SMOKE/serve-inspect.out"
+grep -q "6 of 6 h completed" "$SMOKE/serve-inspect.out" \
+    || { echo "inspect cannot render the served store"; exit 1; }
+echo "    SIGTERM drained at exit 5, resume completed, $VERDICTS live verdicts"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

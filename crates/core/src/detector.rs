@@ -259,18 +259,12 @@ impl SpamDetector {
     ) -> ClassificationOutcome {
         let _span = ph_telemetry::span("detect.classify");
         let _phase = ph_trace::phase("detect.classify");
-        let rest = engine.rest();
-        let pure = features::pure_batch(collected, &rest, exec);
-        let confidence = confidence_histogram();
         let mut extractor = FeatureExtractor::with_tau(self.tau);
+        let verdicts = self.classify_fold(&mut extractor, collected, engine, exec);
         let mut outcome = ClassificationOutcome::default();
-        for (c, p) in collected.iter().zip(pure) {
-            let features = extractor.finish(c, p);
-            let spam = self.model.predict(&features);
-            confidence.record(self.model.predict_score(&features));
-            extractor.record_verdict(c.slot, spam);
-            outcome.predictions.push(spam);
-            if spam {
+        for (c, v) in collected.iter().zip(verdicts) {
+            outcome.predictions.push(v.spam);
+            if v.spam {
                 outcome.spammers.insert(c.tweet.author);
             }
         }
@@ -280,9 +274,96 @@ impl SpamDetector {
         outcome
     }
 
+    /// The shared classify fold: sharded pure-feature phase, then the
+    /// sequential predict + environment-score feedback loop against the
+    /// *caller's* extractor — which is what lets the streaming classifier
+    /// carry extractor state across hourly batches while the batch path
+    /// uses a fresh one.
+    fn classify_fold(
+        &self,
+        extractor: &mut FeatureExtractor,
+        collected: &[CollectedTweet],
+        engine: &Engine,
+        exec: &ExecConfig,
+    ) -> Vec<Verdict> {
+        let rest = engine.rest();
+        let pure = features::pure_batch(collected, &rest, exec);
+        let confidence = confidence_histogram();
+        let mut verdicts = Vec::with_capacity(collected.len());
+        for (c, p) in collected.iter().zip(pure) {
+            let features = extractor.finish(c, p);
+            let spam = self.model.predict(&features);
+            let score = self.model.predict_score(&features);
+            confidence.record(score);
+            extractor.record_verdict(c.slot, spam);
+            verdicts.push(Verdict { spam, score });
+        }
+        verdicts
+    }
+
     /// Classifies one pre-extracted feature vector.
     pub fn predict(&self, features: &[f64]) -> bool {
         self.model.predict(features)
+    }
+}
+
+/// One live classification verdict: the binary call plus the classifier
+/// confidence recorded alongside it (never thresholded).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// The spam prediction.
+    pub spam: bool,
+    /// Classifier confidence in [0, 1].
+    pub score: f64,
+}
+
+/// The daemon's incremental classifier: a [`SpamDetector`] plus one
+/// *persistent* [`FeatureExtractor`] whose environment-score state carries
+/// across hourly batches. Classifying a run hour-by-hour through one
+/// instance therefore yields exactly the verdict sequence of
+/// [`SpamDetector::classify_batch`] over the whole collection at once —
+/// the property the serve restart-equivalence contract rests on (a
+/// resumed daemon rebuilds this state by replaying stored hours).
+#[derive(Debug)]
+pub struct StreamClassifier {
+    detector: SpamDetector,
+    extractor: FeatureExtractor,
+}
+
+impl StreamClassifier {
+    /// Wraps a trained detector with fresh stream state (start of hour 0).
+    pub fn new(detector: SpamDetector) -> Self {
+        let extractor = FeatureExtractor::with_tau(detector.tau);
+        Self {
+            detector,
+            extractor,
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &SpamDetector {
+        &self.detector
+    }
+
+    /// Classifies one hour's collected batch in delivery order, carrying
+    /// the environment-score state forward. Emits the same
+    /// `detect.classify` span and `detect.tweets_classified` /
+    /// `detect.spam_predicted` counters as the batch path.
+    pub fn classify_hour(
+        &mut self,
+        collected: &[CollectedTweet],
+        engine: &Engine,
+        exec: &ExecConfig,
+    ) -> Vec<Verdict> {
+        let _span = ph_telemetry::span("detect.classify");
+        let _phase = ph_trace::phase("detect.classify");
+        let verdicts = self
+            .detector
+            .classify_fold(&mut self.extractor, collected, engine, exec);
+        ph_telemetry::cached_counter!("detect.tweets_classified").add(verdicts.len() as u64);
+        ph_telemetry::cached_counter!("detect.spam_predicted")
+            .add(verdicts.iter().filter(|v| v.spam).count() as u64);
+        verdicts
     }
 }
 
@@ -401,6 +482,50 @@ mod tests {
             detector.classify_batch(&collected, &engine, &exec),
             sequential
         );
+    }
+
+    #[test]
+    fn hourly_stream_classifier_equals_one_shot_batch() {
+        let (engine, collected, labels) = pipeline_run();
+        let (data, _) = build_training_data(&collected, &labels, &engine, 0.01);
+        let detector = SpamDetector::train(
+            &DetectorConfig {
+                forest: RandomForestConfig {
+                    num_trees: 10,
+                    ..DetectorConfig::default().forest
+                },
+                ..Default::default()
+            },
+            &data,
+        );
+        let exec = ExecConfig::sequential();
+        let batch = detector.classify_batch(&collected, &engine, &exec);
+
+        let detector2 = SpamDetector::train(
+            &DetectorConfig {
+                forest: RandomForestConfig {
+                    num_trees: 10,
+                    ..DetectorConfig::default().forest
+                },
+                ..Default::default()
+            },
+            &data,
+        );
+        let mut stream = StreamClassifier::new(detector2);
+        let mut predictions = Vec::new();
+        // Split by collection hour, as the daemon does.
+        let mut i = 0;
+        while i < collected.len() {
+            let hour = collected[i].hour;
+            let mut j = i;
+            while j < collected.len() && collected[j].hour == hour {
+                j += 1;
+            }
+            let verdicts = stream.classify_hour(&collected[i..j], &engine, &exec);
+            predictions.extend(verdicts.into_iter().map(|v| v.spam));
+            i = j;
+        }
+        assert_eq!(predictions, batch.predictions);
     }
 
     #[test]

@@ -58,9 +58,9 @@ pub mod pge;
 pub mod selection;
 
 pub use attributes::{AttributeKind, ProfileAttribute, SampleAttribute, TrendAttribute};
-pub use detector::{DetectorConfig, SpamDetector};
+pub use detector::{DetectorConfig, SpamDetector, StreamClassifier, Verdict};
 pub use features::{FeatureExtractor, FEATURE_COUNT};
-pub use monitor::{CollectedTweet, MonitorReport, Runner, RunnerConfig};
+pub use monitor::{CollectedTweet, MonitorReport, Runner, RunnerConfig, StreamMonitor};
 pub use network::PseudoHoneypotNetwork;
 pub use pge::{overall_pge, pge_ranking, PgeEntry};
 pub use selection::{select_network, select_random_network, SelectorConfig};

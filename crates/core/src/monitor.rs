@@ -8,8 +8,10 @@
 //! statistics (Tables V–VI, Figures 3–5) aggregate over.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
 
-use ph_exec::ExecConfig;
+use ph_exec::{ExecConfig, LongLivedStage};
 use ph_twitter_sim::engine::Engine;
 use ph_twitter_sim::{AccountId, Tweet};
 use serde::{Deserialize, Serialize};
@@ -212,11 +214,95 @@ fn per_hour_volume_buckets() -> Vec<f64> {
     buckets
 }
 
+/// Applies one switch round to the run cursor and segment accounting:
+/// membership replaced (sorted into the checkpointable cursor), the
+/// `AttributeSwitch` journal event emitted, node-hours accrued for the
+/// coming interval. Shared by the batch loop and the streaming monitor so
+/// both record the identical switch history.
+fn apply_switch(
+    config: &RunnerConfig,
+    state: &mut RunState,
+    segment: &mut MonitorReport,
+    network: &PseudoHoneypotNetwork,
+    hour_index: u64,
+    total_hours: u64,
+) -> HashMap<AccountId, SampleAttribute> {
+    state.round += 1;
+    let membership = network.membership();
+    state.membership = membership.iter().map(|(&a, &s)| (a, s)).collect();
+    state.membership.sort_by_key(|&(a, _)| a.0);
+    ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::AttributeSwitch {
+        hour: hour_index,
+        round: state.round - 1,
+        nodes: membership.len() as u64,
+    });
+    let interval = config
+        .switch_interval_hours
+        .max(1)
+        .min(total_hours - hour_index) as f64;
+    for (slot, count) in network.slot_sizes() {
+        *segment.node_hours.entry(slot).or_insert(0.0) += count as f64 * interval;
+    }
+    membership
+}
+
+/// Per-hour telemetry shared by the batch loop and the streaming monitor:
+/// collected counter, per-hour series, the `HourTick` journal event, and
+/// the live progress line.
+fn record_hour_telemetry(
+    hour_index: u64,
+    total_hours: u64,
+    collected_this_hour: u64,
+    dropped_this_hour: u64,
+    segment_collected: u64,
+    segment_dropped: u64,
+) {
+    ph_telemetry::cached_counter!("monitor.tweets_collected").add(collected_this_hour);
+    ph_telemetry::series("monitor.collected").add(hour_index, collected_this_hour as f64);
+    ph_telemetry::series("monitor.dropped").add(hour_index, dropped_this_hour as f64);
+    ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::HourTick {
+        hour: hour_index,
+        collected: collected_this_hour,
+        dropped: dropped_this_hour,
+    });
+    if ph_telemetry::progress_enabled() {
+        ph_telemetry::progress_update(&format!(
+            "{} hour {}/{} · {} tweets · {} shed",
+            ph_telemetry::progress_bar(hour_index + 1, total_hours, 24),
+            hour_index + 1,
+            total_hours,
+            segment_collected,
+            segment_dropped
+        ));
+    }
+}
+
+/// End-of-segment telemetry shared by the batch loop and the streaming
+/// monitor: total-dropped counter, shed warning, per-slot node-hour gauges.
+fn finish_segment_telemetry(segment: &MonitorReport, buffer_capacity: usize) {
+    ph_telemetry::progress_done();
+    ph_telemetry::cached_counter!("monitor.tweets_dropped").add(segment.dropped);
+    if segment.dropped > 0 {
+        ph_telemetry::log_warn!(
+            "streaming buffer shed {} tweets (capacity {})",
+            segment.dropped,
+            buffer_capacity
+        );
+    }
+    for (slot, node_hours) in &segment.node_hours {
+        ph_telemetry::gauge(&format!("monitor.node_hours.{slot}")).set(*node_hours);
+    }
+}
+
 /// The monitoring runner. See the module docs for the loop structure.
 #[derive(Debug, Clone)]
 pub struct Runner {
     config: RunnerConfig,
     exec: ExecConfig,
+    /// Cooperative stop request, checked at hour boundaries. Lives on the
+    /// runner (not the serializable [`RunnerConfig`]) so signal handlers
+    /// can ask a run to checkpoint-and-exit between hours.
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl Runner {
@@ -229,7 +315,29 @@ impl Runner {
     /// given execution configuration. Collected output is byte-identical
     /// to [`Runner::new`] at any thread count (see `ph-exec`).
     pub fn with_exec(config: RunnerConfig, exec: ExecConfig) -> Self {
-        Self { config, exec }
+        Self {
+            config,
+            exec,
+            stop: None,
+        }
+    }
+
+    /// Attaches a cooperative stop flag: once set (e.g. by a SIGINT
+    /// handler), [`Runner::run_segment`] stops cleanly at the next hour
+    /// boundary — every completed hour fully delivered to the sink, the
+    /// cursor pointing at the first unsimulated hour — so the run can be
+    /// resumed exactly like one bounded by `segment_hours`.
+    #[must_use]
+    pub fn with_stop_flag(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Whether the attached stop flag (if any) has been raised.
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// The configuration.
@@ -328,31 +436,24 @@ impl Runner {
         let mut dropped_before = 0u64;
 
         for hour_index in start..end {
+            if self.stop_requested() {
+                break;
+            }
             if hour_index % self.config.switch_interval_hours.max(1) == 0 {
                 let switch_span = ph_telemetry::span("switch");
                 let _switch_phase = ph_trace::phase("monitor.switch");
                 let network = make_network(engine, state.round);
-                state.round += 1;
-                membership = network.membership();
-                state.membership = membership.iter().map(|(&a, &s)| (a, s)).collect();
-                state.membership.sort_by_key(|&(a, _)| a.0);
-                ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::AttributeSwitch {
-                    hour: hour_index,
-                    round: state.round - 1,
-                    nodes: membership.len() as u64,
-                });
+                membership = apply_switch(
+                    &self.config,
+                    state,
+                    &mut segment,
+                    &network,
+                    hour_index,
+                    total_hours,
+                );
                 streaming
                     .set_filter(subscription, membership.keys().copied())
                     .expect("subscription is open");
-                // Accrue node-hours for the coming interval.
-                let interval = self
-                    .config
-                    .switch_interval_hours
-                    .max(1)
-                    .min(total_hours - hour_index) as f64;
-                for (slot, count) in network.slot_sizes() {
-                    *segment.node_hours.entry(slot).or_insert(0.0) += count as f64 * interval;
-                }
                 switch_latency.record(switch_span.elapsed_ms());
             }
             let hour = engine.now().whole_hours();
@@ -379,44 +480,23 @@ impl Runner {
                 segment.collected.extend(batch);
             }
             tweets_per_hour.record(collected_this_hour as f64);
-            ph_telemetry::cached_counter!("monitor.tweets_collected").add(collected_this_hour);
             segment.hours += 1;
             segment.dropped = streaming.dropped(subscription).unwrap_or(0);
             let dropped_this_hour = segment.dropped - dropped_before;
             dropped_before = segment.dropped;
             segment_collected += collected_this_hour;
-            ph_telemetry::series("monitor.collected").add(hour_index, collected_this_hour as f64);
-            ph_telemetry::series("monitor.dropped").add(hour_index, dropped_this_hour as f64);
-            ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::HourTick {
-                hour: hour_index,
-                collected: collected_this_hour,
-                dropped: dropped_this_hour,
-            });
-            if ph_telemetry::progress_enabled() {
-                ph_telemetry::progress_update(&format!(
-                    "{} hour {}/{} · {} tweets · {} shed",
-                    ph_telemetry::progress_bar(hour_index + 1, total_hours, 24),
-                    hour_index + 1,
-                    total_hours,
-                    segment_collected,
-                    segment.dropped
-                ));
-            }
+            record_hour_telemetry(
+                hour_index,
+                total_hours,
+                collected_this_hour,
+                dropped_this_hour,
+                segment_collected,
+                segment.dropped,
+            );
             state.next_hour = hour_index + 1;
             sink.on_hour(state, &segment)?;
         }
-        ph_telemetry::progress_done();
-        ph_telemetry::cached_counter!("monitor.tweets_dropped").add(segment.dropped);
-        if segment.dropped > 0 {
-            ph_telemetry::log_warn!(
-                "streaming buffer shed {} tweets (capacity {})",
-                segment.dropped,
-                self.config.buffer_capacity
-            );
-        }
-        for (slot, node_hours) in &segment.node_hours {
-            ph_telemetry::gauge(&format!("monitor.node_hours.{slot}")).set(*node_hours);
-        }
+        finish_segment_telemetry(&segment, self.config.buffer_capacity);
         streaming.close(subscription);
         Ok(segment)
     }
@@ -468,6 +548,214 @@ impl Runner {
         }
         // Raced a filter switch: delivered under the previous node set.
         None
+    }
+}
+
+/// Shared context the persistent categorize workers read: the membership
+/// map of the current switch round and the absolute hour being collected.
+/// The daemon updates it between batches (batches are synchronous, so
+/// writers never race the workers).
+struct CategorizeCtx {
+    membership: HashMap<AccountId, SampleAttribute>,
+    hour: u64,
+}
+
+/// The daemon-facing twin of [`Runner::run_segment`]: the same hourly
+/// switch → step → categorize → account cycle, but driven by *externally
+/// delivered* tweets (a socket ingest queue) instead of an engine-attached
+/// subscription poll, and running the categorize stage on a persistent
+/// [`LongLivedStage`] worker pool instead of a per-hour scoped pool.
+///
+/// The engine passed to [`begin_hour`](StreamMonitor::begin_hour) is the
+/// daemon's *replica*: a deterministic re-simulation stepped once per
+/// wire-marked hour so that network selection and REST lookups see exactly
+/// the state the producer's engine had. Because the shared
+/// [`apply_switch`] / [`record_hour_telemetry`] helpers do the bookkeeping,
+/// the journal, series, and checkpoint stream are shaped identically to a
+/// batch run — `inspect` works on a serve store unchanged.
+///
+/// There is no streaming filter to re-point: the producer sends the full
+/// firehose and categorization itself drops non-members (the same
+/// predicate the filtered subscription applies engine-side, so the
+/// collected set is identical).
+pub struct StreamMonitor {
+    runner: Runner,
+    total_hours: u64,
+    state: RunState,
+    segment: MonitorReport,
+    ctx: Arc<RwLock<CategorizeCtx>>,
+    stage: LongLivedStage<Tweet, Option<CollectedTweet>>,
+    segment_collected: u64,
+    mid_hour: bool,
+}
+
+impl StreamMonitor {
+    /// A monitor starting from hour 0 of a `total_hours` run.
+    pub fn new(runner: Runner, total_hours: u64) -> Self {
+        Self::resume(runner, total_hours, RunState::default())
+    }
+
+    /// Resumes from a checkpointed cursor: the restored membership
+    /// re-arms categorization mid-switch-interval exactly as
+    /// [`Runner::run_segment`] re-points the streaming filter.
+    pub fn resume(runner: Runner, total_hours: u64, state: RunState) -> Self {
+        let ctx = Arc::new(RwLock::new(CategorizeCtx {
+            membership: state.membership.iter().copied().collect(),
+            hour: 0,
+        }));
+        let worker_ctx = Arc::clone(&ctx);
+        let stage = LongLivedStage::new(
+            runner.exec(),
+            "monitor.categorize",
+            |tweet: &Tweet| u64::from(tweet.author.0),
+            move |_worker| {
+                let ctx = Arc::clone(&worker_ctx);
+                move |tweet: Tweet| {
+                    let ctx = ctx.read().expect("categorize context poisoned");
+                    Runner::categorize(tweet, &ctx.membership, ctx.hour)
+                }
+            },
+        );
+        Self {
+            runner,
+            total_hours,
+            state,
+            segment: MonitorReport::default(),
+            ctx,
+            stage,
+            segment_collected: 0,
+            mid_hour: false,
+        }
+    }
+
+    /// The run cursor (checkpointed by the sink at every hour boundary).
+    pub fn state(&self) -> &RunState {
+        &self.state
+    }
+
+    /// The report accumulated by this monitor instance (one segment).
+    pub fn segment(&self) -> &MonitorReport {
+        &self.segment
+    }
+
+    /// Whole-run hour count.
+    pub fn total_hours(&self) -> u64 {
+        self.total_hours
+    }
+
+    /// Whether every hour of the run has been processed.
+    pub fn complete(&self) -> bool {
+        self.state.next_hour >= self.total_hours
+    }
+
+    /// Opens the next hour: performs the switch round if one is due
+    /// (selecting on `engine` *before* stepping, like the batch loop) and
+    /// steps the engine into the hour. Call exactly once before each
+    /// [`finish_hour`](StreamMonitor::finish_hour); the window between the
+    /// two is where the daemon re-labels evaluation sidecars from the
+    /// freshly stepped replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is already complete or an hour is already open.
+    pub fn begin_hour(&mut self, engine: &mut Engine) {
+        assert!(
+            !self.mid_hour,
+            "begin_hour called twice without finish_hour"
+        );
+        assert!(!self.complete(), "begin_hour past the end of the run");
+        let hour_index = self.state.next_hour;
+        let config = self.runner.config().clone();
+        if hour_index.is_multiple_of(config.switch_interval_hours.max(1)) {
+            let switch_span = ph_telemetry::span("switch");
+            let _switch_phase = ph_trace::phase("monitor.switch");
+            let network = select_network(
+                engine,
+                &config.slots,
+                &config.selector,
+                config.seed.wrapping_add(self.state.round),
+            );
+            let membership = apply_switch(
+                &config,
+                &mut self.state,
+                &mut self.segment,
+                &network,
+                hour_index,
+                self.total_hours,
+            );
+            self.ctx
+                .write()
+                .expect("categorize context poisoned")
+                .membership = membership;
+            ph_telemetry::histogram(
+                "monitor.switch_latency_ms",
+                &ph_telemetry::default_latency_buckets_ms(),
+            )
+            .record(switch_span.elapsed_ms());
+        }
+        let hour = engine.now().whole_hours();
+        engine.step_hour();
+        self.ctx.write().expect("categorize context poisoned").hour = hour;
+        self.mid_hour = true;
+    }
+
+    /// Closes the hour opened by [`begin_hour`](StreamMonitor::begin_hour):
+    /// categorizes the delivered tweets on the persistent worker pool,
+    /// hands the batch and the advanced cursor to the sink, and accounts
+    /// `shed` tweets dropped by the ingest queue this hour. Returns the
+    /// categorized batch in delivery order (the classifier's input).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O failures; a dead worker pool surfaces as an
+    /// `io::Error` of kind `Other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no hour is open.
+    pub fn finish_hour<S: MonitorSink>(
+        &mut self,
+        delivered: Vec<Tweet>,
+        shed: u64,
+        sink: &mut S,
+    ) -> std::io::Result<Vec<CollectedTweet>> {
+        assert!(self.mid_hour, "finish_hour without begin_hour");
+        self.mid_hour = false;
+        let hour_index = self.state.next_hour;
+        let batch: Vec<CollectedTweet> = self
+            .stage
+            .process_batch(delivered)
+            .map_err(std::io::Error::other)?
+            .into_iter()
+            .flatten()
+            .collect();
+        sink.on_batch(&batch)?;
+        let collected_this_hour = batch.len() as u64;
+        if sink.retain_in_memory() {
+            self.segment.collected.extend(batch.iter().cloned());
+        }
+        ph_telemetry::histogram("monitor.tweets_per_hour", &per_hour_volume_buckets())
+            .record(collected_this_hour as f64);
+        self.segment.hours += 1;
+        self.segment.dropped += shed;
+        self.segment_collected += collected_this_hour;
+        record_hour_telemetry(
+            hour_index,
+            self.total_hours,
+            collected_this_hour,
+            shed,
+            self.segment_collected,
+            self.segment.dropped,
+        );
+        self.state.next_hour = hour_index + 1;
+        sink.on_hour(&self.state, &self.segment)?;
+        Ok(batch)
+    }
+
+    /// End-of-segment telemetry (total sheds, node-hour gauges). Call once
+    /// when the daemon drains — whether the run completed or was stopped.
+    pub fn finish(&mut self, queue_capacity: usize) {
+        finish_segment_telemetry(&self.segment, queue_capacity);
     }
 }
 
@@ -722,6 +1010,148 @@ mod tests {
             )
             .unwrap();
         merged.merge(&tail);
+        assert_eq!(merged, full);
+    }
+
+    /// Drives a [`StreamMonitor`] the way the daemon does — firehose tap,
+    /// explicit hour boundaries — and returns its segment report.
+    fn stream_monitor_run(runner: Runner, hours: u64) -> (RunState, MonitorReport) {
+        let mut e = engine();
+        let streaming = e.streaming();
+        let fh = streaming.firehose_with_capacity(ph_twitter_sim::api::DEFAULT_QUEUE_CAPACITY);
+        let mut monitor = StreamMonitor::new(runner, hours);
+        while !monitor.complete() {
+            monitor.begin_hour(&mut e);
+            let delivered = streaming.poll(fh).unwrap();
+            monitor.finish_hour(delivered, 0, &mut MemorySink).unwrap();
+        }
+        monitor.finish(0);
+        (monitor.state().clone(), monitor.segment().clone())
+    }
+
+    #[test]
+    fn stream_monitor_matches_the_batch_runner() {
+        let runner = small_runner(21);
+        let mut batch_engine = engine();
+        let full = runner.run(&mut batch_engine, 10);
+        let (state, report) = stream_monitor_run(runner, 10);
+        assert_eq!(state.next_hour, 10);
+        assert_eq!(report, full);
+    }
+
+    #[test]
+    fn stream_monitor_is_thread_count_invariant() {
+        let sequential = stream_monitor_run(small_runner(22), 8).1;
+        for threads in [2, 4] {
+            let runner = Runner::with_exec(
+                small_runner(22).config().clone(),
+                ExecConfig::with_threads(threads),
+            );
+            assert_eq!(
+                stream_monitor_run(runner, 8).1,
+                sequential,
+                "{threads}-thread stream monitor diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_monitor_resumes_mid_switch_interval() {
+        // switch_interval 3, stop at hour 4: the resumed monitor must
+        // restore the checkpointed membership rather than re-selecting.
+        let runner = Runner::new(RunnerConfig {
+            switch_interval_hours: 3,
+            ..small_runner(23).config().clone()
+        });
+        let mut full_engine = engine();
+        let full = runner.run(&mut full_engine, 10);
+
+        let mut e1 = engine();
+        let s1 = e1.streaming();
+        let fh1 = s1.firehose_with_capacity(ph_twitter_sim::api::DEFAULT_QUEUE_CAPACITY);
+        let mut first = StreamMonitor::new(runner.clone(), 10);
+        for _ in 0..4 {
+            first.begin_hour(&mut e1);
+            let delivered = s1.poll(fh1).unwrap();
+            first.finish_hour(delivered, 0, &mut MemorySink).unwrap();
+        }
+        let state = first.state().clone();
+        let mut merged = first.segment().clone();
+        drop(first);
+        drop(e1);
+
+        // Resume on a fast-forwarded engine (firehose opened *after* the
+        // fast-forward so replayed hours don't leak into the tap).
+        let mut e2 = engine();
+        e2.run_hours(state.next_hour);
+        let s2 = e2.streaming();
+        let fh2 = s2.firehose_with_capacity(ph_twitter_sim::api::DEFAULT_QUEUE_CAPACITY);
+        let mut resumed = StreamMonitor::resume(runner, 10, state);
+        while !resumed.complete() {
+            resumed.begin_hour(&mut e2);
+            let delivered = s2.poll(fh2).unwrap();
+            resumed.finish_hour(delivered, 0, &mut MemorySink).unwrap();
+        }
+        merged.merge(resumed.segment());
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn stop_flag_halts_run_segment_at_an_hour_boundary() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let runner = small_runner(24).with_stop_flag(Arc::clone(&stop));
+        let mut e = engine();
+        let mut state = RunState::default();
+
+        struct StopAfter {
+            stop: Arc<AtomicBool>,
+            hours: u64,
+        }
+        impl MonitorSink for StopAfter {
+            fn on_tweet(&mut self, _c: &CollectedTweet) -> std::io::Result<()> {
+                Ok(())
+            }
+            fn on_hour(&mut self, state: &RunState, _s: &MonitorReport) -> std::io::Result<()> {
+                if state.next_hour >= self.hours {
+                    self.stop.store(true, Ordering::Relaxed);
+                }
+                Ok(())
+            }
+        }
+        let mut sink = StopAfter {
+            stop: Arc::clone(&stop),
+            hours: 3,
+        };
+        let report = runner
+            .run_segment(
+                &mut e,
+                &mut state,
+                12,
+                u64::MAX,
+                runner.standard_networks(),
+                &mut sink,
+            )
+            .unwrap();
+        assert!(runner.stop_requested());
+        assert_eq!(state.next_hour, 3, "did not stop at the flagged boundary");
+        assert_eq!(report.hours, 3);
+
+        // The stopped run resumes exactly like a crash-resumed one.
+        let full = small_runner(24).run(&mut engine(), 12);
+        let mut resumed_engine = engine();
+        resumed_engine.run_hours(state.next_hour);
+        let resumed = small_runner(24)
+            .run_segment(
+                &mut resumed_engine,
+                &mut state,
+                12,
+                u64::MAX,
+                small_runner(24).standard_networks(),
+                &mut MemorySink,
+            )
+            .unwrap();
+        let mut merged = report;
+        merged.merge(&resumed);
         assert_eq!(merged, full);
     }
 

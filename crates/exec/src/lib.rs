@@ -32,9 +32,11 @@
 
 pub mod channel;
 pub mod merge;
+pub mod service;
 pub mod shard;
 pub mod stage;
 
 pub use merge::{merge_shards, Reorder, Seq};
+pub use service::LongLivedStage;
 pub use shard::{mix64, shard_of};
 pub use stage::{run, ExecConfig, Stage};

@@ -1,0 +1,462 @@
+//! The daemon: a long-lived monitor → extract → classify pipeline fed by
+//! wire frames.
+//!
+//! # The two-engine design
+//!
+//! The producer (a [`crate::loadgen`] feed or any external process
+//! speaking the wire protocol) owns one deterministic engine and streams
+//! its firehose. The daemon owns a second engine — the **replica** —
+//! built from the same manifest and stepped exactly once per wire-marked
+//! hour. Because the simulation is deterministic, the replica's world
+//! state (profiles, suspensions, trends, ground truth) is identical to
+//! the producer's at every boundary, which gives the daemon three things
+//! the wire deliberately does not carry:
+//!
+//! 1. **Network selection**: the hourly attribute switch reads the
+//!    replica *before* stepping into the hour, exactly like the batch
+//!    runner.
+//! 2. **REST context**: feature extraction and classification look up
+//!    author profiles on the replica.
+//! 3. **Evaluation sidecars**: ground-truth labels never cross the wire
+//!    (decoded tweets always arrive unlabeled), so each hour the daemon
+//!    polls its replica's own firehose and re-stamps the delivered
+//!    tweets from the replica's oracle before they are stored — stored
+//!    bytes match a batch run's exactly.
+//!
+//! # Restart equivalence
+//!
+//! Hour boundaries — not wall clocks — define batch composition, so a
+//! stop + `--resume` replays into the same hourly batches however the
+//! frames were timed. On resume the daemon rebuilds classifier state by
+//! replaying the stored log hour-by-hour through the same
+//! [`StreamClassifier`] (classification is stream-order-dependent via
+//! environment-score feedback), truncates the verdict stream to the
+//! records the recovered store actually holds, rewrites whatever prefix
+//! the stop tore off, and appends from there: the concatenated verdict
+//! stream is byte-identical to an uninterrupted run. Stale hour markers
+//! (a producer re-sending already-checkpointed hours) are skipped with
+//! their tweets; a marker *gap* is a protocol violation and fatal.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ph_core::detector::{build_training_data_with, DetectorConfig, SpamDetector, StreamClassifier};
+use ph_core::features::DEFAULT_TAU;
+use ph_core::labeling::pipeline::{label_collection_with, PipelineConfig};
+use ph_core::monitor::{
+    CollectedTweet, MonitorReport, RunState, Runner, RunnerConfig, StreamMonitor,
+};
+use ph_exec::ExecConfig;
+use ph_store::{Manifest, Store, StoreConfig, StoreWriter};
+use ph_telemetry::{log_info, log_warn};
+use ph_twitter_sim::engine::{Engine, SimConfig};
+use ph_twitter_sim::tweet::{Tweet, TweetId};
+use ph_twitter_sim::wire::StreamFrame;
+
+use crate::http::MetricsServer;
+use crate::listener::{BindAddr, Listener};
+use crate::loadgen::{spawn_feed, FeedConfig};
+use crate::queue::IngestQueue;
+use crate::verdict::VerdictWriter;
+
+/// How long one queue pop waits before the stop flag is re-checked.
+const POP_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// File written into the store directory with the resolved endpoint
+/// addresses (`ingest=…`, `http=…`) once the daemon is accepting.
+pub const ENDPOINTS_FILE: &str = "ENDPOINTS";
+
+/// In-daemon load generation settings.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Target events/second; `0` = unpaced.
+    pub rate: f64,
+}
+
+/// Everything [`run`] needs.
+pub struct ServeConfig {
+    /// Store directory (created fresh, or resumed with `resume`).
+    pub dir: PathBuf,
+    /// Run shape for a fresh store; ignored (with a warning upstream) on
+    /// resume, where the stored manifest pins everything.
+    pub manifest: Manifest,
+    /// Continue a previous run from its last checkpoint.
+    pub resume: bool,
+    /// Store tuning (checkpoint cadence, segment size, sync policy).
+    pub store: StoreConfig,
+    /// Dataflow threading for categorize/extract/classify stages.
+    pub exec: ExecConfig,
+    /// Ingest socket to bind (TCP `host:port` or Unix path).
+    pub listen: BindAddr,
+    /// HTTP endpoint to bind for `/metrics` + `/healthz`; `None`
+    /// disables it.
+    pub http: Option<String>,
+    /// Verdict stream path; `None` → `<dir>/verdicts.ndjson`.
+    pub verdicts: Option<PathBuf>,
+    /// Run the built-in producer against our own socket.
+    pub loadgen: Option<LoadgenConfig>,
+    /// Cooperative stop flag ([`crate::signal::install`] wires
+    /// SIGINT/SIGTERM to it); checked between frames, honored at hour
+    /// granularity.
+    pub stop: Arc<AtomicBool>,
+    /// Drain after this many hours *this session* — the deterministic
+    /// stand-in for a mid-run signal in tests.
+    pub stop_after_hours: Option<u64>,
+}
+
+/// What a daemon session did.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Monitored hours now complete (whole run, not just this session).
+    pub hours_done: u64,
+    /// The run's total hours per the manifest.
+    pub total_hours: u64,
+    /// Records in the segment log at exit.
+    pub records: u64,
+    /// Verdict lines in the stream at exit.
+    pub verdicts: u64,
+    /// Tweets shed by the ingest queue this session.
+    pub shed: u64,
+    /// True when the session drained before completing the run (the
+    /// store checkpoint makes `resume` continue it).
+    pub stopped_early: bool,
+    /// Resolved ingest address.
+    pub ingest_addr: String,
+    /// Resolved HTTP address, when enabled.
+    pub http_addr: Option<String>,
+}
+
+fn engine_for(manifest: &Manifest) -> Engine {
+    Engine::new(SimConfig {
+        seed: manifest.sim_seed,
+        num_organic: manifest.organic as usize,
+        num_campaigns: manifest.campaigns as usize,
+        accounts_per_campaign: manifest.per_campaign as usize,
+        ..Default::default()
+    })
+}
+
+/// Phases 1–2, identical to the batch CLI: ground-truth collection over
+/// `gt_hours`, labeling, and Random-Forest training — leaving `engine`
+/// stepped to the monitoring start.
+fn train_detector(
+    engine: &mut Engine,
+    runner: &Runner,
+    gt_hours: u64,
+    exec: &ExecConfig,
+) -> SpamDetector {
+    log_info!("serve: phase 1 — ground truth, standard network, {gt_hours} h…");
+    let train_report = runner.run(engine, gt_hours);
+    let ground_truth = label_collection_with(
+        &train_report.collected,
+        engine,
+        &PipelineConfig::default(),
+        exec,
+    );
+    log_info!("serve: phase 2 — training the Random Forest detector…");
+    let (data, _) = build_training_data_with(
+        &train_report.collected,
+        &ground_truth.labels,
+        engine,
+        DEFAULT_TAU,
+        exec,
+    );
+    SpamDetector::train(&DetectorConfig::default(), &data)
+}
+
+fn open_store(config: &ServeConfig) -> io::Result<(Store, MonitorReport, RunState, Manifest)> {
+    if config.resume {
+        let r = Store::open_resume(&config.dir, config.store)?;
+        log_info!(
+            "serve: resuming {}: {} of {} h done, {} records on log ({} bytes truncated in recovery)",
+            config.dir.display(),
+            r.state.next_hour,
+            r.manifest.hours,
+            r.store.record_count(),
+            r.recovery.truncated_bytes
+        );
+        Ok((r.store, r.report, r.state, r.manifest))
+    } else {
+        let store = Store::create(&config.dir, config.manifest, config.store)?;
+        Ok((
+            store,
+            MonitorReport::default(),
+            RunState::default(),
+            config.manifest,
+        ))
+    }
+}
+
+/// Replays the stored log hour-by-hour through the classifier: steps the
+/// replica across every already-monitored hour, rebuilds the
+/// stream-order-dependent extractor state, and rewrites verdict lines
+/// the previous session computed but never durably flushed.
+fn warm_up(
+    engine: &mut Engine,
+    classifier: &mut StreamClassifier,
+    exec: &ExecConfig,
+    store: &Store,
+    state: &RunState,
+    verdicts: &mut VerdictWriter,
+    kept_lines: u64,
+) -> io::Result<()> {
+    let records: Vec<CollectedTweet> = store
+        .reader()?
+        .collect::<io::Result<Vec<CollectedTweet>>>()?;
+    log_info!(
+        "serve: warm-up — replaying {} stored records over {} hours…",
+        records.len(),
+        state.next_hour
+    );
+    let mut base = 0usize;
+    for _ in 0..state.next_hour {
+        let absolute_hour = engine.now().whole_hours();
+        engine.step_hour();
+        let mut end = base;
+        while end < records.len() && records[end].hour == absolute_hour {
+            end += 1;
+        }
+        let batch = &records[base..end];
+        let hour_verdicts = classifier.classify_hour(batch, engine, exec);
+        for (offset, (collected, verdict)) in batch.iter().zip(&hour_verdicts).enumerate() {
+            if (base + offset) as u64 >= kept_lines {
+                verdicts.append(collected, *verdict)?;
+            }
+        }
+        base = end;
+    }
+    verdicts.flush()?;
+    if base != records.len() {
+        log_warn!(
+            "serve: {} stored records fall outside the checkpointed hours",
+            records.len() - base
+        );
+    }
+    Ok(())
+}
+
+/// Runs the daemon to completion (or a requested stop). See the module
+/// docs for the architecture.
+///
+/// # Errors
+///
+/// Propagates store/socket I/O failures and wire-protocol violations
+/// (an hour-marker gap).
+pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
+    let _span = ph_telemetry::span("serve");
+    let (mut store, prior, state, manifest) = open_store(&config)?;
+
+    let exec = config.exec.clone();
+    let mut engine = engine_for(&manifest);
+    let runner = Runner::with_exec(
+        RunnerConfig {
+            seed: manifest.runner_seed,
+            buffer_capacity: manifest.buffer_capacity as usize,
+            ..Default::default()
+        },
+        exec.clone(),
+    );
+    let detector = train_detector(&mut engine, &runner, manifest.gt_hours, &exec);
+    let mut classifier = StreamClassifier::new(detector);
+
+    let verdict_path = config
+        .verdicts
+        .clone()
+        .unwrap_or_else(|| config.dir.join("verdicts.ndjson"));
+    let mut verdicts = if config.resume {
+        let (mut writer, kept) = VerdictWriter::resume(&verdict_path, store.record_count())?;
+        warm_up(
+            &mut engine,
+            &mut classifier,
+            &exec,
+            &store,
+            &state,
+            &mut writer,
+            kept,
+        )?;
+        writer
+    } else {
+        VerdictWriter::create(&verdict_path)?
+    };
+
+    // The replica's own firehose tap, opened only now so neither the
+    // ground-truth window nor replayed hours leak into it.
+    let streaming = engine.streaming();
+    let tap = streaming.firehose_with_capacity(manifest.buffer_capacity as usize);
+
+    let queue = Arc::new(IngestQueue::new(manifest.buffer_capacity as usize));
+    let mut listener = Listener::spawn(&config.listen, Arc::clone(&queue))?;
+    let http = match &config.http {
+        Some(addr) => Some(MetricsServer::spawn(addr)?),
+        None => None,
+    };
+    let ingest_addr = listener.addr.to_string();
+    let http_addr = http.as_ref().map(|h| h.addr.clone());
+    std::fs::write(
+        config.dir.join(ENDPOINTS_FILE),
+        format!(
+            "ingest={ingest_addr}\nhttp={}\n",
+            http_addr.as_deref().unwrap_or("-")
+        ),
+    )?;
+    ph_telemetry::gauge("serve.hours_total").set(manifest.hours as f64);
+    ph_telemetry::gauge("serve.hours_done").set(state.next_hour as f64);
+
+    if let Some(loadgen) = &config.loadgen {
+        // Self-soak: the producer connects to our own freshly bound
+        // socket and streams the remaining hours. Detached — it ends at
+        // its own Shutdown frame or a broken pipe when we drain first.
+        drop(spawn_feed(
+            listener.addr.clone(),
+            FeedConfig {
+                manifest,
+                start_hour: state.next_hour,
+                end_hour: manifest.hours,
+                rate: loadgen.rate,
+            },
+        ));
+    }
+
+    let mut monitor = StreamMonitor::resume(runner, manifest.hours, state);
+    let session_start_hour = monitor.state().next_hour;
+    let mut stopped_early = false;
+    let mut producer_done = false;
+    let mut buffered: Vec<Tweet> = Vec::new();
+    {
+        let mut writer: StoreWriter<'_> = store.writer(&prior);
+        while !monitor.complete() {
+            let hours_this_session = monitor.state().next_hour - session_start_hour;
+            if config.stop.load(Ordering::SeqCst)
+                || config
+                    .stop_after_hours
+                    .is_some_and(|n| hours_this_session >= n)
+            {
+                stopped_early = true;
+                break;
+            }
+            let Some(frame) = queue.pop_timeout(POP_TIMEOUT) else {
+                if producer_done && config.loadgen.is_some() && queue.depth() == 0 {
+                    // Our own producer finished early (it errors out on
+                    // a drain, never silently under-delivers) — without
+                    // this the self-soak would idle forever.
+                    stopped_early = true;
+                    break;
+                }
+                continue;
+            };
+            match frame {
+                StreamFrame::Tweet(tweet) => buffered.push(tweet),
+                StreamFrame::Shutdown => producer_done = true,
+                StreamFrame::HourBoundary { hour } => {
+                    match hour.cmp(&monitor.state().next_hour) {
+                        CmpOrdering::Less => {
+                            // A producer replaying already-checkpointed
+                            // hours (it restarted from an older cursor):
+                            // drop the duplicate hour wholesale.
+                            buffered.clear();
+                        }
+                        CmpOrdering::Greater => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "hour marker gap: producer announced hour {hour} but hour {} is next",
+                                    monitor.state().next_hour
+                                ),
+                            ));
+                        }
+                        CmpOrdering::Equal => {
+                            monitor.begin_hour(&mut engine);
+                            // Re-stamp evaluation sidecars from the
+                            // replica's oracle — the wire carries none.
+                            let replica_tweets = streaming.poll(tap).map_err(io::Error::other)?;
+                            let oracle = engine.ground_truth();
+                            let truth: HashMap<TweetId, bool> = replica_tweets
+                                .iter()
+                                .map(|t| (t.id, oracle.is_spam(t)))
+                                .collect();
+                            for tweet in &mut buffered {
+                                let spam = truth.get(&tweet.id).copied().unwrap_or(false);
+                                tweet.set_evaluation_sidecar_spam(spam);
+                            }
+                            let shed = queue.take_shed();
+                            if shed > 0 {
+                                ph_telemetry::counter("serve.ingest.shed").add(shed);
+                            }
+                            let delivered = std::mem::take(&mut buffered);
+                            let batch = monitor.finish_hour(delivered, shed, &mut writer)?;
+                            let hour_verdicts = classifier.classify_hour(&batch, &engine, &exec);
+                            for (collected, verdict) in batch.iter().zip(&hour_verdicts) {
+                                verdicts.append(collected, *verdict)?;
+                            }
+                            verdicts.flush()?;
+                            ph_telemetry::counter("serve.verdicts").add(batch.len() as u64);
+                            ph_telemetry::gauge("serve.hours_done")
+                                .set(monitor.state().next_hour as f64);
+                            ph_telemetry::progress_update(&format!(
+                                "serve: hour {}/{} done",
+                                monitor.state().next_hour,
+                                manifest.hours
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if stopped_early {
+            // A partial hour is discarded — its boundary never arrived,
+            // so the producer re-sends the whole hour after resume. The
+            // forced checkpoint is what lets a between-intervals stop
+            // resume from the last *completed* hour.
+            if !buffered.is_empty() {
+                log_info!(
+                    "serve: discarding {} tweets of the unfinished hour (re-sent on resume)",
+                    buffered.len()
+                );
+                buffered.clear();
+            }
+            writer.checkpoint_now(monitor.state(), monitor.segment())?;
+        }
+    }
+    monitor.finish(manifest.buffer_capacity as usize);
+    listener.shutdown();
+    drop(http);
+    streaming.close(tap);
+    store.sync()?;
+
+    // The durable observability record, shaped exactly like a batch
+    // run's so `inspect` renders serve stores unchanged.
+    let journal = ph_telemetry::journal_snapshot();
+    let points = ph_telemetry::run_series_points(monitor.state().next_hour.saturating_sub(1));
+    store.write_telemetry(&journal, &points)?;
+
+    let outcome = ServeOutcome {
+        hours_done: monitor.state().next_hour,
+        total_hours: manifest.hours,
+        records: store.record_count(),
+        verdicts: verdicts.next_seq(),
+        shed: queue.shed_count(),
+        stopped_early: stopped_early && !monitor.complete(),
+        ingest_addr,
+        http_addr,
+    };
+    verdicts.flush()?;
+    log_info!(
+        "serve: {} of {} h done, {} records, {} verdicts, {} shed{}",
+        outcome.hours_done,
+        outcome.total_hours,
+        outcome.records,
+        outcome.verdicts,
+        outcome.shed,
+        if outcome.stopped_early {
+            " — stopped early, resumable"
+        } else {
+            ""
+        }
+    );
+    Ok(outcome)
+}

@@ -1,0 +1,175 @@
+//! The daemon's HTTP observability endpoint.
+//!
+//! Two routes, zero dependencies:
+//!
+//! - `GET /metrics` — the live telemetry registry rendered by
+//!   [`ph_telemetry::to_prometheus`], served with the exposition-format
+//!   content type `text/plain; version=0.0.4` Prometheus expects.
+//! - `GET /healthz` — `200 ok` while the daemon is running.
+//!
+//! Every response closes its connection (`Connection: close`): a scrape
+//! is one short-lived socket, which keeps the server a single thread
+//! with a non-blocking accept loop — no keep-alive state machine.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ph_telemetry::log_info;
+
+/// The Prometheus text exposition format version served by `/metrics`.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// How often the accept loop re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A running metrics/health HTTP server.
+pub struct MetricsServer {
+    /// The bound `host:port` (port 0 in the request is resolved here).
+    pub addr: String,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !loop_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        // Serve inline: responses are small and the
+                        // registry snapshot is the slow part anyway.
+                        let _ = serve_one(conn);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+        });
+        log_info!("metrics endpoint on http://{bound}/metrics");
+        Ok(Self {
+            addr: bound,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads one request line and answers it.
+fn serve_one(mut conn: TcpStream) -> io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the header terminator (or the buffer fills) — only the
+    // request line matters, but draining headers avoids a TCP RST race
+    // on clients that are still writing when we respond.
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        let n = match conn.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        };
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    ph_telemetry::counter("serve.http.requests").inc();
+    match path {
+        "/metrics" => {
+            let body = ph_telemetry::to_prometheus(
+                &ph_telemetry::snapshot(),
+                &ph_telemetry::series_snapshot(),
+            );
+            respond(&mut conn, "200 OK", METRICS_CONTENT_TYPE, &body)
+        }
+        "/healthz" => respond(&mut conn, "200 OK", "text/plain", "ok\n"),
+        _ => respond(&mut conn, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(conn: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    write!(
+        conn,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: &str, path: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_with_the_pinned_content_type() {
+        ph_telemetry::counter("serve.test.http_metric").inc();
+        let server = MetricsServer::spawn("127.0.0.1:0").unwrap();
+        let response = get(&server.addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        // The exposition-format content type, pinned: Prometheus rejects
+        // scrape targets that drop the version parameter.
+        assert!(
+            response.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+            "missing pinned content type in: {response}"
+        );
+        assert!(response.contains("ph_serve_test_http_metric"), "{response}");
+    }
+
+    #[test]
+    fn healthz_answers_ok_and_unknown_paths_404() {
+        let mut server = MetricsServer::spawn("127.0.0.1:0").unwrap();
+        let health = get(&server.addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(health.ends_with("ok\n"));
+        let missing = get(&server.addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,281 @@
+//! Socket ingestion: TCP and Unix-socket listeners feeding the ingest
+//! queue with decoded stream frames.
+//!
+//! One accept thread per listener (non-blocking accept polled against a
+//! shutdown flag), one reader thread per connection. Readers use the
+//! self-delimiting [`ph_twitter_sim::wire`] framing: a clean EOF ends
+//! the connection silently, a torn frame is logged and drops the
+//! connection (the producer re-sends the hour on its next connect — the
+//! daemon never processes a partial hour, so nothing desynchronizes).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ph_telemetry::{log_info, log_warn};
+use ph_twitter_sim::wire::read_stream_frame;
+
+use crate::queue::IngestQueue;
+
+/// How often blocked accept/read loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A parsed ingest address: anything containing a `/` is a Unix-socket
+/// path, anything else is a TCP `host:port`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindAddr {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl BindAddr {
+    /// Parses an address string: `127.0.0.1:7007` is TCP,
+    /// `/run/ph/ingest.sock` (any string with a `/`) is a Unix socket.
+    #[must_use]
+    pub fn parse(s: &str) -> Self {
+        if s.contains('/') {
+            BindAddr::Unix(PathBuf::from(s))
+        } else {
+            BindAddr::Tcp(s.to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for BindAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindAddr::Tcp(addr) => write!(f, "{addr}"),
+            BindAddr::Unix(path) => write!(f, "{}", path.display()),
+        }
+    }
+}
+
+/// A running ingest listener. Dropping it does *not* stop the threads —
+/// call [`Listener::shutdown`] (idempotent) for a clean join.
+pub struct Listener {
+    /// The actually bound address (TCP port 0 is resolved here).
+    pub addr: BindAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Listener {
+    /// Binds `addr` and starts the accept loop feeding `queue`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures. A pre-existing Unix socket file is
+    /// removed first (the daemon owns its socket path).
+    pub fn spawn(addr: &BindAddr, queue: Arc<IngestQueue>) -> io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        match addr {
+            BindAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(spec)?;
+                let bound = BindAddr::Tcp(listener.local_addr()?.to_string());
+                listener.set_nonblocking(true)?;
+                let accept_stop = Arc::clone(&stop);
+                let handle = std::thread::spawn(move || {
+                    accept_loop(
+                        &accept_stop,
+                        || match listener.accept() {
+                            Ok((conn, _)) => Some(Ok(Conn::Tcp(conn))),
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                            Err(e) => Some(Err(e)),
+                        },
+                        &queue,
+                    );
+                });
+                log_info!("ingest listener on tcp {bound}");
+                Ok(Self {
+                    addr: bound,
+                    stop,
+                    accept_handle: Some(handle),
+                    unix_path: None,
+                })
+            }
+            BindAddr::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                let accept_stop = Arc::clone(&stop);
+                let handle = std::thread::spawn(move || {
+                    accept_loop(
+                        &accept_stop,
+                        || match listener.accept() {
+                            Ok((conn, _)) => Some(Ok(Conn::Unix(conn))),
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                            Err(e) => Some(Err(e)),
+                        },
+                        &queue,
+                    );
+                });
+                log_info!("ingest listener on unix socket {}", path.display());
+                Ok(Self {
+                    addr: BindAddr::Unix(path.clone()),
+                    stop,
+                    accept_handle: Some(handle),
+                    unix_path: Some(path.clone()),
+                })
+            }
+        }
+    }
+
+    /// Stops accepting, joins the accept thread, and removes the Unix
+    /// socket file if one was bound. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+fn accept_loop(
+    stop: &AtomicBool,
+    mut accept: impl FnMut() -> Option<io::Result<Conn>>,
+    queue: &Arc<IngestQueue>,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match accept() {
+            Some(Ok(conn)) => {
+                ph_telemetry::counter("serve.ingest.connections").inc();
+                let queue = Arc::clone(queue);
+                readers.push(std::thread::spawn(move || read_loop(conn, &queue)));
+            }
+            Some(Err(e)) => {
+                log_warn!("ingest accept failed: {e}");
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            None => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    // Reader threads exit on their own at peer EOF; joining here would
+    // hang shutdown on an idle-but-connected producer, so they are left
+    // to finish with the process. The queue they hold is Arc-shared.
+}
+
+/// One connection's read loop: decode frames until EOF or a torn frame.
+///
+/// Reads block without a timeout: a timeout firing mid-frame would lose
+/// the partially read length prefix and desynchronize the stream. The
+/// thread exits at peer EOF; an idle producer pins only this one thread,
+/// which dies with the process.
+fn read_loop(conn: Conn, queue: &Arc<IngestQueue>) {
+    let mut reader = io::BufReader::new(conn);
+    loop {
+        match read_stream_frame(&mut reader) {
+            Ok(Some(frame)) => queue.push(frame),
+            Ok(None) => return, // clean EOF
+            Err(e) => {
+                ph_telemetry::counter("serve.ingest.torn_connections").inc();
+                log_warn!("ingest connection dropped: {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Connects to a daemon's ingest socket, returning a buffered writer the
+/// producer streams frames into.
+///
+/// # Errors
+///
+/// Propagates connect failures.
+pub fn connect(addr: &BindAddr) -> io::Result<Box<dyn Write + Send>> {
+    Ok(match addr {
+        BindAddr::Tcp(spec) => Box::new(io::BufWriter::new(TcpStream::connect(spec)?)),
+        BindAddr::Unix(path) => Box::new(io::BufWriter::new(UnixStream::connect(path)?)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_twitter_sim::wire::{write_stream_frame, StreamFrame};
+
+    #[test]
+    fn parse_distinguishes_tcp_from_unix() {
+        assert_eq!(
+            BindAddr::parse("127.0.0.1:7007"),
+            BindAddr::Tcp("127.0.0.1:7007".into())
+        );
+        assert_eq!(
+            BindAddr::parse("/tmp/x.sock"),
+            BindAddr::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            BindAddr::parse("./rel.sock"),
+            BindAddr::Unix(PathBuf::from("./rel.sock"))
+        );
+    }
+
+    #[test]
+    fn tcp_roundtrip_frames_land_on_the_queue() {
+        let queue = Arc::new(IngestQueue::new(64));
+        let mut listener =
+            Listener::spawn(&BindAddr::Tcp("127.0.0.1:0".into()), Arc::clone(&queue)).unwrap();
+        let mut conn = connect(&listener.addr).unwrap();
+        write_stream_frame(&mut conn, &StreamFrame::HourBoundary { hour: 3 }).unwrap();
+        write_stream_frame(&mut conn, &StreamFrame::Shutdown).unwrap();
+        conn.flush().unwrap();
+        drop(conn);
+        assert!(matches!(
+            queue.pop_timeout(Duration::from_secs(5)),
+            Some(StreamFrame::HourBoundary { hour: 3 })
+        ));
+        assert!(matches!(
+            queue.pop_timeout(Duration::from_secs(5)),
+            Some(StreamFrame::Shutdown)
+        ));
+        listener.shutdown();
+    }
+
+    #[test]
+    fn unix_socket_roundtrip_and_stale_file_rebind() {
+        let path = std::env::temp_dir().join(format!("ph-serve-ltest-{}.sock", std::process::id()));
+        let queue = Arc::new(IngestQueue::new(64));
+        // Bind twice: the second spawn must clear the first's socket file.
+        let mut first = Listener::spawn(&BindAddr::Unix(path.clone()), Arc::clone(&queue)).unwrap();
+        first.shutdown();
+        let mut listener =
+            Listener::spawn(&BindAddr::Unix(path.clone()), Arc::clone(&queue)).unwrap();
+        let mut conn = connect(&listener.addr).unwrap();
+        write_stream_frame(&mut conn, &StreamFrame::HourBoundary { hour: 9 }).unwrap();
+        conn.flush().unwrap();
+        drop(conn);
+        assert!(matches!(
+            queue.pop_timeout(Duration::from_secs(5)),
+            Some(StreamFrame::HourBoundary { hour: 9 })
+        ));
+        listener.shutdown();
+        assert!(!path.exists(), "socket file not cleaned up");
+    }
+}

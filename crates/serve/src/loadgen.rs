@@ -1,0 +1,132 @@
+//! The open-loop load generator / feed client.
+//!
+//! A deterministic producer: rebuilds the manifest's engine, fast-forwards
+//! over the ground-truth window (and any already-monitored hours), taps
+//! the firehose, and streams every tweet of every remaining hour over a
+//! socket as wire frames, closing each hour with an [`StreamFrame::HourBoundary`]
+//! marker and the run with [`StreamFrame::Shutdown`].
+//!
+//! *Open-loop* means pacing is against the wall clock, not the consumer:
+//! with `rate` events/second, event *n* is sent at `start + n/rate`
+//! regardless of how far the daemon has fallen behind — the shedding
+//! ingest queue, not producer backoff, absorbs overload (the
+//! Pseudo-Honeypot paper's scalability claim is about surviving the
+//! firehose, so the harness must not flow-control it away). `rate = 0`
+//! streams as fast as the socket accepts.
+//!
+//! The hidden ground-truth labels never cross the wire: tweet frames are
+//! encoded by [`ph_twitter_sim::wire`], which omits the label field
+//! entirely — the daemon rebuilds evaluation sidecars from its own
+//! replica engine.
+
+use std::io::{self, Write as _};
+use std::time::{Duration, Instant};
+
+use ph_store::Manifest;
+use ph_telemetry::{log_info, log_warn};
+use ph_twitter_sim::engine::{Engine, SimConfig};
+use ph_twitter_sim::wire::{write_stream_frame, StreamFrame};
+
+use crate::listener::{connect, BindAddr};
+
+/// What to generate and how fast.
+#[derive(Debug, Clone)]
+pub struct FeedConfig {
+    /// The run being produced (engine seeds, scale, hour counts).
+    pub manifest: Manifest,
+    /// First run-relative hour to send (a resumed daemon's `next_hour`).
+    pub start_hour: u64,
+    /// One past the last run-relative hour to send (usually
+    /// `manifest.hours`).
+    pub end_hour: u64,
+    /// Target events/second; `0` = unpaced.
+    pub rate: f64,
+}
+
+/// What a feed run delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedSummary {
+    /// Tweet frames written.
+    pub tweets: u64,
+    /// Hour markers written.
+    pub hours: u64,
+}
+
+/// Builds the producer engine and streams `config`'s hours to `addr`.
+///
+/// # Errors
+///
+/// Propagates connect/write failures (a daemon that goes away mid-feed
+/// surfaces as a broken pipe).
+pub fn feed(addr: &BindAddr, config: &FeedConfig) -> io::Result<FeedSummary> {
+    let m = &config.manifest;
+    let mut engine = Engine::new(SimConfig {
+        seed: m.sim_seed,
+        num_organic: m.organic as usize,
+        num_campaigns: m.campaigns as usize,
+        accounts_per_campaign: m.per_campaign as usize,
+        ..Default::default()
+    });
+    // Fast-forward over the ground-truth window plus already-delivered
+    // hours; determinism makes the tap identical to never having
+    // disconnected.
+    engine.run_hours(m.gt_hours + config.start_hour);
+    let streaming = engine.streaming();
+    let tap = streaming.firehose_with_capacity(m.buffer_capacity as usize);
+
+    let mut out = connect(addr)?;
+    log_info!(
+        "loadgen: feeding hours {}..{} to {addr} at {}",
+        config.start_hour,
+        config.end_hour,
+        if config.rate > 0.0 {
+            format!("{} events/s", config.rate)
+        } else {
+            "full speed".to_string()
+        }
+    );
+    let started = Instant::now();
+    let mut sent = 0u64;
+    let mut hours = 0u64;
+    for hour in config.start_hour..config.end_hour {
+        engine.step_hour();
+        let tweets = streaming.poll(tap).map_err(io::Error::other)?;
+        for tweet in tweets {
+            if config.rate > 0.0 {
+                let target = started + Duration::from_secs_f64(sent as f64 / config.rate);
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+            }
+            write_stream_frame(&mut out, &StreamFrame::Tweet(tweet))?;
+            sent += 1;
+        }
+        write_stream_frame(&mut out, &StreamFrame::HourBoundary { hour })?;
+        out.flush()?;
+        hours += 1;
+        ph_telemetry::counter("serve.loadgen.hours").inc();
+    }
+    write_stream_frame(&mut out, &StreamFrame::Shutdown)?;
+    out.flush()?;
+    ph_telemetry::counter("serve.loadgen.tweets").add(sent);
+    streaming.close(tap);
+    Ok(FeedSummary {
+        tweets: sent,
+        hours,
+    })
+}
+
+/// [`feed`] on a background thread, logging instead of propagating
+/// errors — the in-daemon load generator must not take the daemon down
+/// when the daemon itself closes the connection during a drain.
+pub fn spawn_feed(addr: BindAddr, config: FeedConfig) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || match feed(&addr, &config) {
+        Ok(summary) => log_info!(
+            "loadgen: delivered {} tweets over {} hours",
+            summary.tweets,
+            summary.hours
+        ),
+        Err(e) => log_warn!("loadgen stopped: {e}"),
+    })
+}

@@ -1,0 +1,234 @@
+//! The live verdict stream: one NDJSON line per stored tweet.
+//!
+//! Line format (stable field order, one object per line):
+//!
+//! ```json
+//! {"seq":17,"hour":3,"tweet":90312,"author":451,"spam":true,"score":0.8142857142857143}
+//! ```
+//!
+//! `seq` is the tweet's index in the store's segment log — the verdict
+//! stream and the record log advance in lockstep, which is what makes
+//! restarts exact: on `--resume` the file is truncated to the first
+//! `record_count` lines (classification may have outrun the last
+//! checkpoint, or crashed before flushing), the warm-up replay rewrites
+//! any missing prefix lines, and appending continues from there. The
+//! concatenated stream across any number of restarts is byte-identical
+//! to an uninterrupted run — `tests/serve_soak.rs` holds this pin.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Seek, Write};
+use std::path::Path;
+
+use ph_core::detector::Verdict;
+use ph_core::monitor::CollectedTweet;
+
+/// Appends NDJSON verdict lines with a monotone sequence number.
+pub struct VerdictWriter {
+    out: BufWriter<File>,
+    seq: u64,
+}
+
+impl VerdictWriter {
+    /// Creates (truncating) a fresh verdict stream at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+            seq: 0,
+        })
+    }
+
+    /// Reopens an existing stream for a resumed run: keeps the first
+    /// `min(existing lines, keep)` lines, truncates the rest, and
+    /// positions the writer to append. Returns the writer and the number
+    /// of lines kept — the warm-up replay writes lines `kept..keep`
+    /// itself (they were computed but never flushed before the stop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures. A missing file is treated as empty.
+    pub fn resume(path: &Path, keep: u64) -> io::Result<(Self, u64)> {
+        if !path.exists() {
+            return Ok((Self::create(path)?, 0));
+        }
+        let mut kept = 0u64;
+        let mut keep_bytes = 0u64;
+        {
+            let mut reader = BufReader::new(File::open(path)?);
+            let mut line = String::new();
+            while kept < keep {
+                line.clear();
+                let n = reader.read_line(&mut line)?;
+                if n == 0 || !line.ends_with('\n') {
+                    // EOF or a torn final line (crashed mid-write):
+                    // everything from here on is rewritten by warm-up.
+                    break;
+                }
+                kept += 1;
+                keep_bytes += n as u64;
+            }
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(keep_bytes)?;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((
+            Self {
+                out: BufWriter::new(file),
+                seq: kept,
+            },
+            kept,
+        ))
+    }
+
+    /// The sequence number the next appended line will carry.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Appends one verdict line for `collected` (its absolute engine
+    /// hour rides along) and advances the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn append(&mut self, collected: &CollectedTweet, verdict: Verdict) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "{{\"seq\":{},\"hour\":{},\"tweet\":{},\"author\":{},\"spam\":{},\"score\":{}}}",
+            self.seq,
+            collected.hour,
+            collected.tweet.id.0,
+            collected.tweet.author.0,
+            verdict.spam,
+            verdict.score
+        )?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered lines to the file (called at hour boundaries so
+    /// `tail -f` observes whole hours).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::attributes::{ProfileAttribute, SampleAttribute};
+    use ph_core::monitor::TweetCategory;
+    use ph_twitter_sim::account::AccountId;
+    use ph_twitter_sim::time::SimTime;
+    use ph_twitter_sim::tweet::{Tweet, TweetId, TweetKind, TweetSource};
+
+    fn collected(id: u64, hour: u64) -> CollectedTweet {
+        CollectedTweet {
+            tweet: Tweet::observed(
+                TweetId(id),
+                AccountId(7),
+                SimTime::from_hours(hour),
+                TweetKind::Original,
+                TweetSource::Web,
+                String::new(),
+                vec![],
+                vec![],
+                vec![],
+                None,
+            ),
+            category: TweetCategory::NodeActivity,
+            node: AccountId(7),
+            slot: SampleAttribute::profile(ProfileAttribute::FriendsCount, 1_000.0),
+            hour,
+        }
+    }
+
+    fn verdict(spam: bool) -> Verdict {
+        Verdict { spam, score: 0.25 }
+    }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ph-serve-verdict-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn lines_carry_monotone_seqs_and_stable_fields() {
+        let path = temp("basic");
+        let mut w = VerdictWriter::create(&path).unwrap();
+        w.append(&collected(11, 2), verdict(true)).unwrap();
+        w.append(&collected(12, 2), verdict(false)).unwrap();
+        w.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"seq\":0,\"hour\":2,\"tweet\":11,\"author\":7,\"spam\":true,\"score\":0.25}\n\
+             {\"seq\":1,\"hour\":2,\"tweet\":12,\"author\":7,\"spam\":false,\"score\":0.25}\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_truncates_to_keep_and_continues_the_sequence() {
+        let path = temp("resume");
+        let mut w = VerdictWriter::create(&path).unwrap();
+        for i in 0..5 {
+            w.append(&collected(i, 0), verdict(false)).unwrap();
+        }
+        w.flush().unwrap();
+        drop(w);
+        // Store rolled back to 3 records: keep 3 lines, drop 2.
+        let (mut w, kept) = VerdictWriter::resume(&path, 3).unwrap();
+        assert_eq!(kept, 3);
+        assert_eq!(w.next_seq(), 3);
+        w.append(&collected(90, 1), verdict(true)).unwrap();
+        w.flush().unwrap();
+        let lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].starts_with("{\"seq\":3,"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_past_a_short_or_torn_file_reports_what_it_kept() {
+        let path = temp("short");
+        let mut w = VerdictWriter::create(&path).unwrap();
+        w.append(&collected(1, 0), verdict(false)).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        // Simulate a crash mid-write: a torn final line without newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"seq\":1,\"hour\":0,\"twe").unwrap();
+        }
+        // Store says 3 records exist; only 1 whole line survived.
+        let (w, kept) = VerdictWriter::resume(&path, 3).unwrap();
+        assert_eq!(kept, 1);
+        assert_eq!(w.next_seq(), 1);
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "torn tail not truncated: {text}");
+        assert!(text.ends_with('\n'));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_of_a_missing_file_starts_fresh() {
+        let path = temp("missing");
+        let _ = std::fs::remove_file(&path);
+        let (w, kept) = VerdictWriter::resume(&path, 10).unwrap();
+        assert_eq!((kept, w.next_seq()), (0, 0));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -52,7 +52,9 @@ pub use checkpoint::{Checkpoint, CheckpointLog};
 pub use log::{CollectedReader, LogReader, RecoveryReport, SegmentLog};
 pub use manifest::Manifest;
 pub use record::{decode_collected, encode_collected, StoreDecodeError};
-pub use store::{ResumedStore, Store, StoreConfig, StoreWriter, SyncPolicy};
+pub use store::{
+    ResumedStore, Store, StoreConfig, StoreWriter, SyncPolicy, CHECKPOINT_FILE, MANIFEST_FILE,
+};
 pub use telemetry::{
     decode_journal_entry, decode_series_point, encode_journal_entry, encode_series_point,
     read_journal, read_series, write_journal, write_series, JOURNAL_FILE, SERIES_FILE,

@@ -263,6 +263,38 @@ pub struct StoreWriter<'a> {
     base: MonitorReport,
 }
 
+impl StoreWriter<'_> {
+    /// Forces a checkpoint right now, regardless of the configured
+    /// interval — the graceful-drain path of a long-lived service uses
+    /// this so a stop between interval boundaries still resumes from the
+    /// last *completed* hour instead of re-running the whole interval.
+    /// Duplicate checkpoints at the same cursor are harmless: resume
+    /// picks the newest one the log covers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures syncing the log or appending the
+    /// checkpoint.
+    pub fn checkpoint_now(&mut self, state: &RunState, segment: &MonitorReport) -> io::Result<()> {
+        // Records must be durable before the checkpoint that covers them.
+        self.store.log.sync()?;
+        let mut cumulative = self.base.clone();
+        cumulative.merge(segment);
+        let checkpoint = Checkpoint::new(
+            self.store.log.record_count(),
+            self.store.manifest.gt_hours + state.next_hour,
+            state,
+            &cumulative,
+        );
+        self.store.checkpoints.append(&checkpoint)?;
+        ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::CheckpointWritten {
+            hour: state.next_hour,
+            records: checkpoint.records,
+        });
+        Ok(())
+    }
+}
+
 impl MonitorSink for StoreWriter<'_> {
     fn on_tweet(&mut self, collected: &CollectedTweet) -> io::Result<()> {
         self.store.log.append(&encode_collected(collected))?;
@@ -294,22 +326,7 @@ impl MonitorSink for StoreWriter<'_> {
         {
             return Ok(());
         }
-        // Records must be durable before the checkpoint that covers them.
-        self.store.log.sync()?;
-        let mut cumulative = self.base.clone();
-        cumulative.merge(segment);
-        let checkpoint = Checkpoint::new(
-            self.store.log.record_count(),
-            self.store.manifest.gt_hours + state.next_hour,
-            state,
-            &cumulative,
-        );
-        self.store.checkpoints.append(&checkpoint)?;
-        ph_telemetry::journal_emit(ph_telemetry::TelemetryEvent::CheckpointWritten {
-            hour: state.next_hour,
-            records: checkpoint.records,
-        });
-        Ok(())
+        self.checkpoint_now(state, segment)
     }
 
     fn retain_in_memory(&self) -> bool {

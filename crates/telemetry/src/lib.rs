@@ -67,7 +67,8 @@ pub use report::{
     RunReport, SpanSnapshot,
 };
 pub use series::{
-    series, series_reset, series_snapshot, Series, SeriesPoint, DEFAULT_SERIES_CAPACITY,
+    run_series_points, series, series_reset, series_snapshot, Series, SeriesPoint,
+    DEFAULT_SERIES_CAPACITY,
 };
 pub use spans::{span, time, SpanGuard};
 

@@ -135,6 +135,65 @@ pub fn series_snapshot() -> Vec<SeriesPoint> {
     out
 }
 
+/// Flattens the whole telemetry registry into hour-keyed series points
+/// for persistence: every live time-series point, plus run-level
+/// aggregates under structured names — `stage.<name>.{items,ms,tweets_per_s}`
+/// from the exec counters/histograms, `span.<path>.{count,total_ms,mean_ms}`
+/// from the span aggregates, and `hist.<name>.{count,sum,mean,p50,p95,p99}`
+/// (interpolated quantiles) from every histogram — keyed to `final_hour`.
+/// The series stream carries wall-clock quantities and is deliberately
+/// outside the journal's byte-stability contract.
+#[must_use]
+pub fn run_series_points(final_hour: u64) -> Vec<SeriesPoint> {
+    let mut points = series_snapshot();
+    let report = crate::registry::snapshot();
+    let mut push = |name: String, value: f64| {
+        points.push(SeriesPoint {
+            name,
+            hour: final_hour,
+            value,
+        });
+    };
+    for c in &report.counters {
+        if let Some(stage) = c
+            .name
+            .strip_prefix("exec.")
+            .and_then(|s| s.strip_suffix(".items"))
+        {
+            push(format!("stage.{stage}.items"), c.value as f64);
+        }
+    }
+    for h in &report.histograms {
+        push(format!("hist.{}.count", h.name), h.snapshot.count as f64);
+        push(format!("hist.{}.sum", h.name), h.snapshot.sum);
+        push(format!("hist.{}.mean", h.name), h.snapshot.mean());
+        push(format!("hist.{}.p50", h.name), h.snapshot.quantile(0.50));
+        push(format!("hist.{}.p95", h.name), h.snapshot.quantile(0.95));
+        push(format!("hist.{}.p99", h.name), h.snapshot.quantile(0.99));
+        if let Some(stage) = h
+            .name
+            .strip_prefix("exec.")
+            .and_then(|s| s.strip_suffix(".ms"))
+        {
+            push(format!("stage.{stage}.ms"), h.snapshot.sum);
+            let items = report
+                .counter_value(&format!("exec.{stage}.items"))
+                .unwrap_or(0);
+            let secs = h.snapshot.sum / 1000.0;
+            if secs > 0.0 {
+                push(format!("stage.{stage}.tweets_per_s"), items as f64 / secs);
+            }
+        }
+    }
+    for s in &report.spans {
+        push(format!("span.{}.count", s.path), s.count as f64);
+        push(format!("span.{}.total_ms", s.path), s.total_ms);
+        push(format!("span.{}.mean_ms", s.path), s.mean_ms);
+    }
+    points.sort_by(|a, b| a.name.cmp(&b.name).then(a.hour.cmp(&b.hour)));
+    points
+}
+
 /// Clears the buckets of every registered series in place (handles
 /// stay valid).
 pub fn series_reset() {

@@ -23,6 +23,10 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 1_000_000;
 #[derive(Debug)]
 struct Subscription {
     tracked: HashSet<AccountId>,
+    /// A firehose subscription matches every tweet regardless of
+    /// `tracked` — the open-loop load generator's tap on the full
+    /// simulated stream.
+    firehose: bool,
     queue: VecDeque<Tweet>,
     capacity: usize,
     dropped: u64,
@@ -48,7 +52,8 @@ impl StreamBus {
     pub(crate) fn publish(&self, tweet: &Tweet) {
         let mut inner = self.inner.lock().expect("stream bus lock poisoned");
         for sub in inner.subscriptions.values_mut() {
-            let matches = sub.tracked.contains(&tweet.author)
+            let matches = sub.firehose
+                || sub.tracked.contains(&tweet.author)
                 || tweet.mentions.iter().any(|m| sub.tracked.contains(m));
             if matches {
                 if sub.queue.len() >= sub.capacity {
@@ -95,13 +100,37 @@ impl StreamingApi {
         I: IntoIterator<Item = AccountId>,
     {
         assert!(capacity > 0, "buffer capacity must be positive");
+        self.subscribe(accounts.into_iter().collect(), false, capacity)
+    }
+
+    /// Opens a **firehose** subscription delivering *every* tweet the
+    /// engine emits, regardless of author or mentions — the tap the
+    /// open-loop load generator replays over the wire. Real deployments
+    /// have no such feed (the paper's transparency requirement); it exists
+    /// so the daemon's socket path can be driven at full simulated volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn firehose_with_capacity(&self, capacity: usize) -> SubscriptionId {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        self.subscribe(HashSet::new(), true, capacity)
+    }
+
+    fn subscribe(
+        &self,
+        tracked: HashSet<AccountId>,
+        firehose: bool,
+        capacity: usize,
+    ) -> SubscriptionId {
         let mut inner = self.bus.inner.lock().expect("stream bus lock poisoned");
         let id = inner.next_id;
         inner.next_id += 1;
         inner.subscriptions.insert(
             id,
             Subscription {
-                tracked: accounts.into_iter().collect(),
+                tracked,
+                firehose,
                 queue: VecDeque::new(),
                 capacity,
                 dropped: 0,
@@ -290,6 +319,21 @@ mod tests {
     fn zero_capacity_panics() {
         let (_bus, api) = api();
         let _ = api.track_mentions_with_capacity([AccountId(1)], 0);
+    }
+
+    #[test]
+    fn firehose_receives_everything_and_sheds_like_any_subscription() {
+        let (bus, api) = api();
+        let fh = api.firehose_with_capacity(2);
+        // No author or mention overlap with any tracked set — still delivered.
+        bus.publish(&tweet(1, &[]));
+        bus.publish(&tweet(2, &[3]));
+        bus.publish(&tweet(4, &[]));
+        assert_eq!(api.dropped(fh).unwrap(), 1);
+        let got = api.poll(fh).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].author, AccountId(2));
+        assert_eq!(got[1].author, AccountId(4));
     }
 
     #[test]

@@ -177,6 +177,131 @@ pub fn decode_frame(frame: &[u8]) -> Result<Tweet, DecodeError> {
     })
 }
 
+/// One frame of the daemon-facing event stream: tweets interleaved with
+/// control markers.
+///
+/// The batch pipeline gets hour boundaries for free (it *steps* the engine),
+/// but a socket consumer only sees a byte stream — so the producer marks the
+/// boundaries explicitly. Verdict byte-identity across restarts hinges on
+/// this: hour composition is defined by the markers, never by arrival timing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFrame {
+    /// One tweet event (same payload as [`encode_frame`]).
+    Tweet(Tweet),
+    /// All tweets for run-relative hour `hour` have been sent.
+    HourBoundary {
+        /// Run-relative hour index just completed (0-based).
+        hour: u64,
+    },
+    /// The producer is done; the consumer may drain and exit.
+    Shutdown,
+}
+
+const TAG_TWEET: u8 = 0;
+const TAG_HOUR_BOUNDARY: u8 = 1;
+const TAG_SHUTDOWN: u8 = 2;
+
+/// Encodes one stream frame: `u32` length (bytes after this field), `u8` tag,
+/// then the tag-specific payload. A `Tweet` payload nests the complete
+/// [`encode_frame`] output, own length prefix included.
+pub fn encode_stream_frame(frame: &StreamFrame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8);
+    match frame {
+        StreamFrame::Tweet(tweet) => {
+            put_u8(&mut body, TAG_TWEET);
+            body.extend_from_slice(&encode_frame(tweet));
+        }
+        StreamFrame::HourBoundary { hour } => {
+            put_u8(&mut body, TAG_HOUR_BOUNDARY);
+            put_u64(&mut body, *hour);
+        }
+        StreamFrame::Shutdown => put_u8(&mut body, TAG_SHUTDOWN),
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes one stream frame produced by [`encode_stream_frame`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or malformed frames.
+pub fn decode_stream_frame(frame: &[u8]) -> Result<StreamFrame, DecodeError> {
+    let mut buf = frame;
+    let declared = take_u32(&mut buf)? as usize;
+    if buf.len() < declared {
+        return Err(DecodeError::Truncated);
+    }
+    match take_u8(&mut buf)? {
+        TAG_TWEET => Ok(StreamFrame::Tweet(decode_frame(buf)?)),
+        TAG_HOUR_BOUNDARY => Ok(StreamFrame::HourBoundary {
+            hour: take_u64(&mut buf)?,
+        }),
+        TAG_SHUTDOWN => Ok(StreamFrame::Shutdown),
+        value => Err(DecodeError::BadDiscriminant {
+            field: "stream frame tag",
+            value,
+        }),
+    }
+}
+
+/// Writes one stream frame to a socket or file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_stream_frame<W: std::io::Write>(
+    w: &mut W,
+    frame: &StreamFrame,
+) -> std::io::Result<()> {
+    w.write_all(&encode_stream_frame(frame))
+}
+
+/// Reads one stream frame; `Ok(None)` means clean EOF (the connection closed
+/// exactly on a frame boundary). EOF mid-frame or a malformed payload maps to
+/// `io::ErrorKind::InvalidData`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader; decode failures surface as
+/// `InvalidData`.
+pub fn read_stream_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<StreamFrame>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "stream frame truncated in length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "stream frame truncated in body",
+            )
+        } else {
+            e
+        }
+    })?;
+    let mut frame = Vec::with_capacity(4 + len);
+    frame.extend_from_slice(&len_bytes);
+    frame.extend_from_slice(&body);
+    decode_stream_frame(&frame)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
 fn take_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
     let (&first, rest) = buf.split_first().ok_or(DecodeError::Truncated)?;
     *buf = rest;
@@ -299,6 +424,77 @@ mod tests {
             decode_frame(&bytes),
             Err(DecodeError::BadDiscriminant {
                 field: "kind",
+                value: 9
+            })
+        );
+    }
+
+    #[test]
+    fn stream_frames_roundtrip() {
+        let frames = [
+            StreamFrame::Tweet(tweet()),
+            StreamFrame::HourBoundary { hour: 42 },
+            StreamFrame::Shutdown,
+        ];
+        for f in &frames {
+            let mut expect = f.clone();
+            if let StreamFrame::Tweet(t) = &mut expect {
+                // Labels never cross the wire.
+                t.ground_truth_spam = false;
+            }
+            assert_eq!(
+                decode_stream_frame(&encode_stream_frame(f)).unwrap(),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn stream_frames_roundtrip_through_io() {
+        let frames = [
+            StreamFrame::HourBoundary { hour: 0 },
+            StreamFrame::Tweet(tweet()),
+            StreamFrame::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_stream_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = &buf[..];
+        let mut got = Vec::new();
+        while let Some(f) = read_stream_frame(&mut cursor).unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got.len(), 3);
+        assert!(matches!(got[0], StreamFrame::HourBoundary { hour: 0 }));
+        assert!(matches!(got[1], StreamFrame::Tweet(_)));
+        assert!(matches!(got[2], StreamFrame::Shutdown));
+    }
+
+    #[test]
+    fn stream_frame_clean_eof_vs_torn_frame() {
+        let mut buf = Vec::new();
+        write_stream_frame(&mut buf, &StreamFrame::HourBoundary { hour: 7 }).unwrap();
+        // Clean EOF exactly on the boundary.
+        let mut cursor = &buf[..];
+        assert!(read_stream_frame(&mut cursor).unwrap().is_some());
+        assert!(read_stream_frame(&mut cursor).unwrap().is_none());
+        // Torn anywhere inside the frame is an error, not EOF.
+        for cut in 1..buf.len() {
+            let mut torn = &buf[..cut];
+            let err = read_stream_frame(&mut torn).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn stream_frame_bad_tag_errors() {
+        let mut bytes = encode_stream_frame(&StreamFrame::Shutdown);
+        bytes[4] = 9;
+        assert_eq!(
+            decode_stream_frame(&bytes),
+            Err(DecodeError::BadDiscriminant {
+                field: "stream frame tag",
                 value: 9
             })
         );

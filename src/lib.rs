@@ -7,12 +7,15 @@
 //! - [`ml`] — from-scratch classifiers and cross-validation,
 //! - [`sim`] — the Twitter-like social-network simulator,
 //! - [`core`] — the pseudo-honeypot system itself,
-//! - [`store`] — the durable segment log + checkpoint/replay store.
+//! - [`store`] — the durable segment log + checkpoint/replay store,
+//! - [`serve`] — the long-lived sniffer daemon (socket ingestion, live
+//!   verdicts, checkpointed restarts).
 
 #![forbid(unsafe_code)]
 
 pub use ph_core as core;
 pub use ph_ml as ml;
+pub use ph_serve as serve;
 pub use ph_sketch as sketch;
 pub use ph_store as store;
 pub use ph_twitter_sim as sim;

@@ -5,6 +5,9 @@
 //! pseudo-honeypot simulate  [--hours H] [--organic N] [--seed S]
 //! pseudo-honeypot sniff     [--hours H] [--gt-hours H] [--organic N] [--seed S]
 //!                           [--store DIR] [--resume] [--crash-after H]
+//! pseudo-honeypot serve     --store DIR [--listen ADDR] [--http ADDR]
+//!                           [--resume] [--loadgen] [--rate R]
+//! pseudo-honeypot feed      --connect ADDR [--hours H] [--start-hour H] [--rate R]
 //! pseudo-honeypot replay    --store DIR
 //! pseudo-honeypot inspect   --store DIR [--top K] [--tail N] [--timeline]
 //! pseudo-honeypot showdown  [--hours H] [--nodes N] [--seed S]
@@ -35,7 +38,13 @@
 //!
 //! `sniff` runs the complete paper pipeline: deploy the Table I/II network
 //! on a simulated Twitter, collect, build ground truth, train the RF
-//! detector, and report what it caught.
+//! detector, and report what it caught. `serve` runs the same pipeline as
+//! a long-lived daemon against a live socket feed (see `serve_cli`).
+//!
+//! Exit codes: 0 success, 1 runtime error, 2 usage error, 3 simulated
+//! crash (`--crash-after`), 4 perf regression (`perf diff`), 5
+//! interrupted-and-checkpointed (SIGINT/SIGTERM on `sniff --store` or
+//! `serve`; the run continues with `--resume`).
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -60,6 +69,7 @@ use pseudo_honeypot::store::{Manifest, ResumedStore, Store, StoreConfig};
 
 mod cli;
 mod perf;
+mod serve_cli;
 use cli::Args;
 
 /// The whole binary runs under the counting allocator: until
@@ -79,6 +89,10 @@ const SIM_OPTIONS: &[&str] = &["seed", "organic", "campaigns", "per-campaign"];
 fn main() {
     let args = Args::parse(std::env::args().skip(1));
     configure_logging(&args);
+    // Subcommands that can stop early-but-resumable (SIGINT/SIGTERM on
+    // `sniff --store` or `serve`) report it through this code so the
+    // metrics/trace exports below still run before the process exits.
+    let mut exit_code = 0;
     match args.command.as_deref() {
         Some("attributes") => {
             validate_options(&args, &[], &[]);
@@ -101,7 +115,33 @@ fn main() {
                 ]),
                 &["verify", "resume"],
             );
-            sniff(&args);
+            exit_code = sniff(&args);
+        }
+        Some("serve") => {
+            validate_options(
+                &args,
+                &with_sim(&[
+                    "hours",
+                    "gt-hours",
+                    "store",
+                    "listen",
+                    "http",
+                    "verdicts",
+                    "rate",
+                    "stop-after",
+                    "threads",
+                ]),
+                &["resume", "loadgen"],
+            );
+            exit_code = serve_cli::serve(&args);
+        }
+        Some("feed") => {
+            validate_options(
+                &args,
+                &with_sim(&["hours", "gt-hours", "start-hour", "connect", "rate"]),
+                &[],
+            );
+            exit_code = serve_cli::feed(&args);
         }
         Some("replay") => {
             validate_options(&args, &["store", "threads"], &["verify"]);
@@ -139,6 +179,9 @@ fn main() {
     }
     write_metrics(&args);
     write_trace_export(&args);
+    if exit_code != 0 {
+        std::process::exit(exit_code);
+    }
 }
 
 /// Applies `--quiet` / `--log-level` / `--progress` / `--profile` before
@@ -296,6 +339,31 @@ fn usage() {
     );
     println!("            [--resume]                continue a crashed/stopped run from DIR's last checkpoint");
     println!("            [--crash-after H]         stop after H monitored hours with a torn tail (exit 3)");
+    println!("  serve     --store DIR [--hours H] [--gt-hours H] [--seed S]");
+    println!(
+        "                                      long-lived sniffer daemon: ingest wire frames from"
+    );
+    println!("            [--listen ADDR]           a TCP host:port or Unix-socket path (default");
+    println!(
+        "                                      DIR/ingest.sock), classify each completed hour,"
+    );
+    println!(
+        "                                      append live NDJSON verdicts to DIR/verdicts.ndjson"
+    );
+    println!(
+        "            [--http ADDR|none]        /metrics + /healthz endpoint (default 127.0.0.1:0;"
+    );
+    println!("                                      bound addresses land in DIR/ENDPOINTS)");
+    println!(
+        "            [--loadgen [--rate R]]    built-in open-loop producer at R events/s (0 = max)"
+    );
+    println!(
+        "            [--resume]                continue a drained run from its last checkpoint"
+    );
+    println!("            [--stop-after H]          drain after H hours this session (exit 5)");
+    println!("  feed      --connect ADDR [--hours H] [--start-hour H] [--rate R]");
+    println!("                                      standalone producer: stream the deterministic");
+    println!("                                      firehose to a daemon's ingest socket");
     println!("  replay    --store DIR               re-run labeling + classification from a stored log alone");
     println!("  inspect   --store DIR [--top K] [--tail N] [--timeline]");
     println!(
@@ -346,6 +414,9 @@ fn usage() {
         "                                      sniff --store runs also persist trace.log in the"
     );
     println!("                                      store; stdout stays byte-identical");
+    println!();
+    println!("exit codes: 0 ok, 1 error, 2 usage, 3 simulated crash, 4 perf regression,");
+    println!("            5 interrupted-and-checkpointed (resume with --resume)");
 }
 
 /// `--threads N` → the dataflow configuration shared by every sharded
@@ -416,7 +487,7 @@ fn simulate(args: &Args) {
     );
 }
 
-fn sniff(args: &Args) {
+fn sniff(args: &Args) -> i32 {
     match args.options.get("store") {
         Some(dir) => sniff_stored(args, &PathBuf::from(dir)),
         None => {
@@ -425,6 +496,7 @@ fn sniff(args: &Args) {
                 std::process::exit(2);
             }
             sniff_in_memory(args);
+            0
         }
     }
 }
@@ -582,7 +654,9 @@ fn engine_for(manifest: &Manifest) -> Engine {
 
 /// Store-backed sniff: every collected tweet lands in the segment log,
 /// the run checkpoints hourly, and `--resume` continues after a crash.
-fn sniff_stored(args: &Args, dir: &Path) {
+/// SIGINT/SIGTERM stop the run at the next hour boundary with a forced
+/// checkpoint and exit code 5 — `--resume` continues it exactly.
+fn sniff_stored(args: &Args, dir: &Path) -> i32 {
     let resume = args.has_flag("resume");
     let crash_after = args
         .options
@@ -639,7 +713,10 @@ fn sniff_stored(args: &Args, dir: &Path) {
     let exec = exec_config(args);
     record_run_meta(exec.threads, manifest.sim_seed);
     let mut engine = engine_for(&manifest);
-    let runner = runner_for(&manifest, exec.clone());
+    // SIGINT/SIGTERM raise this flag; the runner then stops at the next
+    // hour boundary with every completed hour on the log.
+    let stop = pseudo_honeypot::serve::signal::install();
+    let runner = runner_for(&manifest, exec.clone()).with_stop_flag(stop);
     let (detector, _) =
         ground_truth_and_detector(&mut engine, &runner, manifest.gt_hours, !resume, &exec);
 
@@ -666,6 +743,7 @@ fn sniff_stored(args: &Args, dir: &Path) {
         manifest.hours,
         dir.display()
     );
+    let mut writer = store.writer(&prior);
     let segment = runner
         .run_segment(
             &mut engine,
@@ -673,9 +751,26 @@ fn sniff_stored(args: &Args, dir: &Path) {
             manifest.hours,
             segment_hours,
             runner.standard_networks(),
-            &mut store.writer(&prior),
+            &mut writer,
         )
         .unwrap_or_else(|e| die("store write failed", e));
+    if runner.stop_requested() && state.next_hour < manifest.hours {
+        // SIGINT/SIGTERM: the runner already drained at an hour boundary,
+        // so force a checkpoint (the hourly interval may not have hit) and
+        // leave classification to the run that completes the store.
+        writer
+            .checkpoint_now(&state, &segment)
+            .unwrap_or_else(|e| die("interrupt checkpoint failed", e));
+        drop(writer);
+        store.sync().unwrap_or_else(|e| die("store sync failed", e));
+        log_warn!(
+            "interrupted after {} of {} h (checkpoint written); resume with --resume",
+            state.next_hour,
+            manifest.hours
+        );
+        return serve_cli::EXIT_INTERRUPTED;
+    }
+    drop(writer);
     let mut report = prior;
     report.merge(&segment);
 
@@ -723,7 +818,7 @@ fn sniff_stored(args: &Args, dir: &Path) {
     // aggregates), so `inspect` can render the run later without
     // re-executing anything.
     let journal = ph_telemetry::journal_snapshot();
-    let points = run_series_points(manifest.hours.saturating_sub(1));
+    let points = ph_telemetry::run_series_points(manifest.hours.saturating_sub(1));
     store
         .write_telemetry(&journal, &points)
         .unwrap_or_else(|e| die("telemetry write failed", e));
@@ -751,64 +846,7 @@ fn sniff_stored(args: &Args, dir: &Path) {
     if args.has_flag("verify") {
         sidecar_check(&report.collected, &outcome.predictions);
     }
-}
-
-/// Flattens the telemetry registry into hour-keyed series points for the
-/// store's series stream: every live time-series point, plus run-level
-/// aggregates under structured names — `stage.<name>.{items,ms,tweets_per_s}`
-/// from the exec counters/histograms, `span.<path>.{count,total_ms,mean_ms}`
-/// from the span aggregates, and `hist.<name>.{count,sum,mean,p50,p95,p99}`
-/// (interpolated quantiles) from every histogram — keyed to `final_hour`. The series stream carries wall-clock
-/// quantities and is deliberately outside the journal's byte-stability
-/// contract.
-fn run_series_points(final_hour: u64) -> Vec<ph_telemetry::SeriesPoint> {
-    let mut points = ph_telemetry::series_snapshot();
-    let report = ph_telemetry::snapshot();
-    let mut push = |name: String, value: f64| {
-        points.push(ph_telemetry::SeriesPoint {
-            name,
-            hour: final_hour,
-            value,
-        });
-    };
-    for c in &report.counters {
-        if let Some(stage) = c
-            .name
-            .strip_prefix("exec.")
-            .and_then(|s| s.strip_suffix(".items"))
-        {
-            push(format!("stage.{stage}.items"), c.value as f64);
-        }
-    }
-    for h in &report.histograms {
-        push(format!("hist.{}.count", h.name), h.snapshot.count as f64);
-        push(format!("hist.{}.sum", h.name), h.snapshot.sum);
-        push(format!("hist.{}.mean", h.name), h.snapshot.mean());
-        push(format!("hist.{}.p50", h.name), h.snapshot.quantile(0.50));
-        push(format!("hist.{}.p95", h.name), h.snapshot.quantile(0.95));
-        push(format!("hist.{}.p99", h.name), h.snapshot.quantile(0.99));
-        if let Some(stage) = h
-            .name
-            .strip_prefix("exec.")
-            .and_then(|s| s.strip_suffix(".ms"))
-        {
-            push(format!("stage.{stage}.ms"), h.snapshot.sum);
-            let items = report
-                .counter_value(&format!("exec.{stage}.items"))
-                .unwrap_or(0);
-            let secs = h.snapshot.sum / 1000.0;
-            if secs > 0.0 {
-                push(format!("stage.{stage}.tweets_per_s"), items as f64 / secs);
-            }
-        }
-    }
-    for s in &report.spans {
-        push(format!("span.{}.count", s.path), s.count as f64);
-        push(format!("span.{}.total_ms", s.path), s.total_ms);
-        push(format!("span.{}.mean_ms", s.path), s.mean_ms);
-    }
-    points.sort_by(|a, b| a.name.cmp(&b.name).then(a.hour.cmp(&b.hour)));
-    points
+    0
 }
 
 /// Infallible record stream over a store's log (I/O errors abort the CLI).

@@ -3,8 +3,9 @@
 //!
 //! `perf bench` runs a fixed matrix of pipeline scenarios — the monitor
 //! hour loop, feature extraction (pure + finish), clustering sketches,
-//! Random-Forest train/classify, store append/read, and the end-to-end
-//! sniff at `--threads 1` and `--threads 0` — each with warmup
+//! Random-Forest train/classify, store append/read, the daemon's ingest
+//! path (wire decode + bounded-queue churn), and the end-to-end sniff at
+//! `--threads 1` and `--threads 0` — each with warmup
 //! iterations followed by repeated timed samples, and writes one
 //! `BENCH_<scenario>.json` per scenario (schema documented in
 //! `ph_prof::bench`). `perf diff OLD NEW` compares two such files with
@@ -35,7 +36,9 @@ use pseudo_honeypot::core::labeling::clustering::{apply_with, ClusteringConfig};
 use pseudo_honeypot::core::labeling::pipeline::{label_collection_with, PipelineConfig};
 use pseudo_honeypot::core::labeling::LabeledCollection;
 use pseudo_honeypot::core::monitor::{CollectedTweet, Runner, RunnerConfig};
+use pseudo_honeypot::serve::IngestQueue;
 use pseudo_honeypot::sim::engine::{Engine, SimConfig};
+use pseudo_honeypot::sim::wire::{read_stream_frame, write_stream_frame, StreamFrame};
 use pseudo_honeypot::store::{encode_collected, CollectedReader, SegmentLog};
 
 use crate::cli::Args;
@@ -366,6 +369,7 @@ const SCENARIOS: &[&str] = &[
     "rf_classify",
     "store_append",
     "store_read",
+    "serve_ingest",
     "sniff_e2e_t1",
     "sniff_e2e_t0",
 ];
@@ -380,6 +384,7 @@ fn needs_fixture(name: &str) -> bool {
             | "rf_classify"
             | "store_append"
             | "store_read"
+            | "serve_ingest"
     )
 }
 
@@ -501,6 +506,30 @@ fn run_scenario(
             });
             let _ = std::fs::remove_dir_all(&dir);
             result
+        }
+        "serve_ingest" => {
+            let fixture = fx();
+            // The daemon's ingest hot path, isolated from sockets: one
+            // wire stream pre-encoded outside the timed region, then per
+            // sample a full decode with every frame pushed through (and
+            // popped back out of) the shedding bounded queue.
+            let mut wire = Vec::new();
+            for collected in &fixture.collected {
+                write_stream_frame(&mut wire, &StreamFrame::Tweet(collected.tweet.clone()))
+                    .expect("wire encode");
+            }
+            write_stream_frame(&mut wire, &StreamFrame::Shutdown).expect("wire encode");
+            measure(warmup, samples, || {
+                let queue = IngestQueue::new(pseudo_honeypot::sim::api::DEFAULT_QUEUE_CAPACITY);
+                let mut reader = wire.as_slice();
+                let mut frames = 0usize;
+                while let Some(frame) = read_stream_frame(&mut reader).expect("wire decode") {
+                    queue.push(frame);
+                    black_box(queue.pop_timeout(std::time::Duration::ZERO));
+                    frames += 1;
+                }
+                assert_eq!(frames, fixture.collected.len() + 1, "short stream");
+            })
         }
         "sniff_e2e_t1" => measure(warmup, samples, || end_to_end(sizes, 1)),
         "sniff_e2e_t0" => measure(warmup, samples, || end_to_end(sizes, 0)),

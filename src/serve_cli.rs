@@ -1,0 +1,166 @@
+//! The `serve` and `feed` subcommands: the long-lived sniffer daemon and
+//! its standalone wire-protocol producer.
+//!
+//! ```text
+//! pseudo-honeypot serve --store DIR [--hours H] [--gt-hours H] [--seed S]
+//!                       [--listen ADDR] [--http ADDR|none] [--verdicts FILE]
+//!                       [--resume] [--loadgen] [--rate R] [--stop-after H]
+//! pseudo-honeypot feed  --connect ADDR [--hours H] [--start-hour H]
+//!                       [--gt-hours H] [--seed S] [--rate R]
+//! ```
+//!
+//! `serve` binds an ingest socket (TCP `host:port` or, for anything
+//! containing a `/`, a Unix-socket path), runs monitor → extract →
+//! classify continuously against the frames it receives, appends live
+//! NDJSON verdicts, checkpoints through `ph-store`, and drains cleanly
+//! on SIGTERM/SIGINT — `--resume` then continues mid-run with a
+//! byte-identical verdict stream. `feed` is the matching producer: it
+//! rebuilds the deterministic engine and streams its firehose at an
+//! open-loop `--rate` (events/second; 0 = unpaced).
+
+use std::path::PathBuf;
+
+use ph_telemetry::log_warn;
+use pseudo_honeypot::serve::daemon::{LoadgenConfig, ServeConfig};
+use pseudo_honeypot::serve::loadgen::FeedConfig;
+use pseudo_honeypot::serve::{daemon, loadgen, signal, BindAddr};
+use pseudo_honeypot::store::{Manifest, StoreConfig};
+
+use crate::cli::Args;
+use crate::{die, exec_config, record_run_meta};
+
+/// A stopped-but-checkpointed run's exit code: the daemon (or a
+/// `--store` sniff) received SIGTERM/SIGINT, drained at an hour
+/// boundary, and wrote a checkpoint — `--resume` continues it.
+pub const EXIT_INTERRUPTED: i32 = 5;
+
+/// The manifest the CLI arguments describe (same defaults as `sniff`).
+fn manifest_from(args: &Args) -> Manifest {
+    Manifest {
+        sim_seed: args.get_u64("seed", 42),
+        organic: args.get_u64("organic", 2_000),
+        campaigns: args.get_u64("campaigns", 6),
+        per_campaign: args.get_u64("per-campaign", 20),
+        runner_seed: args.get_u64("seed", 42),
+        gt_hours: args.get_u64("gt-hours", 24),
+        hours: args.get_u64("hours", 24),
+        buffer_capacity: pseudo_honeypot::sim::api::DEFAULT_QUEUE_CAPACITY as u64,
+    }
+}
+
+/// Parses `--rate R` (events/second, fractional allowed; 0 = unpaced).
+fn rate_from(args: &Args) -> f64 {
+    match args.options.get("rate") {
+        None => 0.0,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(rate) if rate >= 0.0 && rate.is_finite() => rate,
+            _ => {
+                eprintln!("error: --rate expects a non-negative number, got '{raw}'");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// `pseudo-honeypot serve` — returns the process exit code (0 done,
+/// [`EXIT_INTERRUPTED`] stopped early but resumable).
+pub fn serve(args: &Args) -> i32 {
+    let Some(dir) = args.options.get("store").map(PathBuf::from) else {
+        eprintln!("error: serve requires --store DIR");
+        std::process::exit(2);
+    };
+    let resume = args.has_flag("resume");
+    if resume {
+        for key in [
+            "seed",
+            "organic",
+            "campaigns",
+            "per-campaign",
+            "gt-hours",
+            "hours",
+        ] {
+            if args.options.contains_key(key) {
+                log_warn!("--{key} ignored on --resume: the store manifest pins it");
+            }
+        }
+    }
+    let manifest = manifest_from(args);
+    let exec = exec_config(args);
+    record_run_meta(exec.threads, manifest.sim_seed);
+
+    let listen = match args.options.get("listen") {
+        Some(spec) => BindAddr::parse(spec),
+        None => BindAddr::Unix(dir.join("ingest.sock")),
+    };
+    let http = match args.options.get("http").map(String::as_str) {
+        Some("none") => None,
+        Some(addr) => Some(addr.to_string()),
+        None => Some("127.0.0.1:0".to_string()),
+    };
+    let config = ServeConfig {
+        dir: dir.clone(),
+        manifest,
+        resume,
+        store: StoreConfig::default(),
+        exec,
+        listen,
+        http,
+        verdicts: args.options.get("verdicts").map(PathBuf::from),
+        loadgen: args.has_flag("loadgen").then(|| LoadgenConfig {
+            rate: rate_from(args),
+        }),
+        stop: signal::install(),
+        stop_after_hours: args
+            .options
+            .contains_key("stop-after")
+            .then(|| args.get_u64("stop-after", 0)),
+    };
+    let outcome = daemon::run(config)
+        .unwrap_or_else(|e| die(&format!("serve failed on {}", dir.display()), e));
+    println!(
+        "serve: {} of {} h monitored, {} records, {} verdicts, {} shed",
+        outcome.hours_done, outcome.total_hours, outcome.records, outcome.verdicts, outcome.shed
+    );
+    if outcome.stopped_early {
+        println!(
+            "stopped early at a checkpointed hour boundary — continue with:\n  \
+             pseudo-honeypot serve --store {} --resume",
+            dir.display()
+        );
+        EXIT_INTERRUPTED
+    } else {
+        0
+    }
+}
+
+/// `pseudo-honeypot feed` — always exits 0 on success (a vanished daemon
+/// is an error: the producer is open-loop, it never waits for one).
+pub fn feed(args: &Args) -> i32 {
+    let Some(addr) = args.options.get("connect") else {
+        eprintln!("error: feed requires --connect ADDR (the daemon's ingest socket)");
+        std::process::exit(2);
+    };
+    let addr = BindAddr::parse(addr);
+    let manifest = manifest_from(args);
+    let start_hour = args.get_u64("start-hour", 0);
+    if start_hour >= manifest.hours {
+        eprintln!(
+            "error: --start-hour {start_hour} is past the run's {} hours",
+            manifest.hours
+        );
+        std::process::exit(2);
+    }
+    let config = FeedConfig {
+        manifest,
+        start_hour,
+        end_hour: manifest.hours,
+        rate: rate_from(args),
+    };
+    let summary =
+        loadgen::feed(&addr, &config).unwrap_or_else(|e| die(&format!("feed to {addr} failed"), e));
+    println!(
+        "feed: delivered {} tweets over {} hours to {addr}",
+        summary.tweets, summary.hours
+    );
+    0
+}

@@ -1,0 +1,176 @@
+//! Restart-equivalence soaks for the `serve` daemon and the interruptible
+//! batch sniff.
+//!
+//! The central pin: a daemon stopped mid-run and continued with
+//! `--resume` must produce a verdict stream (and segment log) that is
+//! **byte-identical** to a never-interrupted run's — determinism survives
+//! process death.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ph_exec::ExecConfig;
+use pseudo_honeypot::serve::daemon::{run, LoadgenConfig, ServeConfig};
+use pseudo_honeypot::serve::BindAddr;
+use pseudo_honeypot::store::{Manifest, StoreConfig, CHECKPOINT_FILE};
+
+fn manifest() -> Manifest {
+    Manifest {
+        sim_seed: 11,
+        organic: 300,
+        campaigns: 3,
+        per_campaign: 10,
+        runner_seed: 11,
+        gt_hours: 3,
+        hours: 6,
+        buffer_capacity: pseudo_honeypot::sim::api::DEFAULT_QUEUE_CAPACITY as u64,
+    }
+}
+
+/// A self-contained daemon session: Unix-socket ingest inside the store
+/// directory, built-in unpaced load generation, no HTTP endpoint.
+fn config(dir: &Path, resume: bool, stop_after: Option<u64>) -> ServeConfig {
+    ServeConfig {
+        dir: dir.to_path_buf(),
+        manifest: manifest(),
+        resume,
+        store: StoreConfig::default(),
+        exec: ExecConfig::with_threads(1),
+        listen: BindAddr::Unix(dir.join("ingest.sock")),
+        http: None,
+        verdicts: None,
+        loadgen: Some(LoadgenConfig { rate: 0.0 }),
+        stop: Arc::new(AtomicBool::new(false)),
+        stop_after_hours: stop_after,
+    }
+}
+
+/// All segment-log bytes of a store, concatenated in segment order.
+fn segment_bytes(dir: &Path) -> Vec<u8> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("segment-") && name.ends_with(".seg")).then_some(path)
+        })
+        .collect();
+    segments.sort();
+    let mut bytes = Vec::new();
+    for segment in segments {
+        bytes.extend(std::fs::read(segment).unwrap());
+    }
+    bytes
+}
+
+#[test]
+fn drained_and_resumed_serve_matches_an_uninterrupted_run_byte_for_byte() {
+    let base = std::env::temp_dir().join(format!("ph-serve-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let interrupted = base.join("interrupted");
+    let uninterrupted = base.join("uninterrupted");
+
+    // Session 1: drain after 3 of 6 hours — the deterministic stand-in
+    // for SIGTERM (the signal path flips the same stop flag).
+    let first = run(config(&interrupted, false, Some(3))).unwrap();
+    assert!(first.stopped_early, "stop-after must report an early stop");
+    assert_eq!(first.hours_done, 3);
+
+    // Session 2: resume to completion.
+    let second = run(config(&interrupted, true, None)).unwrap();
+    assert!(!second.stopped_early);
+    assert_eq!(second.hours_done, 6);
+
+    // The control: one uninterrupted daemon over the same manifest.
+    let full = run(config(&uninterrupted, false, None)).unwrap();
+    assert!(!full.stopped_early);
+    assert_eq!(full.hours_done, 6);
+    assert!(full.verdicts > 0, "the soak must classify something");
+    assert_eq!(second.records, full.records);
+    assert_eq!(second.verdicts, full.verdicts);
+
+    let resumed_stream = std::fs::read(interrupted.join("verdicts.ndjson")).unwrap();
+    let control_stream = std::fs::read(uninterrupted.join("verdicts.ndjson")).unwrap();
+    assert_eq!(
+        resumed_stream, control_stream,
+        "restart broke verdict-stream byte identity"
+    );
+    assert_eq!(
+        segment_bytes(&interrupted),
+        segment_bytes(&uninterrupted),
+        "restart broke segment-log byte identity"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn sigint_on_batch_sniff_checkpoints_exits_5_and_resumes_cleanly() {
+    let dir = std::env::temp_dir().join(format!("ph-sniff-sigint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exe = env!("CARGO_BIN_EXE_pseudo-honeypot");
+    let sim_args = [
+        "--seed",
+        "9",
+        "--organic",
+        "300",
+        "--campaigns",
+        "2",
+        "--gt-hours",
+        "2",
+        "--hours",
+        "60",
+    ];
+    let mut child = std::process::Command::new(exe)
+        .arg("sniff")
+        .args(["--store", dir.to_str().unwrap()])
+        .args(sim_args)
+        .arg("--quiet")
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Interrupt as soon as the first monitored hour is checkpointed — a
+    // stop before any checkpoint would be indistinguishable from never
+    // having started.
+    let checkpoints = dir.join(CHECKPOINT_FILE);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if checkpoints.exists()
+            && std::fs::metadata(&checkpoints)
+                .map(|m| m.len())
+                .unwrap_or(0)
+                > 0
+        {
+            break;
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("sniff finished before it could be interrupted: {status}");
+        }
+        assert!(Instant::now() < deadline, "no checkpoint within 120 s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let killed = std::process::Command::new("kill")
+        .args(["-s", "INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(killed.success(), "kill -s INT failed");
+    let status = child.wait().unwrap();
+    assert_eq!(
+        status.code(),
+        Some(5),
+        "an interrupted sniff must exit with the documented code 5"
+    );
+
+    // The checkpoint it wrote makes the store resumable to completion.
+    let resumed = std::process::Command::new(exe)
+        .arg("sniff")
+        .args(["--store", dir.to_str().unwrap(), "--resume", "--quiet"])
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(resumed.code(), Some(0), "resume after SIGINT must finish");
+    let _ = std::fs::remove_dir_all(&dir);
+}
