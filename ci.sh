@@ -99,7 +99,7 @@ echo "==> perf harness smoke (bench --quick + self-diff gate)"
 "$BIN" perf bench --quick --samples 1 --warmup 0 --out-dir "$SMOKE/bench" --quiet \
     > "$SMOKE/bench.out"
 BASELINES=$(ls "$SMOKE"/bench/BENCH_*.json | wc -l)
-[ "$BASELINES" -ge 5 ] || { echo "expected >=5 baselines, got $BASELINES"; exit 1; }
+[ "$BASELINES" -ge 12 ] || { echo "expected >=12 baselines, got $BASELINES"; exit 1; }
 for f in "$SMOKE"/bench/BENCH_*.json; do
     python3 - "$f" <<'EOF'
 import json, sys
@@ -125,6 +125,48 @@ rc=0
     > /dev/null || rc=$?
 [ "$rc" -eq 4 ] || { echo "expected exit 4 from injected regression, got $rc"; exit 1; }
 echo "    $BASELINES baselines parsed, self-diff clean, injected regression caught"
+
+echo "==> committed-baseline gate (perf diff vs checked-in BENCH_*.json)"
+# Every scenario must ship a committed baseline, and the gate must accept
+# (committed full-mode, fresh quick-mode) pairs. Quick inputs are strictly
+# smaller than the committed full-mode work, so this cannot trip the
+# regression exit — it gates baseline presence and schema compatibility.
+# Regenerate the real baselines with:
+#   cargo build --release && target/release/pseudo-honeypot perf bench
+for f in "$SMOKE"/bench/BENCH_*.json; do
+    committed=$(basename "$f")
+    [ -f "$committed" ] || { echo "missing committed baseline $committed"; exit 1; }
+    "$BIN" perf diff "$committed" "$f" --quiet > /dev/null \
+        || { echo "committed-baseline diff failed for $committed"; exit 1; }
+done
+echo "    all $BASELINES committed baselines present and diffable"
+
+echo "==> scaling smoke (sniff_e2e_t1 vs sniff_e2e_t0)"
+# The data-layout contract: --threads 0 must beat --threads 1 end to end
+# on parallel hardware while producing byte-identical output (identity is
+# covered by the replay determinism smoke above and the
+# threads_equivalence integration test). The speedup floor scales with
+# the cores actually present; a single-core host can only watch for
+# pathological overhead.
+"$BIN" perf bench --quick --only sniff_e2e_t1,sniff_e2e_t0 \
+    --out-dir "$SMOKE/scaling" --quiet > /dev/null
+python3 - "$SMOKE/scaling/BENCH_sniff_e2e_t1.json" \
+          "$SMOKE/scaling/BENCH_sniff_e2e_t0.json" "$(nproc)" <<'EOF'
+import json, sys
+t1 = json.load(open(sys.argv[1]))["median"]
+t0 = json.load(open(sys.argv[2]))["median"]
+cores = int(sys.argv[3])
+ratio = t1 / max(t0, 1e-9)
+if cores >= 8:
+    assert ratio >= 1.8, f"t1/t0 = {ratio:.2f}x on {cores} cores; expected >= 1.8x"
+elif cores >= 2:
+    assert ratio >= 0.9, f"t1/t0 = {ratio:.2f}x on {cores} cores; expected >= 0.9x"
+else:
+    assert ratio >= 0.7, f"t1/t0 = {ratio:.2f}x on 1 core; worker overhead is pathological"
+    print(f"    single-core host: speedup unmeasurable, overhead sane (t1/t0 = {ratio:.2f}x)")
+    sys.exit(0)
+print(f"    scaling OK on {cores} cores: t1 {t1:.1f} ms / t0 {t0:.1f} ms = {ratio:.2f}x")
+EOF
 
 echo "==> timeline trace smoke (--trace export + perf critical-path)"
 # Tracing must be invisible on stdout, the exported Chrome trace JSON

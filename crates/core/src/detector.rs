@@ -7,6 +7,7 @@ use std::collections::HashSet;
 use ph_exec::ExecConfig;
 use ph_ml::cv::{compare_algorithms, CrossValidation};
 use ph_ml::data::Dataset;
+use ph_ml::flat::FlatForest;
 use ph_ml::forest::{RandomForest, RandomForestConfig};
 use ph_ml::tree::DecisionTreeConfig;
 use ph_ml::{Algorithm, Classifier};
@@ -115,15 +116,15 @@ pub fn build_training_data_with(
     let _span = ph_telemetry::span("features.extract_training");
     let _phase = ph_trace::phase("features.extract_training");
     let rest = engine.rest();
-    let pure = features::pure_batch(collected, &rest, exec);
+    let mut matrix = features::pure_batch_matrix(collected, &rest, exec);
     let mut extractor = FeatureExtractor::with_tau(tau);
     let mut rows = Vec::new();
     let mut ys = Vec::new();
     let mut indices = Vec::new();
-    for (i, (c, p)) in collected.iter().zip(pure).enumerate() {
-        let features = extractor.finish(c, p);
+    for (i, c) in collected.iter().enumerate() {
+        extractor.finish_into(c, matrix.row_mut(i));
         if let Some(label) = labels.tweet_labels[i] {
-            rows.push(features);
+            rows.push(matrix.row(i).to_vec());
             ys.push(label.spam);
             indices.push(i);
             extractor.record_verdict(c.slot, label.spam);
@@ -189,7 +190,11 @@ impl SpamDetector {
         let _phase = ph_trace::phase("ml.train");
         let model: Box<dyn Classifier> = match config.algorithm {
             PaperAlgorithm::RandomForest => {
-                Box::new(RandomForest::fit(&config.forest, data, config.seed))
+                // Train on the pointer forest, deploy the flattened SoA
+                // layout: bit-identical predictions, no per-level enum
+                // branch or pointer chase on the classify hot path.
+                let forest = RandomForest::fit(&config.forest, data, config.seed);
+                Box::new(FlatForest::from_forest(&forest))
             }
             other => Algorithm::from(other).fit_default(data, config.seed),
         };
@@ -287,13 +292,14 @@ impl SpamDetector {
         exec: &ExecConfig,
     ) -> Vec<Verdict> {
         let rest = engine.rest();
-        let pure = features::pure_batch(collected, &rest, exec);
+        let mut matrix = features::pure_batch_matrix(collected, &rest, exec);
         let confidence = confidence_histogram();
         let mut verdicts = Vec::with_capacity(collected.len());
-        for (c, p) in collected.iter().zip(pure) {
-            let features = extractor.finish(c, p);
-            let spam = self.model.predict(&features);
-            let score = self.model.predict_score(&features);
+        for (i, c) in collected.iter().enumerate() {
+            extractor.finish_into(c, matrix.row_mut(i));
+            let row = matrix.row(i);
+            let spam = self.model.predict(row);
+            let score = self.model.predict_score(row);
             confidence.record(score);
             extractor.record_verdict(c.slot, spam);
             verdicts.push(Verdict { spam, score });

@@ -269,6 +269,20 @@ impl FeatureExtractor {
     /// aggregates. Must be called in stream order with the same
     /// `collected` the pure phase saw.
     pub fn finish(&mut self, collected: &CollectedTweet, pure: PureFeatures) -> Vec<f64> {
+        let mut features = pure.0.to_vec();
+        self.finish_into(collected, &mut features);
+        features
+    }
+
+    /// [`finish`](Self::finish) operating **in place** on a row that
+    /// already holds the pure phase (e.g. a [`FeatureMatrix`] row): fills
+    /// the stream-order-dependent slots and folds the tweet into the
+    /// rolling aggregates without allocating a per-tweet vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `features.len() != FEATURE_COUNT`.
+    pub fn finish_into(&mut self, collected: &CollectedTweet, features: &mut [f64]) {
         // Counter only — a span per tweet would dominate the extractor's
         // own cost in the inner loop; stage timing wraps the batch callers.
         ph_telemetry::cached_counter!("features.vectors_extracted").inc();
@@ -276,7 +290,6 @@ impl FeatureExtractor {
         let sender_id = tweet.author;
         let receiver_id = (collected.node != sender_id).then_some(collected.node);
 
-        let mut features = pure.0;
         debug_assert_eq!(features.len(), FEATURE_COUNT);
 
         let text_key = hash_text(&tweet.text);
@@ -310,7 +323,6 @@ impl FeatureExtractor {
             self.receiver.entry(r).or_default().observe(tweet);
             *self.pairs.entry(pair_key(sender_id, r)).or_insert(0) += 1;
         }
-        features
     }
 
     /// Feeds a spam verdict back into the environment score (call after the
@@ -337,92 +349,167 @@ impl Default for FeatureExtractor {
 /// [`FeatureExtractor::finish`] to fill. Because [`pure_features`] reads
 /// only the tweet and the REST facade — never extractor state — it can run
 /// on any worker thread in any order.
+///
+/// Stored as a fixed `[f64; 58]` array: the pure phase performs **zero**
+/// heap allocations per tweet (the old `Vec` layout paid one per vector),
+/// which is what drops `prof.alloc.features.pure` from one-per-tweet to a
+/// couple per exec chunk.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PureFeatures(Vec<f64>);
+pub struct PureFeatures(pub(crate) [f64; FEATURE_COUNT]);
+
+impl PureFeatures {
+    /// The 58 values in feature order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+}
 
 /// Computes the pure (stateless) phase of feature extraction for one
 /// collected tweet. See [`PureFeatures`].
 pub fn pure_features(collected: &CollectedTweet, rest: &RestApi<'_>) -> PureFeatures {
+    let mut features = [0.0f64; FEATURE_COUNT];
+    fill_pure_features(collected, rest, &mut features);
+    PureFeatures(features)
+}
+
+/// Writes the pure phase into a caller-owned row (every slot is assigned,
+/// so rows may be reused without re-zeroing).
+fn fill_pure_features(collected: &CollectedTweet, rest: &RestApi<'_>, features: &mut [f64]) {
+    debug_assert_eq!(features.len(), FEATURE_COUNT);
     let tweet = &collected.tweet;
     let sender_id = tweet.author;
     // Receiver = the crossed node when the tweet mentions it; a node's
     // own post has no receiver in the paper's sense.
     let receiver_id = (collected.node != sender_id).then_some(collected.node);
 
-    let mut features = Vec::with_capacity(FEATURE_COUNT);
-
     // Sender profile (16).
     match rest.profile(sender_id) {
-        Some(p) => push_profile(&mut features, p),
-        None => features.extend(std::iter::repeat_n(0.0, 16)),
+        Some(p) => write_profile(&mut features[0..16], p),
+        None => features[0..16].fill(0.0),
     }
     // Receiver profile (16).
     match receiver_id.and_then(|id| rest.profile(id)) {
-        Some(p) => push_profile(&mut features, p),
-        None => features.extend(std::iter::repeat_n(0.0, 16)),
+        Some(p) => write_profile(&mut features[16..32], p),
+        None => features[16..32].fill(0.0),
     }
 
     // Content (8) — c_repeated (index 32) needs the seen-texts table.
-    features.push(0.0);
-    features.push(kind_index(tweet.kind) as f64);
-    features.push(tweet.source.index() as f64);
-    features.push(tweet.hashtags.len() as f64);
-    features.push(tweet.mentions.len() as f64);
-    features.push(tweet.content_length() as f64);
-    features.push(tweet.emoji_count() as f64);
-    features.push(tweet.digit_count() as f64);
+    features[32] = 0.0;
+    features[33] = kind_index(tweet.kind) as f64;
+    features[34] = tweet.source.index() as f64;
+    features[35] = tweet.hashtags.len() as f64;
+    features[36] = tweet.mentions.len() as f64;
+    features[37] = tweet.content_length() as f64;
+    features[38] = tweet.emoji_count() as f64;
+    features[39] = tweet.digit_count() as f64;
 
     // Behavior (18) — reciprocity (40) and the kind/source distributions
     // (41..55) are rolling aggregates; only mention time (55) is pure.
-    features.extend(std::iter::repeat_n(0.0, 15));
-    let mention_time = match tweet.reacted_to_post_at {
+    features[40..55].fill(0.0);
+    features[55] = match tweet.reacted_to_post_at {
         Some(t) => tweet.created_at.minutes_since(t) as f64,
         None => MENTION_TIME_SENTINEL,
     };
-    features.push(mention_time);
-    features.push(0.0); // b_avg_tweet_interval
-    features.push(0.0); // b_environment_score
-
-    debug_assert_eq!(features.len(), FEATURE_COUNT);
-    PureFeatures(features)
+    features[56] = 0.0; // b_avg_tweet_interval
+    features[57] = 0.0; // b_environment_score
 }
 
-/// Runs the pure extraction phase over a whole batch, sharded by author
-/// across `exec`'s workers; output order matches `collected` order, so
+/// Runs the pure extraction phase over a whole batch, sharded across
+/// `exec`'s workers; output order matches `collected` order, so
 /// `pure_batch(..)` zipped with [`FeatureExtractor::finish`] in stream
 /// order reproduces per-tweet [`FeatureExtractor::extract`] exactly.
+///
+/// The stage is pure and CPU-heavy, so it declares
+/// [`ph_exec::StageWeight::CpuBound`]: records deal round-robin across
+/// every worker instead of collapsing onto the author-hash shards.
 pub fn pure_batch(
     collected: &[CollectedTweet],
     rest: &RestApi<'_>,
     exec: &ExecConfig,
 ) -> Vec<PureFeatures> {
     let rest = *rest;
-    ph_exec::run(
+    ph_exec::run_weighted(
         exec,
         "features.pure",
+        ph_exec::StageWeight::CpuBound,
         collected.iter().collect(),
         |c: &&CollectedTweet| u64::from(c.tweet.author.0),
         |_worker| move |c: &CollectedTweet| pure_features(c, &rest),
     )
 }
 
-fn push_profile(out: &mut Vec<f64>, p: &Profile) {
-    out.push(p.friends_count as f64);
-    out.push(p.followers_count as f64);
-    out.push(f64::from(p.account_age_days));
-    out.push(p.statuses_count as f64);
-    out.push(p.statuses_per_day());
-    out.push(p.lists_count as f64);
-    out.push(p.lists_per_day());
-    out.push(p.favorites_per_day());
-    out.push(p.favorites_count as f64);
-    out.push(if p.verified { 1.0 } else { 0.0 });
-    out.push(if p.default_profile_image { 1.0 } else { 0.0 });
-    out.push(p.screen_name.chars().count() as f64);
-    out.push(p.display_name.chars().count() as f64);
-    out.push(p.description.chars().count() as f64);
-    out.push(p.description.chars().filter(|c| !c.is_ascii()).count() as f64);
-    out.push(p.description.chars().filter(char::is_ascii_digit).count() as f64);
+/// A contiguous row-major feature matrix: `rows × FEATURE_COUNT` values in
+/// one allocation, the columnar block the batch classifier kernels consume
+/// without per-row pointer chasing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    rows: usize,
+}
+
+impl FeatureMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// One row as a feature slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT]
+    }
+
+    /// One row, mutable (the in-place target of
+    /// [`FeatureExtractor::finish_into`]).
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT]
+    }
+
+    /// The whole matrix as one contiguous slice.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// [`pure_batch`] assembled into one contiguous [`FeatureMatrix`]: a single
+/// batch-sized allocation instead of one `Vec` per tweet.
+pub fn pure_batch_matrix(
+    collected: &[CollectedTweet],
+    rest: &RestApi<'_>,
+    exec: &ExecConfig,
+) -> FeatureMatrix {
+    let pure = pure_batch(collected, rest, exec);
+    let mut data = Vec::with_capacity(pure.len() * FEATURE_COUNT);
+    for p in &pure {
+        data.extend_from_slice(&p.0);
+    }
+    FeatureMatrix {
+        data,
+        rows: pure.len(),
+    }
+}
+
+fn write_profile(out: &mut [f64], p: &Profile) {
+    out[0] = p.friends_count as f64;
+    out[1] = p.followers_count as f64;
+    out[2] = f64::from(p.account_age_days);
+    out[3] = p.statuses_count as f64;
+    out[4] = p.statuses_per_day();
+    out[5] = p.lists_count as f64;
+    out[6] = p.lists_per_day();
+    out[7] = p.favorites_per_day();
+    out[8] = p.favorites_count as f64;
+    out[9] = if p.verified { 1.0 } else { 0.0 };
+    out[10] = if p.default_profile_image { 1.0 } else { 0.0 };
+    out[11] = p.screen_name.chars().count() as f64;
+    out[12] = p.display_name.chars().count() as f64;
+    out[13] = p.description.chars().count() as f64;
+    out[14] = p.description.chars().filter(|c| !c.is_ascii()).count() as f64;
+    out[15] = p.description.chars().filter(char::is_ascii_digit).count() as f64;
 }
 
 fn pair_key(a: AccountId, b: AccountId) -> (u32, u32) {

@@ -90,10 +90,11 @@ pub fn apply(
 }
 
 /// Applies the clustering pass, fanning the dHash / Σ-sequence / MinHash
-/// sketch computation out across `exec`'s workers. Candidate generation,
-/// verification, and union-find stay sequential (they are cheap and
-/// order-sensitive), so the resulting labels are identical to [`apply`]
-/// at any thread count.
+/// sketch computation *and* the candidate-pair verify → union-find merge
+/// ([`merge_candidate_pairs`]) out across `exec`'s workers. Candidate
+/// generation stays sequential (band-index construction is cheap), and
+/// components are invariant under pair partitioning, so the resulting
+/// labels are identical to [`apply`] at any thread count.
 pub fn apply_with(
     collected: &[CollectedTweet],
     rest: &RestApi<'_>,
@@ -194,6 +195,74 @@ pub fn apply_with(
     report
 }
 
+/// Floor on candidate pairs per exec chunk in [`merge_candidate_pairs`].
+/// The actual chunk size also scales with the pair count so that at most
+/// ~4 chunks land on each worker: every chunk costs one O(universe)
+/// local-union-find init plus one O(universe) absorb on the caller, so
+/// unbounded chunk counts would swamp the verification work they carry.
+const MERGE_PAIRS_PER_CHUNK: usize = 512;
+
+/// Verifies candidate pairs and unions the survivors into `uf`, fanning
+/// both the verification and the union-find construction across `exec`'s
+/// workers — the parallel tail of every similarity pass.
+///
+/// Pairs are cut into fixed-size chunks; each worker verifies its chunks
+/// and records survivors in a *local* [`UnionFind`] over the same
+/// `universe`. The caller then absorbs the locals in chunk order
+/// (deterministic shard-ordered fold). Connected components depend only on
+/// the set of verified pairs — not on union order or chunk boundaries — so
+/// the resulting groups are identical to the old sequential
+/// verify-and-union loop at any thread count.
+///
+/// `verify` must be pure (it runs on worker threads, possibly concurrently
+/// and in any order).
+pub fn merge_candidate_pairs<F>(
+    exec: &ExecConfig,
+    stage: &str,
+    universe: usize,
+    pairs: Vec<(usize, usize)>,
+    verify: F,
+    uf: &mut UnionFind,
+) where
+    F: Fn(usize, usize) -> bool + Sync,
+{
+    if pairs.is_empty() {
+        return;
+    }
+    // Bound the chunk count by ~4 per worker (one chunk total when
+    // sequential), so the per-chunk O(universe) overhead stays a small
+    // constant factor of the verification work. Chunk boundaries are
+    // invisible in the result, so this sizing is a pure tuning knob.
+    let threads = exec.resolve_threads().max(1);
+    let per_chunk = pairs.len().div_ceil(threads * 4).max(MERGE_PAIRS_PER_CHUNK);
+    let chunks: Vec<Vec<(usize, usize)>> = pairs
+        .chunks(per_chunk)
+        .map(<[(usize, usize)]>::to_vec)
+        .collect();
+    let locals: Vec<UnionFind> = ph_exec::run_weighted(
+        exec,
+        stage,
+        ph_exec::StageWeight::CpuBound,
+        chunks,
+        |_chunk| 0,
+        |_worker| {
+            let verify = &verify;
+            move |chunk: Vec<(usize, usize)>| {
+                let mut local = UnionFind::new(universe);
+                for (i, j) in chunk {
+                    if verify(i, j) {
+                        local.union(i, j);
+                    }
+                }
+                local
+            }
+        },
+    );
+    for local in &locals {
+        uf.absorb(local);
+    }
+}
+
 /// Image clustering: 8-band LSH over the 128-bit dHash. A pair within
 /// Hamming distance < 5 differs in ≤ 4 bits, so at least 4 of the 8
 /// 16-bit bands match exactly — banding is recall-lossless here.
@@ -229,13 +298,17 @@ fn cluster_by_image(
         let bits = ((h.horizontal_bits() as u128) << 64) | h.vertical_bits() as u128;
         index.insert(i, bands_of_u128(bits, 8));
     }
-    for (i, j) in index.candidate_pairs() {
-        if let (Some(hi), Some(hj)) = (hashes[i], hashes[j]) {
-            if hi.hamming_distance(hj) < config.image_distance_threshold {
-                uf.union(i, j);
-            }
-        }
-    }
+    merge_candidate_pairs(
+        exec,
+        "clustering.image_merge",
+        authors.len(),
+        index.candidate_pairs(),
+        |i, j| match (hashes[i], hashes[j]) {
+            (Some(hi), Some(hj)) => hi.hamming_distance(hj) < config.image_distance_threshold,
+            _ => false,
+        },
+        uf,
+    );
 }
 
 /// Screen-name grouping (groups of ≥ `name_group_min`).
@@ -317,13 +390,17 @@ fn cluster_by_description(
         let Some(s) = sig else { continue };
         index.insert(i, bands_of_signature(s.as_slice(), 4));
     }
-    for (i, j) in index.candidate_pairs() {
-        if let (Some(si), Some(sj)) = (&signatures[i], &signatures[j]) {
-            if si.estimate_jaccard(sj) >= config.description_similarity {
-                uf.union(i, j);
-            }
-        }
-    }
+    merge_candidate_pairs(
+        exec,
+        "clustering.description_merge",
+        authors.len(),
+        index.candidate_pairs(),
+        |i, j| match (&signatures[i], &signatures[j]) {
+            (Some(si), Some(sj)) => si.estimate_jaccard(sj) >= config.description_similarity,
+            _ => false,
+        },
+        uf,
+    );
 }
 
 /// Near-duplicate tweets inside rolling 1-day windows, MinHash-verified.
@@ -366,20 +443,26 @@ fn cluster_tweets(
                 .map(|(band, key)| (band, key ^ window.wrapping_mul(0x9e37_79b9))),
         );
     }
-    for (i, j) in index.candidate_pairs() {
-        // Same-window check: the band-key mixing makes cross-window
-        // collisions unlikely but not impossible.
-        let wi = collected[i].hour / config.tweet_window_hours.max(1);
-        let wj = collected[j].hour / config.tweet_window_hours.max(1);
-        if wi != wj {
-            continue;
-        }
-        if let (Some(si), Some(sj)) = (&signatures[i], &signatures[j]) {
-            if si.estimate_jaccard(sj) >= config.tweet_similarity {
-                uf.union(i, j);
+    merge_candidate_pairs(
+        exec,
+        "clustering.tweet_merge",
+        collected.len(),
+        index.candidate_pairs(),
+        |i, j| {
+            // Same-window check: the band-key mixing makes cross-window
+            // collisions unlikely but not impossible.
+            let wi = collected[i].hour / config.tweet_window_hours.max(1);
+            let wj = collected[j].hour / config.tweet_window_hours.max(1);
+            if wi != wj {
+                return false;
             }
-        }
-    }
+            match (&signatures[i], &signatures[j]) {
+                (Some(si), Some(sj)) => si.estimate_jaccard(sj) >= config.tweet_similarity,
+                _ => false,
+            }
+        },
+        uf,
+    );
 }
 
 #[cfg(test)]

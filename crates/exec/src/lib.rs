@@ -39,4 +39,4 @@ pub mod stage;
 pub use merge::{merge_shards, Reorder, Seq};
 pub use service::LongLivedStage;
 pub use shard::{mix64, shard_of};
-pub use stage::{run, ExecConfig, Stage};
+pub use stage::{run, run_weighted, ExecConfig, Stage, StageWeight};

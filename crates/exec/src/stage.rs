@@ -110,6 +110,89 @@ fn depth_buckets() -> Vec<f64> {
     (0..9).map(|i| f64::from(1u32 << i)).collect()
 }
 
+/// How much CPU one record of a stage costs — the driver's fan-out hint.
+///
+/// Shard-by-key routing ([`run`]) is correct for every stage but collapses
+/// fan-out when the key space is narrow or skewed: a stage whose records
+/// mostly hash to two shards uses two workers no matter how many cores the
+/// run was given. Stages declare their weight so the driver can pick a
+/// routing that matches the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StageWeight {
+    /// Trivial per-record work: channel and thread overhead dominate, so
+    /// the driver runs the stage sequentially on the caller thread.
+    Light,
+    /// Moderate per-record work, possibly with per-key state: shard by
+    /// key — exactly the [`run`] behavior.
+    #[default]
+    Balanced,
+    /// Heavy pure-CPU work on **stateless** records: the driver ignores
+    /// the key distribution and deals chunks round-robin across every
+    /// worker, with smaller chunks and deeper channels, so fan-out reaches
+    /// full width regardless of key skew. The ordered merge still returns
+    /// outputs in input order, so a pure stage stays byte-identical at any
+    /// thread count; stages with per-key state must not declare this.
+    CpuBound,
+}
+
+/// How the feeder assigns a record to a worker.
+enum Router<K> {
+    /// `shard_of(key)` — all records of one key visit one worker.
+    ByKey(K),
+    /// `(seq / chunk_size) % threads` — consecutive chunks dealt across
+    /// all workers in turn, for stateless CPU-bound stages.
+    RoundRobin,
+}
+
+/// [`run`] with an explicit [`StageWeight`]: `Light` forces the sequential
+/// path, `Balanced` is exactly [`run`], and `CpuBound` swaps shard-by-key
+/// for round-robin chunk dealing (with chunk size quartered and channel
+/// capacity doubled) so the stage fans out to every worker even under key
+/// skew. `shard_key` is consulted only by `Balanced`; outputs come back in
+/// input order for every weight.
+pub fn run_weighted<In, Out, K, M, S>(
+    exec: &ExecConfig,
+    name: &str,
+    weight: StageWeight,
+    items: Vec<In>,
+    shard_key: K,
+    make_stage: M,
+) -> Vec<Out>
+where
+    In: Send,
+    Out: Send,
+    K: Fn(&In) -> u64,
+    M: Fn(usize) -> S + Sync,
+    S: Stage<In, Out>,
+{
+    match weight {
+        StageWeight::Light => {
+            let sequential = ExecConfig {
+                threads: 1,
+                ..exec.clone()
+            };
+            run_routed(
+                &sequential,
+                name,
+                items,
+                Router::ByKey(shard_key),
+                make_stage,
+            )
+        }
+        StageWeight::Balanced => {
+            run_routed(exec, name, items, Router::ByKey(shard_key), make_stage)
+        }
+        StageWeight::CpuBound => {
+            let tuned = ExecConfig {
+                threads: exec.threads,
+                chunk_size: (exec.chunk_size / 4).max(1),
+                channel_capacity: exec.channel_capacity.max(1) * 2,
+            };
+            run_routed(&tuned, name, items, Router::<K>::RoundRobin, make_stage)
+        }
+    }
+}
+
 /// Runs `items` through a stage, sharded by `shard_key` across the
 /// configured workers, returning outputs **in input order**.
 ///
@@ -136,6 +219,23 @@ pub fn run<In, Out, K, M, S>(
     name: &str,
     items: Vec<In>,
     shard_key: K,
+    make_stage: M,
+) -> Vec<Out>
+where
+    In: Send,
+    Out: Send,
+    K: Fn(&In) -> u64,
+    M: Fn(usize) -> S + Sync,
+    S: Stage<In, Out>,
+{
+    run_routed(exec, name, items, Router::ByKey(shard_key), make_stage)
+}
+
+fn run_routed<In, Out, K, M, S>(
+    exec: &ExecConfig,
+    name: &str,
+    items: Vec<In>,
+    router: Router<K>,
     make_stage: M,
 ) -> Vec<Out>
 where
@@ -188,7 +288,7 @@ where
             items.into_iter().map(|item| stage.process(item)).collect()
         }
     } else {
-        run_sharded(exec, name, threads, items, &shard_key, &make_stage, sid)
+        run_sharded(exec, name, threads, items, &router, &make_stage, sid)
     };
     ph_telemetry::counter(&format!("exec.{name}.items")).add(total);
     ph_telemetry::histogram(
@@ -217,7 +317,7 @@ fn run_sharded<In, Out, K, M, S>(
     name: &str,
     threads: usize,
     items: Vec<In>,
-    shard_key: &K,
+    router: &Router<K>,
     make_stage: &M,
     sid: Option<ph_trace::StageId>,
 ) -> Vec<Out>
@@ -327,7 +427,10 @@ where
         const DEPTH_SAMPLE_US: u64 = 500;
         let mut last_depth_sample: Vec<Option<u64>> = vec![None; threads];
         for (seq, item) in items.into_iter().enumerate() {
-            let shard = shard_of(shard_key(&item), threads);
+            let shard = match router {
+                Router::ByKey(key) => shard_of(key(&item), threads),
+                Router::RoundRobin => (seq / chunk_size) % threads,
+            };
             buffers[shard].push(Seq {
                 seq: seq as u64,
                 item,
@@ -588,6 +691,68 @@ mod tests {
                 .any(|e| e.name() == "test.square.untraced"),
             "events recorded while tracing was off"
         );
+    }
+
+    #[test]
+    fn weighted_outputs_match_run_at_every_weight() {
+        let expected = square(&ExecConfig::sequential(), 400);
+        for weight in [
+            StageWeight::Light,
+            StageWeight::Balanced,
+            StageWeight::CpuBound,
+        ] {
+            for threads in [1, 2, 4] {
+                let out: Vec<u64> = run_weighted(
+                    &ExecConfig::with_threads(threads),
+                    "test.weighted",
+                    weight,
+                    (0..400).collect(),
+                    |&x| x,
+                    |_worker| |x: u64| x * x,
+                );
+                assert_eq!(out, expected, "{weight:?} at {threads} threads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_bound_fans_out_under_total_key_skew() {
+        // Every record has the same key: Balanced would collapse to one
+        // worker, CpuBound must still spread chunks across all of them.
+        let seen = AtomicUsize::new(0);
+        let out: Vec<u64> = run_weighted(
+            &ExecConfig {
+                chunk_size: 4,
+                ..ExecConfig::with_threads(4)
+            },
+            "test.cpubound.skew",
+            StageWeight::CpuBound,
+            (0..256u64).collect(),
+            |_| 7,
+            |worker| {
+                seen.fetch_or(1 << worker, Ordering::Relaxed);
+                move |x: u64| x + 1
+            },
+        );
+        assert_eq!(out, (1..=256).collect::<Vec<u64>>());
+        assert_eq!(seen.load(Ordering::Relaxed), 0b1111, "idle workers");
+    }
+
+    #[test]
+    fn light_never_spawns_workers() {
+        let seen = AtomicUsize::new(0);
+        let _: Vec<u64> = run_weighted(
+            &ExecConfig::with_threads(8),
+            "test.light",
+            StageWeight::Light,
+            (0..64u64).collect(),
+            |&x| x,
+            |worker| {
+                seen.fetch_or(1 << worker, Ordering::Relaxed);
+                |x: u64| x
+            },
+        );
+        assert_eq!(seen.load(Ordering::Relaxed), 0b1, "light stage sharded");
     }
 
     #[test]

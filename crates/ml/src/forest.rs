@@ -70,7 +70,6 @@ impl RandomForest {
             "ml.forest.tree_train_ms",
             &ph_telemetry::default_latency_buckets_ms(),
         );
-        let tree_timer = &tree_timer; // shared ref keeps `train_one` Copy
         assert!(config.num_trees > 0, "forest needs at least one tree");
         let features_per_split = config
             .features_per_split
@@ -80,7 +79,7 @@ impl RandomForest {
         let mut seeder = StdRng::seed_from_u64(seed);
         let tree_seeds: Vec<u64> = (0..config.num_trees).map(|_| seeder.random()).collect();
 
-        let train_one = |tree_seed: u64| -> DecisionTree {
+        let train_one = |tree_seed: u64| -> (DecisionTree, f64) {
             let start = std::time::Instant::now();
             let mut rng = StdRng::seed_from_u64(tree_seed);
             // Bootstrap sample: n draws with replacement.
@@ -93,30 +92,44 @@ impl RandomForest {
                 Some(features_per_split),
                 rng.random(),
             );
-            tree_timer.record(start.elapsed().as_secs_f64() * 1e3);
-            tree
+            (tree, start.elapsed().as_secs_f64() * 1e3)
         };
 
-        let trees: Vec<DecisionTree> = if config.parallel && config.num_trees > 1 {
-            let workers = std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(4)
-                .min(config.num_trees);
-            let mut out: Vec<Option<DecisionTree>> = vec![None; config.num_trees];
-            let chunk = config.num_trees.div_ceil(workers);
-            std::thread::scope(|scope| {
-                for (slice, seeds) in out.chunks_mut(chunk).zip(tree_seeds.chunks(chunk)) {
-                    scope.spawn(move || {
-                        for (slot, &s) in slice.iter_mut().zip(seeds) {
-                            *slot = Some(train_one(s));
-                        }
-                    });
-                }
-            });
-            out.into_iter().map(|t| t.expect("tree trained")).collect()
+        // Trees fan out through the exec stage driver: one tree per chunk,
+        // CPU-bound round-robin dealing, outputs back in seed order. This
+        // buys the standard stage telemetry/prof/trace instrumentation
+        // (so `perf critical-path` sees per-tree batches inside the
+        // ml.train phase) for free.
+        let workers = if config.parallel && config.num_trees > 1 {
+            ph_exec::ExecConfig::with_threads(0)
+                .resolve_threads()
+                .min(config.num_trees)
         } else {
-            tree_seeds.into_iter().map(train_one).collect()
+            1
         };
+        ph_telemetry::set_meta("ml.forest.workers", &workers.to_string());
+        let exec = ph_exec::ExecConfig {
+            chunk_size: 1,
+            ..ph_exec::ExecConfig::with_threads(workers)
+        };
+        let timed: Vec<(DecisionTree, f64)> = ph_exec::run_weighted(
+            &exec,
+            "ml.forest.train",
+            ph_exec::StageWeight::CpuBound,
+            tree_seeds,
+            |&s| s,
+            |_worker| train_one,
+        );
+        // Timings recorded on the caller thread after the ordered merge:
+        // per-seed order, and no worker contention on the shared
+        // histogram mutex.
+        let trees = timed
+            .into_iter()
+            .map(|(tree, ms)| {
+                tree_timer.record(ms);
+                tree
+            })
+            .collect();
         Self { trees }
     }
 

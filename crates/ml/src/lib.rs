@@ -43,6 +43,7 @@
 pub mod boost;
 pub mod cv;
 pub mod data;
+pub mod flat;
 pub mod forest;
 pub mod importance;
 pub mod knn;
@@ -136,10 +137,8 @@ impl Algorithm {
                 data,
                 seed,
             )),
-            Algorithm::RandomForest => Box::new(forest::RandomForest::fit(
-                &forest::RandomForestConfig::default(),
-                data,
-                seed,
+            Algorithm::RandomForest => Box::new(flat::FlatForest::from_forest(
+                &forest::RandomForest::fit(&forest::RandomForestConfig::default(), data, seed),
             )),
         }
     }

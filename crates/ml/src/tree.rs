@@ -38,7 +38,7 @@ impl Default for DecisionTreeConfig {
 
 /// One node of a fitted tree, stored in a flat arena.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     /// Terminal node carrying the mean target of its training samples.
     Leaf { value: f64 },
     /// Internal split: rows with `features[feature] <= threshold` go left.
@@ -52,9 +52,9 @@ enum Node {
 
 /// The shared fitted-tree core used by both public tree types.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct TreeCore {
-    nodes: Vec<Node>,
-    num_features: usize,
+pub(crate) struct TreeCore {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) num_features: usize,
 }
 
 impl TreeCore {
@@ -113,6 +113,96 @@ struct GrowOptions<'a> {
     features_per_split: Option<usize>,
 }
 
+/// The per-tree presorted working set (classic presorted CART).
+///
+/// All columns are indexed by *slot* — a position in the bootstrap sample,
+/// so duplicate draws get distinct slots. `sorted` holds, per feature, the
+/// slots stably sorted by that feature's value; `order` holds the slots in
+/// original bootstrap order. Each tree node owns a contiguous `[lo, hi)`
+/// range of every column, and a split stably partitions those ranges in
+/// place — no per-node sort, no per-node allocation.
+///
+/// Equivalence with sort-per-node: a stable sort of a node's slots equals
+/// the stable filter of the globally sorted column (both orderings ascend
+/// by value with ties in bootstrap-subsequence order), and the gain scan,
+/// leaf means, and SSE accumulators all visit slots in exactly the same
+/// sequence as before — so the grown tree is bit-identical, including for
+/// arbitrary `f64` regression targets.
+struct PresortedSample {
+    /// Columnar feature values: `values[f * n + s]` = feature `f` of slot `s`.
+    values: Vec<f64>,
+    /// Target per slot.
+    targets: Vec<f64>,
+    /// Per-feature slot permutation, stably sorted by value (stride `n`).
+    sorted: Vec<u32>,
+    /// Slots in original bootstrap order (preserves summation order).
+    order: Vec<u32>,
+    /// Slot count (`indices.len()`).
+    n: usize,
+    num_features: usize,
+}
+
+impl PresortedSample {
+    fn build(rows: &[Vec<f64>], targets: &[f64], indices: &[usize]) -> Self {
+        let n = indices.len();
+        let num_features = rows[0].len();
+        let mut values = vec![0.0f64; num_features * n];
+        for (s, &i) in indices.iter().enumerate() {
+            let row = &rows[i];
+            for (f, &v) in row.iter().enumerate() {
+                values[f * n + s] = v;
+            }
+        }
+        let targets: Vec<f64> = indices.iter().map(|&i| targets[i]).collect();
+        let mut sorted = vec![0u32; num_features * n];
+        for f in 0..num_features {
+            let col = &mut sorted[f * n..(f + 1) * n];
+            for (s, slot) in col.iter_mut().enumerate() {
+                *slot = s as u32;
+            }
+            let vals = &values[f * n..(f + 1) * n];
+            // Stable: ties stay in bootstrap order, matching the stable
+            // per-node sort of the sort-per-node implementation.
+            col.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize]));
+        }
+        let order: Vec<u32> = (0..n as u32).collect();
+        Self {
+            values,
+            targets,
+            sorted,
+            order,
+            n,
+            num_features,
+        }
+    }
+
+    fn value(&self, feature: usize, slot: u32) -> f64 {
+        self.values[feature * self.n + slot as usize]
+    }
+
+    fn target(&self, slot: u32) -> f64 {
+        self.targets[slot as usize]
+    }
+}
+
+/// Stably partitions `col[lo..hi]` so slots with `goes_left` come first
+/// (both halves keep their relative order). Returns the left-half length.
+fn partition_stable(col: &mut [u32], goes_left: &[bool], scratch: &mut Vec<u32>) -> usize {
+    scratch.clear();
+    let mut write = 0usize;
+    for read in 0..col.len() {
+        let slot = col[read];
+        if goes_left[slot as usize] {
+            col[write] = slot;
+            write += 1;
+        } else {
+            scratch.push(slot);
+        }
+    }
+    col[write..].copy_from_slice(scratch);
+    write
+}
+
 /// Grows a regression tree on `targets` over the given row indices.
 fn grow(
     rows: &[Vec<f64>],
@@ -122,39 +212,46 @@ fn grow(
     rng: &mut StdRng,
 ) -> TreeCore {
     assert!(!indices.is_empty(), "cannot grow a tree on zero samples");
-    let num_features = rows[0].len();
+    let mut sample = PresortedSample::build(rows, targets, indices);
+    let num_features = sample.num_features;
+    let n = sample.n;
     let mut core = TreeCore {
         nodes: Vec::new(),
         num_features,
     };
+    let mut goes_left = vec![false; n];
+    let mut scratch: Vec<u32> = Vec::with_capacity(n);
     // Explicit stack instead of recursion: the paper's depth cap is 700,
     // beyond typical thread stack comfort for recursive descent.
-    // Each entry: (node slot, sample indices, depth).
+    // Each entry: (node slot, column range lo..hi, depth). Push order
+    // (left, then right) matches the pre-presort implementation so the
+    // per-node RNG draws line up exactly.
     core.nodes.push(Node::Leaf { value: 0.0 });
-    let mut stack: Vec<(usize, Vec<usize>, usize)> = vec![(0, indices.to_vec(), 0)];
-    while let Some((slot, node_indices, depth)) = stack.pop() {
-        let mean =
-            node_indices.iter().map(|&i| targets[i]).sum::<f64>() / node_indices.len() as f64;
+    let mut stack: Vec<(usize, usize, usize, usize)> = vec![(0, 0, n, 0)];
+    while let Some((slot, lo, hi, depth)) = stack.pop() {
+        let node = &sample.order[lo..hi];
+        let mean = node.iter().map(|&s| sample.target(s)).sum::<f64>() / node.len() as f64;
         let make_leaf = |core: &mut TreeCore| core.nodes[slot] = Node::Leaf { value: mean };
         if depth >= opts.config.max_depth
-            || node_indices.len() < opts.config.min_samples_split
-            || is_pure(targets, &node_indices)
+            || node.len() < opts.config.min_samples_split
+            || is_pure(&sample.targets, node)
         {
             make_leaf(&mut core);
             continue;
         }
         let candidates = candidate_features(num_features, opts.features_per_split, rng);
-        match best_split(rows, targets, &node_indices, &candidates, opts.config) {
+        match best_split(&sample, lo, hi, &candidates, opts.config) {
             None => make_leaf(&mut core),
             Some(split) => {
-                let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
-                for &i in &node_indices {
-                    if rows[i][split.feature] <= split.threshold {
-                        left_idx.push(i);
-                    } else {
-                        right_idx.push(i);
-                    }
+                for &s in &sample.order[lo..hi] {
+                    goes_left[s as usize] = sample.value(split.feature, s) <= split.threshold;
                 }
+                let mut left_len = 0;
+                for f in 0..num_features {
+                    let col = &mut sample.sorted[f * n + lo..f * n + hi];
+                    left_len = partition_stable(col, &goes_left, &mut scratch);
+                }
+                partition_stable(&mut sample.order[lo..hi], &goes_left, &mut scratch);
                 let left_slot = core.nodes.len();
                 core.nodes.push(Node::Leaf { value: 0.0 });
                 let right_slot = core.nodes.len();
@@ -165,17 +262,17 @@ fn grow(
                     left: left_slot,
                     right: right_slot,
                 };
-                stack.push((left_slot, left_idx, depth + 1));
-                stack.push((right_slot, right_idx, depth + 1));
+                stack.push((left_slot, lo, lo + left_len, depth + 1));
+                stack.push((right_slot, lo + left_len, hi, depth + 1));
             }
         }
     }
     core
 }
 
-fn is_pure(targets: &[f64], indices: &[usize]) -> bool {
-    let first = targets[indices[0]];
-    indices.iter().all(|&i| targets[i] == first)
+fn is_pure(targets: &[f64], slots: &[u32]) -> bool {
+    let first = targets[slots[0] as usize];
+    slots.iter().all(|&s| targets[s as usize] == first)
 }
 
 fn candidate_features(
@@ -196,30 +293,38 @@ struct SplitChoice {
 
 /// Finds the variance-minimizing split over the candidate features, if any
 /// split yields positive gain while respecting `min_samples_leaf`.
+///
+/// Scans the node's pre-sorted `[lo, hi)` column ranges directly — no
+/// per-node sort or allocation. The parent totals accumulate over `order`
+/// (bootstrap order) and each feature scan walks the sorted column, both in
+/// exactly the sequence the sort-per-node implementation produced.
 fn best_split(
-    rows: &[Vec<f64>],
-    targets: &[f64],
-    indices: &[usize],
+    sample: &PresortedSample,
+    lo: usize,
+    hi: usize,
     candidates: &[usize],
     config: &DecisionTreeConfig,
 ) -> Option<SplitChoice> {
-    let n = indices.len() as f64;
-    let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
-    let total_sq: f64 = indices.iter().map(|&i| targets[i] * targets[i]).sum();
+    let node = &sample.order[lo..hi];
+    let n = node.len() as f64;
+    let total_sum: f64 = node.iter().map(|&s| sample.target(s)).sum();
+    let total_sq: f64 = node
+        .iter()
+        .map(|&s| sample.target(s) * sample.target(s))
+        .sum();
     let parent_sse = total_sq - total_sum * total_sum / n;
     let mut best: Option<(f64, SplitChoice)> = None;
 
-    let mut scratch: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
     for &feature in candidates {
-        scratch.clear();
-        scratch.extend(indices.iter().map(|&i| (rows[i][feature], targets[i])));
-        scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let col = &sample.sorted[feature * sample.n + lo..feature * sample.n + hi];
         let mut left_sum = 0.0;
         let mut left_sq = 0.0;
-        for (k, &(value, target)) in scratch.iter().enumerate().take(scratch.len() - 1) {
+        for (k, &s) in col.iter().enumerate().take(col.len() - 1) {
+            let value = sample.value(feature, s);
+            let target = sample.target(s);
             left_sum += target;
             left_sq += target * target;
-            let next_value = scratch[k + 1].0;
+            let next_value = sample.value(feature, col[k + 1]);
             if value == next_value {
                 continue; // cannot split between equal feature values
             }
@@ -338,6 +443,11 @@ impl DecisionTree {
     /// Number of leaves.
     pub fn num_leaves(&self) -> usize {
         self.core.num_leaves()
+    }
+
+    /// Fitted-tree internals, for [`crate::flat::FlatForest`] flattening.
+    pub(crate) fn core(&self) -> &TreeCore {
+        &self.core
     }
 }
 

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use ph_ml::boost::{BoostConfig, GradientBoosting};
 use ph_ml::cv::stratified_folds;
 use ph_ml::data::{Dataset, Standardizer};
+use ph_ml::flat::FlatForest;
 use ph_ml::forest::{RandomForest, RandomForestConfig};
 use ph_ml::knn::{KNearestNeighbors, KnnConfig};
 use ph_ml::metrics::ConfusionMatrix;
@@ -59,6 +60,52 @@ proptest! {
         for row in data.rows() {
             let p = forest.predict_probability(row);
             prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    /// The flattened SoA forest agrees bit-for-bit with the pointer forest
+    /// on arbitrary fitted forests and query rows: per-row probabilities,
+    /// the batch kernel over a contiguous matrix, and the byte codec all
+    /// preserve exact `f64` bits.
+    #[test]
+    fn flat_forest_is_bit_identical(
+        data in dataset_strategy(),
+        seed: u64,
+        trees in 1usize..9,
+        queries in proptest::collection::vec(
+            proptest::collection::vec(-1e3f64..1e3, 5),
+            1..12,
+        ),
+    ) {
+        let forest = RandomForest::fit(
+            &RandomForestConfig { num_trees: trees, parallel: false, ..Default::default() },
+            &data,
+            seed,
+        );
+        let flat = FlatForest::from_forest(&forest);
+        let width = flat.num_features();
+        // Query rows trimmed to the training width; training rows too.
+        let rows: Vec<Vec<f64>> = data
+            .rows()
+            .iter()
+            .cloned()
+            .chain(queries.into_iter().map(|q| q[..width].to_vec()))
+            .collect();
+        let mut matrix = Vec::with_capacity(rows.len() * width);
+        for row in &rows {
+            matrix.extend_from_slice(row);
+        }
+        let batch = flat.predict_batch(&matrix, rows.len());
+        let decoded = FlatForest::from_bytes(&flat.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &flat, "byte codec round-trip diverged");
+        for (row, &p_batch) in rows.iter().zip(&batch) {
+            let expected = forest.predict_probability(row);
+            prop_assert_eq!(flat.predict_probability(row).to_bits(), expected.to_bits());
+            prop_assert_eq!(p_batch.to_bits(), expected.to_bits());
+            prop_assert_eq!(
+                decoded.predict_probability(row).to_bits(),
+                expected.to_bits()
+            );
         }
     }
 

@@ -104,6 +104,50 @@ impl UnionFind {
         self.find(a) == self.find(b)
     }
 
+    /// Representative of `x`'s component without path compression — the
+    /// read-only twin of [`find`](Self::find), usable on a shared
+    /// reference (e.g. while folding another structure in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len`.
+    pub fn root(&self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element out of range");
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Merges every equivalence recorded in `other` into `self`: after the
+    /// call, any two elements connected in *either* structure are connected
+    /// in `self`. Both structures must cover the same universe.
+    ///
+    /// This is the deterministic fold step of the parallel cluster merge:
+    /// shard workers build local union-finds over disjoint slices of the
+    /// candidate-pair stream, and the caller absorbs them in shard order.
+    /// Components depend only on the *set* of equivalences, so the result
+    /// equals feeding all pairs through one sequential structure, whatever
+    /// the partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two structures differ in length.
+    pub fn absorb(&mut self, other: &UnionFind) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot absorb a union-find over a different universe"
+        );
+        for x in 0..other.len() {
+            let r = other.root(x);
+            if r != x {
+                self.union(x, r);
+            }
+        }
+    }
+
     /// Materializes all components as member lists (each sorted ascending),
     /// ordered by their smallest member. Singletons are included.
     pub fn components(&mut self) -> Vec<Vec<usize>> {
@@ -192,5 +236,61 @@ mod tests {
     fn find_out_of_range_panics() {
         let mut uf = UnionFind::new(2);
         let _ = uf.find(2);
+    }
+
+    #[test]
+    fn root_agrees_with_find_without_mutation() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 3);
+        uf.union(3, 5);
+        uf.union(6, 7);
+        let before = uf.clone();
+        for x in 0..8 {
+            assert_eq!(uf.root(x), before.clone().find(x));
+        }
+        assert_eq!(uf, before, "root() must not compress paths");
+    }
+
+    #[test]
+    fn absorb_unions_other_structures_equivalences() {
+        let mut a = UnionFind::new(6);
+        a.union(0, 1);
+        let mut b = UnionFind::new(6);
+        b.union(1, 2);
+        b.union(4, 5);
+        a.absorb(&b);
+        assert_eq!(a.components(), vec![vec![0, 1, 2], vec![3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn absorb_order_is_invisible_in_components() {
+        let edges = [(0usize, 1usize), (1, 2), (5, 6), (2, 5), (8, 9)];
+        let mut sequential = UnionFind::new(10);
+        for &(x, y) in &edges {
+            sequential.union(x, y);
+        }
+        // Split edges across two locals, absorb in both orders.
+        for flip in [false, true] {
+            let mut left = UnionFind::new(10);
+            let mut right = UnionFind::new(10);
+            for (i, &(x, y)) in edges.iter().enumerate() {
+                if (i % 2 == 0) != flip {
+                    left.union(x, y);
+                } else {
+                    right.union(x, y);
+                }
+            }
+            let mut merged = UnionFind::new(10);
+            merged.absorb(&left);
+            merged.absorb(&right);
+            assert_eq!(merged.components(), sequential.components());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different universe")]
+    fn absorb_length_mismatch_panics() {
+        let mut a = UnionFind::new(3);
+        a.absorb(&UnionFind::new(4));
     }
 }

@@ -10,6 +10,56 @@ use ph_sketch::shingle::{jaccard, normalize, shingles, trigram_shingles};
 use ph_sketch::unionfind::UnionFind;
 
 proptest! {
+    /// Any shard partitioning of the same edge set — any number of shards,
+    /// any assignment of edges to shards, any edge order within a shard —
+    /// absorbed in shard order yields exactly the sequential components.
+    #[test]
+    fn sharded_union_find_matches_sequential(
+        len in 1usize..40,
+        edges in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 0..80),
+        shards in 1usize..6,
+    ) {
+        let edges: Vec<(usize, usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b, s)| (a as usize % len, b as usize % len, s as usize % shards))
+            .collect();
+        let mut sequential = UnionFind::new(len);
+        for &(a, b, _) in &edges {
+            sequential.union(a, b);
+        }
+        // Build one local union-find per shard from its edge subset.
+        let mut locals: Vec<UnionFind> = (0..shards).map(|_| UnionFind::new(len)).collect();
+        for &(a, b, s) in &edges {
+            locals[s].union(a, b);
+        }
+        // Shard-ordered fold, as the parallel cluster merge does.
+        let mut merged = UnionFind::new(len);
+        for local in &locals {
+            merged.absorb(local);
+        }
+        prop_assert_eq!(merged.component_count(), sequential.component_count());
+        prop_assert_eq!(merged.components(), sequential.components());
+    }
+
+    /// `root` never mutates and always names a fixed point.
+    #[test]
+    fn root_is_pure_and_idempotent(
+        len in 1usize..30,
+        edges in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..40),
+    ) {
+        let mut uf = UnionFind::new(len);
+        for (a, b) in edges {
+            uf.union(a as usize % len, b as usize % len);
+        }
+        let snapshot = uf.clone();
+        for x in 0..len {
+            let r = uf.root(x);
+            prop_assert_eq!(uf.root(r), r, "root of a root must be itself");
+            prop_assert_eq!(r, snapshot.clone().find(x));
+        }
+        prop_assert_eq!(uf, snapshot);
+    }
+
     /// Hamming distance is a metric: identity, symmetry, triangle inequality.
     #[test]
     fn dhash_distance_is_a_metric(a: (u64, u64), b: (u64, u64), c: (u64, u64)) {

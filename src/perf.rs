@@ -32,7 +32,9 @@ use ph_exec::ExecConfig;
 use ph_prof::{bench_file_name, compare, BenchMeta, BenchReport, DiffConfig, Verdict};
 use pseudo_honeypot::core::detector::{build_training_data_with, DetectorConfig, SpamDetector};
 use pseudo_honeypot::core::features::{pure_batch, FeatureExtractor, DEFAULT_TAU};
-use pseudo_honeypot::core::labeling::clustering::{apply_with, ClusteringConfig};
+use pseudo_honeypot::core::labeling::clustering::{
+    apply_with, merge_candidate_pairs, ClusteringConfig,
+};
 use pseudo_honeypot::core::labeling::pipeline::{label_collection_with, PipelineConfig};
 use pseudo_honeypot::core::labeling::LabeledCollection;
 use pseudo_honeypot::core::monitor::{CollectedTweet, Runner, RunnerConfig};
@@ -367,6 +369,8 @@ const SCENARIOS: &[&str] = &[
     "clustering_sketches",
     "rf_train",
     "rf_classify",
+    "rf_classify_batch",
+    "cluster_merge",
     "store_append",
     "store_read",
     "serve_ingest",
@@ -382,6 +386,8 @@ fn needs_fixture(name: &str) -> bool {
             | "clustering_sketches"
             | "rf_train"
             | "rf_classify"
+            | "rf_classify_batch"
+            | "cluster_merge"
             | "store_append"
             | "store_read"
             | "serve_ingest"
@@ -465,6 +471,56 @@ fn run_scenario(
                         .detector
                         .classify_batch(&fixture.collected, &fixture.engine, &exec);
                 black_box(outcome.predictions.len());
+            })
+        }
+        "rf_classify_batch" => {
+            // The flat-forest batch predict in isolation: train once and
+            // copy the dataset into one contiguous row-major matrix
+            // outside the timed region, then time `predict_batch` alone.
+            let fixture = fx();
+            let forest = ph_ml::forest::RandomForest::fit(
+                &sizes.detector_config().forest,
+                &fixture.dataset,
+                sizes.seed,
+            );
+            let flat = ph_ml::flat::FlatForest::from_forest(&forest);
+            let n_rows = fixture.dataset.len();
+            let mut matrix = Vec::with_capacity(n_rows * fixture.dataset.num_features());
+            for row in fixture.dataset.rows() {
+                matrix.extend_from_slice(row);
+            }
+            measure(warmup, samples, || {
+                let probs = flat.predict_batch(&matrix, n_rows);
+                black_box(probs.len());
+            })
+        }
+        "cluster_merge" => {
+            // The parallel pairwise-verify + union-find merge in
+            // isolation, over a deterministic synthetic candidate-pair
+            // stream (ring plus seeded long-range chords) so the scenario
+            // measures merge mechanics, not sketch construction.
+            let universe = 4_096usize;
+            let mut pairs = Vec::new();
+            let mut x = sizes.seed | 1;
+            for i in 0..universe {
+                pairs.push((i, (i + 1) % universe));
+                // xorshift64 chord endpoints.
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                pairs.push((i, (x as usize) % universe));
+            }
+            measure(warmup, samples, || {
+                let mut uf = ph_sketch::UnionFind::new(universe);
+                merge_candidate_pairs(
+                    &exec,
+                    "clustering.bench_merge",
+                    universe,
+                    pairs.clone(),
+                    |i, j| (i + j) % 3 != 0,
+                    &mut uf,
+                );
+                black_box(uf.component_count());
             })
         }
         "store_append" => {
