@@ -269,6 +269,43 @@ grep -q "6 of 6 h completed" "$SMOKE/serve-inspect.out" \
     || { echo "inspect cannot render the served store"; exit 1; }
 echo "    SIGTERM drained at exit 5, resume completed, $VERDICTS live verdicts"
 
+echo "==> decision observability smoke (--explain + explain + inspect --drift)"
+# An explained run with an injected taste flip must persist both decision
+# streams, render a verdict's provenance and the drift table offline, and
+# raise drift alarms; an explained serve run must emit NDJSON verdicts
+# whose margin/top_features parse as strict JSON.
+"$BIN" sniff --store "$SMOKE/obs" "${SNIFF_ARGS[@]}" --taste-flip 10 --explain --quiet \
+    > /dev/null
+[ -s "$SMOKE/obs/explain.log" ] || { echo "no explain.log after --explain"; exit 1; }
+[ -s "$SMOKE/obs/drift.log" ] || { echo "no drift.log after --explain"; exit 1; }
+"$BIN" explain --store "$SMOKE/obs" > "$SMOKE/explain.out"
+grep -q "feature attributions" "$SMOKE/explain.out" \
+    || { echo "explain rendered no attribution table"; exit 1; }
+grep -q "attributions telescope" "$SMOKE/explain.out" \
+    || { echo "explain rendered no telescoping footnote"; exit 1; }
+"$BIN" inspect --store "$SMOKE/obs" --drift --quiet > "$SMOKE/drift.out"
+grep -q "per-hour feature drift" "$SMOKE/drift.out" \
+    || { echo "inspect --drift rendered no PSI table"; exit 1; }
+grep -q "drift alarms" "$SMOKE/drift.out" \
+    || { echo "inspect --drift rendered no alarm timeline"; exit 1; }
+grep -A2 "drift alarms" "$SMOKE/drift.out" | grep -q "psi" \
+    || { echo "taste flip raised no drift alarm"; exit 1; }
+"$BIN" serve --store "$SMOKE/obs-serve" --seed 7 --organic 400 --campaigns 3 \
+    --gt-hours 3 --hours 4 --loadgen --explain --http none --quiet > /dev/null
+python3 - "$SMOKE/obs-serve/verdicts.ndjson" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l]
+assert lines, "empty explained verdict stream"
+for line in lines:
+    doc = json.loads(line)  # strict JSON, or this throws
+    assert isinstance(doc["margin"], (int, float)), doc
+    tops = doc["top_features"]
+    assert tops and all(set(t) == {"feature", "delta"} for t in tops), doc
+    assert all(isinstance(t["delta"], (int, float)) for t in tops), doc
+print(f"    {len(lines)} explained NDJSON verdicts parse as strict JSON")
+EOF
+echo "    explain + drift streams render offline, alarms raised"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

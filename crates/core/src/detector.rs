@@ -169,9 +169,21 @@ fn confidence_histogram() -> std::sync::Arc<ph_telemetry::Histogram> {
     ph_telemetry::histogram("detect.rf_confidence", &bounds)
 }
 
+/// Verdict-margin histogram: 20 uniform buckets over the absolute vote
+/// margin `|2·score − 1|` (0 = split jury, 1 = unanimous). Recorded on
+/// every verdict, like the confidence histogram.
+fn margin_histogram() -> std::sync::Arc<ph_telemetry::Histogram> {
+    let bounds: Vec<f64> = (1..=20).map(|i| i as f64 * 0.05).collect();
+    ph_telemetry::histogram("verdict.margin", &bounds)
+}
+
 /// The trained production detector.
 pub struct SpamDetector {
     model: Box<dyn Classifier>,
+    /// The concrete flat forest when the algorithm is RF — the
+    /// explanation path needs direct access to the tree structure that
+    /// `Box<dyn Classifier>` erases.
+    forest: Option<FlatForest>,
     tau: f64,
 }
 
@@ -188,18 +200,26 @@ impl SpamDetector {
     pub fn train(config: &DetectorConfig, data: &Dataset) -> Self {
         let _span = ph_telemetry::span("ml.train");
         let _phase = ph_trace::phase("ml.train");
-        let model: Box<dyn Classifier> = match config.algorithm {
+        let (model, flat): (Box<dyn Classifier>, Option<FlatForest>) = match config.algorithm {
             PaperAlgorithm::RandomForest => {
                 // Train on the pointer forest, deploy the flattened SoA
                 // layout: bit-identical predictions, no per-level enum
                 // branch or pointer chase on the classify hot path.
                 let forest = RandomForest::fit(&config.forest, data, config.seed);
-                Box::new(FlatForest::from_forest(&forest))
+                let flat = FlatForest::from_forest(&forest);
+                (Box::new(flat.clone()), Some(flat))
             }
-            other => Algorithm::from(other).fit_default(data, config.seed),
+            other => (Algorithm::from(other).fit_default(data, config.seed), None),
         };
+        if crate::observe::is_enabled() {
+            // Capture the per-feature reference histograms this model
+            // was trained against; the drift monitor scores live hours
+            // against them.
+            crate::observe::install_reference(crate::observe::FeatureReference::from_dataset(data));
+        }
         Self {
             model,
+            forest: flat,
             tau: config.tau,
         }
     }
@@ -232,13 +252,16 @@ impl SpamDetector {
         let _phase = ph_trace::phase("detect.classify");
         let rest = engine.rest();
         let confidence = confidence_histogram();
+        let margin = margin_histogram();
         let mut extractor = FeatureExtractor::with_tau(self.tau);
         let mut outcome = ClassificationOutcome::default();
         for item in stream {
             let c = item.borrow();
             let features = extractor.extract(c, &rest);
             let spam = self.model.predict(&features);
-            confidence.record(self.model.predict_score(&features));
+            let score = self.model.predict_score(&features);
+            confidence.record(score);
+            margin.record((2.0 * score - 1.0).abs());
             extractor.record_verdict(c.slot, spam);
             outcome.predictions.push(spam);
             if spam {
@@ -294,6 +317,15 @@ impl SpamDetector {
         let rest = engine.rest();
         let mut matrix = features::pure_batch_matrix(collected, &rest, exec);
         let confidence = confidence_histogram();
+        let margin = margin_histogram();
+        // Zero-cost when off: one relaxed load decides; the explainer's
+        // node-value table is only built for observed batches.
+        let observing = crate::observe::is_enabled();
+        let explainer = if observing {
+            self.forest.as_ref().map(FlatForest::explainer)
+        } else {
+            None
+        };
         let mut verdicts = Vec::with_capacity(collected.len());
         for (i, c) in collected.iter().enumerate() {
             extractor.finish_into(c, matrix.row_mut(i));
@@ -301,6 +333,18 @@ impl SpamDetector {
             let spam = self.model.predict(row);
             let score = self.model.predict_score(row);
             confidence.record(score);
+            margin.record((2.0 * score - 1.0).abs());
+            if observing {
+                crate::observe::drift_observe(c.hour, row);
+                if let Some(explainer) = &explainer {
+                    crate::observe::record_explanation(
+                        c.hour,
+                        spam,
+                        score,
+                        &explainer.explain(row),
+                    );
+                }
+            }
             extractor.record_verdict(c.slot, spam);
             verdicts.push(Verdict { spam, score });
         }

@@ -54,6 +54,7 @@ pub mod features;
 pub mod labeling;
 pub mod monitor;
 pub mod network;
+pub mod observe;
 pub mod pge;
 pub mod selection;
 

@@ -318,6 +318,127 @@ impl FlatForest {
     }
 }
 
+/// One explained prediction: the vote probability plus a signed
+/// per-feature decomposition of how the forest got there.
+///
+/// `contributions[f]` is the probability delta attributed to feature `f`:
+/// at every split taken, the change in the subtree's expected vote is
+/// credited to the split feature (Saabas-style path attribution, with
+/// subtree expectations weighted by leaf count). The deltas telescope, so
+/// `baseline + contributions.iter().sum() == probability` up to float
+/// rounding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Fraction of trees voting positive — bit-identical to
+    /// [`FlatForest::predict_probability`] on the same row.
+    pub probability: f64,
+    /// Signed vote margin `2·probability − 1`: +1 is a unanimous spam
+    /// vote, −1 unanimous ham, 0 a split jury.
+    pub margin: f64,
+    /// The forest's prior: mean expected root vote across trees — what
+    /// the forest would predict knowing nothing about the row.
+    pub baseline: f64,
+    /// Signed probability delta per feature (`num_features` long).
+    pub contributions: Vec<f64>,
+}
+
+/// Explanation-mode companion to a [`FlatForest`]: precomputes each
+/// node's expected vote (leaf-count-weighted mean of the leaves below
+/// it) so explained walks cost one subtraction per level instead of a
+/// subtree traversal.
+///
+/// Build once per forest with [`FlatForest::explainer`]; `explain` is
+/// then pure and deterministic, and its `probability` stays bit-identical
+/// to the unexplained predict path (same leaf comparisons, same vote
+/// arithmetic).
+#[derive(Debug, Clone)]
+pub struct ForestExplainer<'a> {
+    forest: &'a FlatForest,
+    /// Expected vote of the subtree rooted at each node.
+    value: Vec<f64>,
+    baseline: f64,
+}
+
+impl FlatForest {
+    /// Builds the explanation companion. One `O(num_nodes)` pass; walk
+    /// nodes in reverse index order — children are always allocated
+    /// after their parent (and the byte decoder enforces `left > node`),
+    /// so both child values exist by the time a split is folded.
+    pub fn explainer(&self) -> ForestExplainer<'_> {
+        let n = self.feature.len();
+        let mut value = vec![0.0f64; n];
+        let mut leaves = vec![0u64; n];
+        for i in (0..n).rev() {
+            if self.feature[i] == LEAF {
+                value[i] = f64::from(self.threshold[i] >= 0.5);
+                leaves[i] = 1;
+            } else {
+                let l = self.left[i] as usize;
+                let (wl, wr) = (leaves[l] as f64, leaves[l + 1] as f64);
+                leaves[i] = leaves[l] + leaves[l + 1];
+                value[i] = (value[l] * wl + value[l + 1] * wr) / (wl + wr);
+            }
+        }
+        let baseline =
+            self.roots.iter().map(|&r| value[r as usize]).sum::<f64>() / self.roots.len() as f64;
+        ForestExplainer {
+            forest: self,
+            value,
+            baseline,
+        }
+    }
+}
+
+impl ForestExplainer<'_> {
+    /// The forest's prior (mean expected root vote).
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// Explains one prediction: walks every tree exactly like
+    /// [`FlatForest::predict_probability`], crediting each level's
+    /// expected-vote change to the split feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the training width.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn explain(&self, row: &[f64]) -> Explanation {
+        let forest = self.forest;
+        assert_eq!(
+            row.len(),
+            forest.num_features as usize,
+            "feature width mismatch with training data"
+        );
+        let mut contributions = vec![0.0f64; forest.num_features as usize];
+        let inv = 1.0 / forest.roots.len() as f64;
+        let mut votes = 0usize;
+        for &root in &forest.roots {
+            let mut at = root as usize;
+            loop {
+                let f = forest.feature[at];
+                if f == LEAF {
+                    // Same comparison as the predict walk's vote test.
+                    votes += usize::from(forest.threshold[at] >= 0.5);
+                    break;
+                }
+                // Same NaN-goes-right step as `leaf_value`.
+                let next = forest.left[at] as usize
+                    + usize::from(!(row[f as usize] <= forest.threshold[at]));
+                contributions[f as usize] += (self.value[next] - self.value[at]) * inv;
+                at = next;
+            }
+        }
+        let probability = votes as f64 / forest.roots.len() as f64;
+        Explanation {
+            probability,
+            margin: 2.0 * probability - 1.0,
+            baseline: self.baseline,
+            contributions,
+        }
+    }
+}
+
 /// Why [`FlatForest::from_bytes`] rejected its input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlatForestDecodeError {
@@ -474,5 +595,85 @@ mod tests {
         let (forest, _) = fitted(40, 3, 2);
         let flat = FlatForest::from_forest(&forest);
         let _ = flat.predict_probability(&[1.0]);
+    }
+
+    #[test]
+    fn explained_probability_is_bit_identical_to_predict() {
+        let (forest, data) = fitted(150, 12, 7);
+        let flat = FlatForest::from_forest(&forest);
+        let explainer = flat.explainer();
+        for row in data.rows() {
+            let e = explainer.explain(row);
+            assert_eq!(
+                e.probability.to_bits(),
+                flat.predict_probability(row).to_bits()
+            );
+            assert_eq!(e.margin.to_bits(), (2.0 * e.probability - 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn contributions_telescope_to_probability_minus_baseline() {
+        let (forest, data) = fitted(120, 9, 5);
+        let flat = FlatForest::from_forest(&forest);
+        let explainer = flat.explainer();
+        for row in data.rows() {
+            let e = explainer.explain(row);
+            let total: f64 = e.contributions.iter().sum();
+            assert!(
+                (e.baseline + total - e.probability).abs() < 1e-9,
+                "baseline {} + sum {} != probability {}",
+                e.baseline,
+                total,
+                e.probability
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_is_a_probability_and_unsplit_features_get_zero() {
+        // Only feature 0 separates the classes, so the trees should
+        // never credit a feature the forest has no splits on.
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64, 1.0]).collect();
+        let labels: Vec<bool> = (0..80).map(|i| i >= 40).collect();
+        let data = Dataset::new(rows, labels).unwrap();
+        let forest = RandomForest::fit(
+            &RandomForestConfig {
+                num_trees: 7,
+                ..Default::default()
+            },
+            &data,
+            3,
+        );
+        let flat = FlatForest::from_forest(&forest);
+        let explainer = flat.explainer();
+        assert!((0.0..=1.0).contains(&explainer.baseline()));
+        let split_features: std::collections::HashSet<u32> = flat
+            .feature
+            .iter()
+            .copied()
+            .filter(|&f| f != LEAF)
+            .collect();
+        let e = explainer.explain(&[70.0, 1.0]);
+        for (f, &c) in e.contributions.iter().enumerate() {
+            if !split_features.contains(&(f as u32)) {
+                assert_eq!(c, 0.0, "unsplit feature {f} was credited");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_is_deterministic() {
+        let (forest, data) = fitted(90, 9, 3);
+        let flat = FlatForest::from_forest(&forest);
+        let a = flat.explainer();
+        let b = flat.explainer();
+        for row in data.rows() {
+            let (ea, eb) = (a.explain(row), b.explain(row));
+            assert_eq!(ea, eb);
+            for (x, y) in ea.contributions.iter().zip(&eb.contributions) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

@@ -107,6 +107,10 @@ pub struct ServeConfig {
     /// Drain after this many hours *this session* — the deterministic
     /// stand-in for a mid-run signal in tests.
     pub stop_after_hours: Option<u64>,
+    /// Decision observability: explained NDJSON verdicts (`margin` +
+    /// `top_features` fields), per-feature drift monitoring, and the
+    /// `explain.log`/`drift.log` streams persisted beside the journal.
+    pub explain: bool,
 }
 
 /// What a daemon session did.
@@ -137,6 +141,7 @@ fn engine_for(manifest: &Manifest) -> Engine {
         num_organic: manifest.organic as usize,
         num_campaigns: manifest.campaigns as usize,
         accounts_per_campaign: manifest.per_campaign as usize,
+        drift: manifest.drift_schedule(),
         ..Default::default()
     })
 }
@@ -223,9 +228,20 @@ fn warm_up(
         }
         let batch = &records[base..end];
         let hour_verdicts = classifier.classify_hour(batch, engine, exec);
+        // With observability on, the replay re-recorded an explanation
+        // per record (seq = record index), so rewritten lines carry the
+        // same explain fields an uninterrupted run would have flushed.
+        let explanations = if ph_core::observe::is_enabled() {
+            ph_core::observe::explanations_from(base as u64)
+        } else {
+            Vec::new()
+        };
         for (offset, (collected, verdict)) in batch.iter().zip(&hour_verdicts).enumerate() {
             if (base + offset) as u64 >= kept_lines {
-                verdicts.append(collected, *verdict)?;
+                match explanations.get(offset) {
+                    Some(e) => verdicts.append_explained(collected, *verdict, e)?,
+                    None => verdicts.append(collected, *verdict)?,
+                }
             }
         }
         base = end;
@@ -249,6 +265,9 @@ fn warm_up(
 /// (an hour-marker gap).
 pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
     let _span = ph_telemetry::span("serve");
+    if config.explain {
+        ph_core::observe::set_enabled(true);
+    }
     let (mut store, prior, state, manifest) = open_store(&config)?;
 
     let exec = config.exec.clone();
@@ -389,9 +408,20 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
                             }
                             let delivered = std::mem::take(&mut buffered);
                             let batch = monitor.finish_hour(delivered, shed, &mut writer)?;
+                            let start_seq = verdicts.next_seq();
                             let hour_verdicts = classifier.classify_hour(&batch, &engine, &exec);
-                            for (collected, verdict) in batch.iter().zip(&hour_verdicts) {
-                                verdicts.append(collected, *verdict)?;
+                            let explanations = if config.explain {
+                                ph_core::observe::explanations_from(start_seq)
+                            } else {
+                                Vec::new()
+                            };
+                            for (i, (collected, verdict)) in
+                                batch.iter().zip(&hour_verdicts).enumerate()
+                            {
+                                match explanations.get(i) {
+                                    Some(e) => verdicts.append_explained(collected, *verdict, e)?,
+                                    None => verdicts.append(collected, *verdict)?,
+                                }
                             }
                             verdicts.flush()?;
                             ph_telemetry::counter("serve.verdicts").add(batch.len() as u64);
@@ -430,9 +460,19 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
 
     // The durable observability record, shaped exactly like a batch
     // run's so `inspect` renders serve stores unchanged.
+    if config.explain {
+        // Before the journal snapshot: finalizing the open drift window
+        // may raise its last alarms.
+        ph_core::observe::drift_finalize();
+    }
     let journal = ph_telemetry::journal_snapshot();
     let points = ph_telemetry::run_series_points(monitor.state().next_hour.saturating_sub(1));
     store.write_telemetry(&journal, &points)?;
+    if config.explain {
+        ph_store::write_explain(&config.dir, &ph_core::observe::explanations())?;
+        let (drift_hours, drift_alarms) = ph_core::observe::drift_results();
+        ph_store::write_drift(&config.dir, &drift_hours, &drift_alarms)?;
+    }
 
     let outcome = ServeOutcome {
         hours_done: monitor.state().next_hour,

@@ -65,6 +65,7 @@ pub fn feed(addr: &BindAddr, config: &FeedConfig) -> io::Result<FeedSummary> {
         num_organic: m.organic as usize,
         num_campaigns: m.campaigns as usize,
         accounts_per_campaign: m.per_campaign as usize,
+        drift: m.drift_schedule(),
         ..Default::default()
     });
     // Fast-forward over the ground-truth window plus already-delivered

@@ -14,13 +14,28 @@
 //! any missing prefix lines, and appending continues from there. The
 //! concatenated stream across any number of restarts is byte-identical
 //! to an uninterrupted run — `tests/serve_soak.rs` holds this pin.
+//!
+//! With `--explain` the line gains two trailing fields — the signed vote
+//! margin and the strongest attributions by absolute delta:
+//!
+//! ```json
+//! {"seq":17,…,"score":0.81,"margin":0.62,"top_features":[{"feature":"no_lists","delta":0.21}]}
+//! ```
+//!
+//! Without the flag the bytes are identical to the plain format above.
 
+use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Seek, Write};
 use std::path::Path;
 
 use ph_core::detector::Verdict;
+use ph_core::features::feature_names;
 use ph_core::monitor::CollectedTweet;
+use ph_core::observe::VerdictExplanation;
+
+/// Attributions carried on an explained verdict line.
+pub const TOP_FEATURES_PER_LINE: usize = 5;
 
 /// Appends NDJSON verdict lines with a monotone sequence number.
 pub struct VerdictWriter {
@@ -89,6 +104,19 @@ impl VerdictWriter {
         self.seq
     }
 
+    fn write_prefix(&mut self, collected: &CollectedTweet, verdict: Verdict) -> io::Result<()> {
+        write!(
+            self.out,
+            "{{\"seq\":{},\"hour\":{},\"tweet\":{},\"author\":{},\"spam\":{},\"score\":{}",
+            self.seq,
+            collected.hour,
+            collected.tweet.id.0,
+            collected.tweet.author.0,
+            verdict.spam,
+            verdict.score
+        )
+    }
+
     /// Appends one verdict line for `collected` (its absolute engine
     /// hour rides along) and advances the sequence.
     ///
@@ -96,15 +124,41 @@ impl VerdictWriter {
     ///
     /// Propagates I/O failures.
     pub fn append(&mut self, collected: &CollectedTweet, verdict: Verdict) -> io::Result<()> {
+        self.write_prefix(collected, verdict)?;
+        writeln!(self.out, "}}")?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Appends one *explained* verdict line: the plain fields plus
+    /// `margin` and the top [`TOP_FEATURES_PER_LINE`] attributions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn append_explained(
+        &mut self,
+        collected: &CollectedTweet,
+        verdict: Verdict,
+        explanation: &VerdictExplanation,
+    ) -> io::Result<()> {
+        self.write_prefix(collected, verdict)?;
+        let names = feature_names();
+        let mut tops = String::new();
+        for (i, (f, delta)) in explanation
+            .top_features(TOP_FEATURES_PER_LINE)
+            .into_iter()
+            .enumerate()
+        {
+            if i > 0 {
+                tops.push(',');
+            }
+            let _ = write!(tops, "{{\"feature\":\"{}\",\"delta\":{delta}}}", names[f]);
+        }
         writeln!(
             self.out,
-            "{{\"seq\":{},\"hour\":{},\"tweet\":{},\"author\":{},\"spam\":{},\"score\":{}}}",
-            self.seq,
-            collected.hour,
-            collected.tweet.id.0,
-            collected.tweet.author.0,
-            verdict.spam,
-            verdict.score
+            ",\"margin\":{},\"top_features\":[{tops}]}}",
+            explanation.margin
         )?;
         self.seq += 1;
         Ok(())
@@ -171,6 +225,41 @@ mod tests {
             text,
             "{\"seq\":0,\"hour\":2,\"tweet\":11,\"author\":7,\"spam\":true,\"score\":0.25}\n\
              {\"seq\":1,\"hour\":2,\"tweet\":12,\"author\":7,\"spam\":false,\"score\":0.25}\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explained_lines_extend_the_plain_format() {
+        use ph_core::features::FEATURE_COUNT;
+        let path = temp("explained");
+        let mut attributions = [0.0f64; FEATURE_COUNT];
+        attributions[0] = 0.25;
+        attributions[3] = -0.5;
+        let explanation = VerdictExplanation {
+            seq: 0,
+            hour: 2,
+            spam: true,
+            score: 0.25,
+            margin: -0.5,
+            baseline: 0.5,
+            attributions,
+        };
+        let mut w = VerdictWriter::create(&path).unwrap();
+        w.append_explained(&collected(11, 2), verdict(true), &explanation)
+            .unwrap();
+        w.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let names = feature_names();
+        assert_eq!(
+            text,
+            format!(
+                "{{\"seq\":0,\"hour\":2,\"tweet\":11,\"author\":7,\"spam\":true,\"score\":0.25,\
+                 \"margin\":-0.5,\"top_features\":[\
+                 {{\"feature\":\"{}\",\"delta\":-0.5}},\
+                 {{\"feature\":\"{}\",\"delta\":0.25}}]}}\n",
+                names[3], names[0]
+            )
         );
         let _ = std::fs::remove_file(&path);
     }

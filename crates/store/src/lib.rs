@@ -41,6 +41,7 @@
 pub mod checkpoint;
 mod codec;
 pub mod crc;
+pub mod decision;
 pub mod log;
 pub mod manifest;
 pub mod record;
@@ -49,6 +50,10 @@ pub mod telemetry;
 pub mod trace;
 
 pub use checkpoint::{Checkpoint, CheckpointLog};
+pub use decision::{
+    decode_drift_frame, decode_explanation, encode_drift_frame, encode_explanation, read_drift,
+    read_explain, write_drift, write_explain, DriftFrame, DRIFT_FILE, EXPLAIN_FILE,
+};
 pub use log::{CollectedReader, LogReader, RecoveryReport, SegmentLog};
 pub use manifest::Manifest;
 pub use record::{decode_collected, encode_collected, StoreDecodeError};

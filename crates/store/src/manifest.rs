@@ -14,6 +14,9 @@ use std::path::Path;
 /// Manifest format version.
 pub const MANIFEST_FORMAT: u64 = 1;
 
+/// Sentinel value of [`Manifest::taste_flip`] meaning "no flip scheduled".
+pub const NO_TASTE_FLIP: u64 = u64::MAX;
+
 /// The pinned configuration of a stored sniffing run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Manifest {
@@ -34,9 +37,32 @@ pub struct Manifest {
     pub hours: u64,
     /// Streaming buffer capacity (`RunnerConfig::buffer_capacity`).
     pub buffer_capacity: u64,
+    /// Absolute engine hour at which the spammers' tastes flip to the
+    /// inverted model (`--taste-flip`), or [`NO_TASTE_FLIP`] for none.
+    /// Pinned so resume/replay rebuild the identical drifted simulation.
+    pub taste_flip: u64,
 }
 
 impl Manifest {
+    /// The scheduled taste-flip hour, if any.
+    #[must_use]
+    pub fn taste_flip_hour(&self) -> Option<u64> {
+        (self.taste_flip != NO_TASTE_FLIP).then_some(self.taste_flip)
+    }
+
+    /// The drift schedule this manifest pins: a flip to the inverted
+    /// taste model at [`Self::taste_flip_hour`], or `None`. Every
+    /// engine rebuilt from the manifest (sniff, resume, serve replica,
+    /// loadgen feed) must apply this so replay stays byte-identical.
+    #[must_use]
+    pub fn drift_schedule(&self) -> Option<ph_twitter_sim::drift::DriftSchedule> {
+        self.taste_flip_hour().map(|h| {
+            ph_twitter_sim::drift::DriftSchedule::flip_at(
+                h,
+                ph_twitter_sim::drift::inverted_tastes(),
+            )
+        })
+    }
     /// Renders the manifest text.
     #[must_use]
     pub fn render(&self) -> String {
@@ -50,6 +76,9 @@ impl Manifest {
         let _ = writeln!(out, "gt_hours = {}", self.gt_hours);
         let _ = writeln!(out, "hours = {}", self.hours);
         let _ = writeln!(out, "buffer_capacity = {}", self.buffer_capacity);
+        if self.taste_flip != NO_TASTE_FLIP {
+            let _ = writeln!(out, "taste_flip = {}", self.taste_flip);
+        }
         out
     }
 
@@ -71,7 +100,7 @@ impl Manifest {
     pub fn parse(text: &str) -> io::Result<Self> {
         let bad = |why: String| io::Error::new(io::ErrorKind::InvalidData, why);
         let mut format = None;
-        let mut fields: [(&str, Option<u64>); 8] = [
+        let mut fields: [(&str, Option<u64>); 9] = [
             ("sim_seed", None),
             ("organic", None),
             ("campaigns", None),
@@ -80,6 +109,7 @@ impl Manifest {
             ("gt_hours", None),
             ("hours", None),
             ("buffer_capacity", None),
+            ("taste_flip", None),
         ];
         for line in text.lines() {
             let line = line.trim();
@@ -124,6 +154,8 @@ impl Manifest {
             gt_hours: get("gt_hours")?,
             hours: get("hours")?,
             buffer_capacity: get("buffer_capacity")?,
+            // Optional: stores written before drift support omit the line.
+            taste_flip: get("taste_flip").unwrap_or(NO_TASTE_FLIP),
         })
     }
 
@@ -151,6 +183,7 @@ mod tests {
             gt_hours: 24,
             hours: 48,
             buffer_capacity: 65_536,
+            taste_flip: NO_TASTE_FLIP,
         }
     }
 
@@ -158,6 +191,22 @@ mod tests {
     fn roundtrips_through_text() {
         let m = sample();
         assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+        let flipped = Manifest {
+            taste_flip: 12,
+            ..sample()
+        };
+        assert_eq!(Manifest::parse(&flipped.render()).unwrap(), flipped);
+        assert_eq!(flipped.taste_flip_hour(), Some(12));
+        assert_eq!(sample().taste_flip_hour(), None);
+    }
+
+    #[test]
+    fn pre_drift_manifests_parse_without_taste_flip() {
+        // A manifest written before the taste-flip knob existed has no
+        // `taste_flip` line and must parse to the no-flip sentinel.
+        let text = sample().render();
+        assert!(!text.contains("taste_flip"));
+        assert_eq!(Manifest::parse(&text).unwrap().taste_flip, NO_TASTE_FLIP);
     }
 
     #[test]

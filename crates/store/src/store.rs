@@ -359,6 +359,7 @@ mod tests {
             gt_hours: 0,
             hours: 10,
             buffer_capacity: ph_twitter_sim::api::DEFAULT_QUEUE_CAPACITY as u64,
+            taste_flip: crate::manifest::NO_TASTE_FLIP,
         }
     }
 

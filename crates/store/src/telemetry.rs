@@ -54,6 +54,8 @@ const EVENT_LABELING_PASS: u8 = 2;
 const EVENT_CHECKPOINT: u8 = 3;
 const EVENT_SEGMENT_ROLL: u8 = 4;
 const EVENT_SHARD_STALL: u8 = 5;
+const EVENT_DRIFT_ALARM: u8 = 6;
+const EVENT_DRIFT_RETRAIN: u8 = 7;
 
 /// Encodes one journal entry into a frame payload.
 #[must_use]
@@ -91,6 +93,24 @@ pub fn encode_journal_entry(entry: &JournalEntry) -> Vec<u8> {
             put_u8(&mut buf, EVENT_SEGMENT_ROLL);
             put_u64(&mut buf, *segment);
             put_u64(&mut buf, *records);
+        }
+        TelemetryEvent::DriftAlarm { hour, feature, psi } => {
+            put_u8(&mut buf, EVENT_DRIFT_ALARM);
+            put_u64(&mut buf, *hour);
+            put_u64(&mut buf, *feature);
+            put_f64(&mut buf, *psi);
+        }
+        TelemetryEvent::DriftRetrain {
+            hour,
+            round,
+            psi_before,
+            psi_after,
+        } => {
+            put_u8(&mut buf, EVENT_DRIFT_RETRAIN);
+            put_u64(&mut buf, *hour);
+            put_u64(&mut buf, *round);
+            put_f64(&mut buf, *psi_before);
+            put_f64(&mut buf, *psi_after);
         }
         TelemetryEvent::ShardStall {
             stage,
@@ -142,6 +162,17 @@ pub fn decode_journal_entry(payload: &[u8]) -> Result<JournalEntry, StoreDecodeE
             stage: take_str(&mut buf)?,
             shard: take_u64(&mut buf)?,
             depth: take_u64(&mut buf)?,
+        },
+        EVENT_DRIFT_ALARM => TelemetryEvent::DriftAlarm {
+            hour: take_u64(&mut buf)?,
+            feature: take_u64(&mut buf)?,
+            psi: take_f64(&mut buf)?,
+        },
+        EVENT_DRIFT_RETRAIN => TelemetryEvent::DriftRetrain {
+            hour: take_u64(&mut buf)?,
+            round: take_u64(&mut buf)?,
+            psi_before: take_f64(&mut buf)?,
+            psi_after: take_f64(&mut buf)?,
         },
         value => {
             return Err(StoreDecodeError::BadDiscriminant {
@@ -354,6 +385,17 @@ mod tests {
             TelemetryEvent::LabelingPass {
                 pass: "suspended".to_string(),
                 labeled: 41,
+            },
+            TelemetryEvent::DriftAlarm {
+                hour: 3,
+                feature: 17,
+                psi: 0.3125,
+            },
+            TelemetryEvent::DriftRetrain {
+                hour: 12,
+                round: 1,
+                psi_before: 0.41,
+                psi_after: 0.008,
             },
             TelemetryEvent::ShardStall {
                 stage: "monitor.categorize".to_string(),

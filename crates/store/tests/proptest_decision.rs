@@ -1,0 +1,142 @@
+//! Property coverage of the decision-stream codecs (`explain.log` /
+//! `drift.log`), mirroring `proptest_trace.rs`: explanations and drift
+//! frames round-trip exactly for arbitrary field values — including
+//! hostile floats (NaN, infinities, subnormals, negative zero, every
+//! bit pattern `f64::from_bits` can produce) — and the decoders never
+//! panic on truncated, bit-flipped, or arbitrary byte soup.
+
+use ph_core::features::FEATURE_COUNT;
+use ph_core::observe::{DriftAlarmRecord, DriftHourScores, VerdictExplanation};
+use ph_store::{
+    decode_drift_frame, decode_explanation, encode_drift_frame, encode_explanation, DriftFrame,
+};
+use proptest::prelude::*;
+
+/// Any f64 bit pattern — NaN payloads, infinities, subnormals, -0.0.
+fn hostile_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn hostile_array() -> impl Strategy<Value = [f64; FEATURE_COUNT]> {
+    proptest::collection::vec(hostile_f64(), FEATURE_COUNT)
+        .prop_map(|v| <[f64; FEATURE_COUNT]>::try_from(v).unwrap())
+}
+
+fn explanation() -> impl Strategy<Value = VerdictExplanation> {
+    (
+        (any::<u64>(), any::<u64>(), any::<bool>()),
+        (hostile_f64(), hostile_f64(), hostile_f64()),
+        hostile_array(),
+    )
+        .prop_map(
+            |((seq, hour, spam), (score, margin, baseline), attributions)| VerdictExplanation {
+                seq,
+                hour,
+                spam,
+                score,
+                margin,
+                baseline,
+                attributions,
+            },
+        )
+}
+
+fn drift_frame() -> impl Strategy<Value = DriftFrame> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), hostile_array()).prop_map(|(hour, samples, psi)| {
+            DriftFrame::Hour(DriftHourScores { hour, samples, psi })
+        }),
+        (any::<u64>(), any::<u32>(), hostile_f64()).prop_map(|(hour, feature, psi)| {
+            DriftFrame::Alarm(DriftAlarmRecord { hour, feature, psi })
+        }),
+    ]
+}
+
+/// Bitwise equality: the codec must preserve NaN payloads and -0.0,
+/// which `PartialEq` would blur (NaN != NaN, -0.0 == 0.0).
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn explanations_roundtrip_bitwise(e in explanation()) {
+        let decoded = decode_explanation(&encode_explanation(&e)).expect("roundtrip");
+        prop_assert_eq!(decoded.seq, e.seq);
+        prop_assert_eq!(decoded.hour, e.hour);
+        prop_assert_eq!(decoded.spam, e.spam);
+        prop_assert!(bits_eq(decoded.score, e.score));
+        prop_assert!(bits_eq(decoded.margin, e.margin));
+        prop_assert!(bits_eq(decoded.baseline, e.baseline));
+        for (d, o) in decoded.attributions.iter().zip(&e.attributions) {
+            prop_assert!(bits_eq(*d, *o));
+        }
+    }
+
+    #[test]
+    fn drift_frames_roundtrip_bitwise(frame in drift_frame()) {
+        let decoded = decode_drift_frame(&encode_drift_frame(&frame)).expect("roundtrip");
+        match (&decoded, &frame) {
+            (DriftFrame::Hour(d), DriftFrame::Hour(o)) => {
+                prop_assert_eq!(d.hour, o.hour);
+                prop_assert_eq!(d.samples, o.samples);
+                for (a, b) in d.psi.iter().zip(&o.psi) {
+                    prop_assert!(bits_eq(*a, *b));
+                }
+            }
+            (DriftFrame::Alarm(d), DriftFrame::Alarm(o)) => {
+                prop_assert_eq!(d.hour, o.hour);
+                prop_assert_eq!(d.feature, o.feature);
+                prop_assert!(bits_eq(d.psi, o.psi));
+            }
+            _ => prop_assert!(false, "frame kind changed across the roundtrip"),
+        }
+    }
+
+    #[test]
+    fn truncated_explanations_error_not_panic(e in explanation()) {
+        let bytes = encode_explanation(&e);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_explanation(&bytes[..cut]).is_err(),
+                "prefix of {} bytes decoded as a full explanation",
+                cut
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_drift_frames_error_not_panic(frame in drift_frame()) {
+        let bytes = encode_drift_frame(&frame);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_drift_frame(&bytes[..cut]).is_err(),
+                "prefix of {} bytes decoded as a full drift frame",
+                cut
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(e in explanation(), frame in drift_frame(), flip in any::<u64>()) {
+        // A flipped bit may still decode (a float or counter bit); the
+        // contract is only that the decoders return instead of panic.
+        let mut bytes = encode_explanation(&e);
+        let i = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[i / 8] ^= 1 << (i % 8);
+        let _ = decode_explanation(&bytes);
+
+        let mut bytes = encode_drift_frame(&frame);
+        let i = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[i / 8] ^= 1 << (i % 8);
+        let _ = decode_drift_frame(&bytes);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = decode_explanation(&bytes);
+        let _ = decode_drift_frame(&bytes);
+    }
+}

@@ -67,6 +67,28 @@ pub enum TelemetryEvent {
         /// Total records appended when the roll happened.
         records: u64,
     },
+    /// A live feature's distribution drifted past the alarm threshold
+    /// relative to the detector's train-time reference (PSI score).
+    DriftAlarm {
+        /// Engine hour whose window crossed the threshold.
+        hour: u64,
+        /// Index of the drifting feature (`ph-core` feature order).
+        feature: u64,
+        /// The population-stability-index score that tripped the alarm.
+        psi: f64,
+    },
+    /// An adaptive-detector retraining round completed, with the
+    /// window's mean PSI against the old and new references.
+    DriftRetrain {
+        /// Engine hour the retrain happened at.
+        hour: u64,
+        /// Retrain round index (1 = first retrain).
+        round: u64,
+        /// Mean PSI of the retrain window against the old reference.
+        psi_before: f64,
+        /// Mean PSI of the same window against the refreshed reference.
+        psi_after: f64,
+    },
     /// A sharded stage found a worker input channel full when feeding
     /// it (backpressure stall). Diagnostic only — never persisted.
     ShardStall {
@@ -89,6 +111,8 @@ impl TelemetryEvent {
             TelemetryEvent::LabelingPass { .. } => "labeling_pass",
             TelemetryEvent::CheckpointWritten { .. } => "checkpoint",
             TelemetryEvent::SegmentRoll { .. } => "segment_roll",
+            TelemetryEvent::DriftAlarm { .. } => "drift_alarm",
+            TelemetryEvent::DriftRetrain { .. } => "drift_retrain",
             TelemetryEvent::ShardStall { .. } => "shard_stall",
         }
     }
@@ -121,6 +145,17 @@ impl TelemetryEvent {
             TelemetryEvent::SegmentRoll { segment, records } => {
                 format!("rolled to segment {segment} after {records} records")
             }
+            TelemetryEvent::DriftAlarm { hour, feature, psi } => {
+                format!("hour {hour}: drift alarm on feature {feature} (psi {psi:.3})")
+            }
+            TelemetryEvent::DriftRetrain {
+                hour,
+                round,
+                psi_before,
+                psi_after,
+            } => format!(
+                "hour {hour}: retrain round {round} (mean psi {psi_before:.3} -> {psi_after:.3})"
+            ),
             TelemetryEvent::ShardStall {
                 stage,
                 shard,
@@ -253,6 +288,17 @@ mod tests {
             TelemetryEvent::SegmentRoll {
                 segment: 1,
                 records: 5,
+            },
+            TelemetryEvent::DriftAlarm {
+                hour: 2,
+                feature: 17,
+                psi: 0.31,
+            },
+            TelemetryEvent::DriftRetrain {
+                hour: 12,
+                round: 1,
+                psi_before: 0.4,
+                psi_after: 0.01,
             },
         ];
         assert!(det.iter().all(TelemetryEvent::is_deterministic));

@@ -122,6 +122,24 @@ pub fn to_prometheus(report: &RunReport, series: &[SeriesPoint]) -> String {
         let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.snapshot.count);
         let _ = writeln!(out, "{name}_sum {}", sample(h.snapshot.sum));
         let _ = writeln!(out, "{name}_count {}", h.snapshot.count);
+        if h.snapshot.count > 0 {
+            // Precomputed quantiles as a sibling gauge family (a
+            // histogram family itself may only carry bucket/sum/count
+            // samples) — the same interpolated walk `inspect` renders.
+            let _ = writeln!(
+                out,
+                "# HELP {name}_quantiles Interpolated quantiles of {}",
+                help_text(&h.name)
+            );
+            let _ = writeln!(out, "# TYPE {name}_quantiles gauge");
+            for q in [0.5, 0.95, 0.99] {
+                let _ = writeln!(
+                    out,
+                    "{name}_quantiles{{quantile=\"{q}\"}} {}",
+                    sample(h.snapshot.quantile(q))
+                );
+            }
+        }
     }
 
     if !report.spans.is_empty() {
@@ -259,6 +277,24 @@ mod tests {
         assert!(text.contains("ph_detect_rf_confidence_bucket{le=\"1\"} 4"));
         assert!(text.contains("ph_detect_rf_confidence_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("ph_detect_rf_confidence_count 4"));
+    }
+
+    #[test]
+    fn histograms_export_interpolated_quantiles() {
+        let report = sample_report();
+        let text = to_prometheus(&report, &[]);
+        assert!(text.contains("# TYPE ph_detect_rf_confidence_quantiles gauge"));
+        for q in [0.5, 0.95, 0.99] {
+            let expected = format!(
+                "ph_detect_rf_confidence_quantiles{{quantile=\"{q}\"}} {}",
+                sample(report.histograms[0].snapshot.quantile(q))
+            );
+            assert!(text.contains(&expected), "missing {expected} in:\n{text}");
+        }
+        // An empty histogram exports no quantile samples.
+        let mut empty = sample_report();
+        empty.histograms[0].snapshot.count = 0;
+        assert!(!to_prometheus(&empty, &[]).contains("_quantiles"));
     }
 
     /// A hostile meta value (quotes, backslashes, newlines) must escape

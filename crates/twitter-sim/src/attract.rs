@@ -35,12 +35,17 @@ pub struct TopicExposure {
 }
 
 /// Tunable weights of the attraction model. Defaults reproduce the paper's
-/// ordering; the ablation benches perturb them.
+/// ordering; the ablation benches perturb them. The two scale weights may
+/// be negative — that *inverts* the preference (active accounts become
+/// repellent); the factor then floors at a small positive value so scores
+/// stay valid sampling weights.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttractivenessModel {
     /// Scale of the lists-per-day factor (the paper's #1 attribute).
+    /// Negative values make list-active accounts repellent.
     pub lists_activity_weight: f64,
-    /// Scale of the follower-mass factor.
+    /// Scale of the follower-mass factor. Negative values make
+    /// well-followed accounts repellent.
     pub follower_weight: f64,
     /// Multiplier when the account is exposed to trending-up topics.
     pub trending_up_boost: f64,
@@ -75,10 +80,11 @@ impl AttractivenessModel {
         // Table VI ranks "joining 1 list per day" first by a wide margin.
         let lpd = profile.lists_per_day();
         let lists_activity = (lpd * lpd) / (lpd * lpd + 0.35);
-        score *= 0.3 + self.lists_activity_weight * lists_activity;
+        score *= (0.3 + self.lists_activity_weight * lists_activity).max(0.02);
 
         // Follower / friend mass: logarithmic visibility scaling.
-        score *= 0.5 + self.follower_weight * log_scale(profile.followers_count, 30_000);
+        score *=
+            (0.5 + self.follower_weight * log_scale(profile.followers_count, 30_000)).max(0.02);
         score *= 0.6 + 1.1 * log_scale(profile.friends_count, 30_000);
         score *= 0.5 + 1.5 * log_scale(profile.lists_count, 500);
         score *= 0.7 + 0.9 * log_scale(profile.favorites_count, 200_000);

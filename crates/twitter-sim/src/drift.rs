@@ -120,15 +120,22 @@ impl DriftSchedule {
 
 /// A ready-made "inverted tastes" model: spammers pivot away from
 /// list-active, well-followed accounts toward fresh low-profile ones —
-/// the qualitative opposite of the default model.
+/// the qualitative opposite of the default model. The mildly negative
+/// scale weights *repel* spammers from list-active and well-followed
+/// victims (the factors floor at a small positive value) without
+/// starving honeypot collection entirely, and the near-neutral
+/// no-hashtag damp keeps the hashtag axis from confounding the list
+/// axis (a strong no-hashtag boost drags victim selection toward
+/// accounts that happen to be list-active, re-raising the very metric
+/// the inversion is meant to lower).
 pub fn inverted_tastes() -> AttractivenessModel {
     AttractivenessModel {
-        lists_activity_weight: 0.2,
-        follower_weight: 0.2,
+        lists_activity_weight: -0.1,
+        follower_weight: -0.15,
         trending_up_boost: 1.0,
         popular_boost: 1.0,
         trending_down_boost: 1.8,
-        no_hashtag_damp: 1.5,
+        no_hashtag_damp: 0.8,
     }
 }
 

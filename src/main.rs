@@ -112,8 +112,9 @@ fn main() {
                     "store",
                     "crash-after",
                     "threads",
+                    "taste-flip",
                 ]),
-                &["verify", "resume"],
+                &["verify", "resume", "explain"],
             );
             exit_code = sniff(&args);
         }
@@ -130,8 +131,9 @@ fn main() {
                     "rate",
                     "stop-after",
                     "threads",
+                    "taste-flip",
                 ]),
-                &["resume", "loadgen"],
+                &["resume", "loadgen", "explain"],
             );
             exit_code = serve_cli::serve(&args);
         }
@@ -148,8 +150,12 @@ fn main() {
             replay(&args);
         }
         Some("inspect") => {
-            validate_options(&args, &["store", "top", "tail"], &["timeline"]);
+            validate_options(&args, &["store", "top", "tail"], &["timeline", "drift"]);
             inspect(&args);
+        }
+        Some("explain") => {
+            validate_options(&args, &["store", "seq", "top"], &[]);
+            explain(&args);
         }
         Some("showdown") => {
             validate_options(&args, &with_sim(&["hours", "nodes", "threads"]), &[]);
@@ -339,6 +345,18 @@ fn usage() {
     );
     println!("            [--resume]                continue a crashed/stopped run from DIR's last checkpoint");
     println!("            [--crash-after H]         stop after H monitored hours with a torn tail (exit 3)");
+    println!(
+        "            [--explain]               record verdict explanations + per-feature drift"
+    );
+    println!(
+        "                                      (explain.log/drift.log in the store; zero cost off)"
+    );
+    println!(
+        "            [--taste-flip H]          flip spammer tastes at engine hour H (drift demo;"
+    );
+    println!(
+        "                                      pinned in the manifest so resume/replay match)"
+    );
     println!("  serve     --store DIR [--hours H] [--gt-hours H] [--seed S]");
     println!(
         "                                      long-lived sniffer daemon: ingest wire frames from"
@@ -361,11 +379,16 @@ fn usage() {
         "            [--resume]                continue a drained run from its last checkpoint"
     );
     println!("            [--stop-after H]          drain after H hours this session (exit 5)");
+    println!("            [--explain]               NDJSON verdicts gain margin + top_features;");
+    println!(
+        "                                      explain.log/drift.log persisted beside the journal"
+    );
+    println!("            [--taste-flip H]          flip spammer tastes at engine hour H");
     println!("  feed      --connect ADDR [--hours H] [--start-hour H] [--rate R]");
     println!("                                      standalone producer: stream the deterministic");
     println!("                                      firehose to a daemon's ingest socket");
     println!("  replay    --store DIR               re-run labeling + classification from a stored log alone");
-    println!("  inspect   --store DIR [--top K] [--tail N] [--timeline]");
+    println!("  inspect   --store DIR [--top K] [--tail N] [--timeline] [--drift]");
     println!(
         "                                      render a stored run's per-hour PGE, top attributes,"
     );
@@ -373,7 +396,18 @@ fn usage() {
         "                                      stage throughput, span tree, and event journal —"
     );
     println!("                                      no re-execution; --timeline adds the stored");
-    println!("                                      trace's critical-path analysis");
+    println!(
+        "                                      trace's critical-path analysis; --drift adds the"
+    );
+    println!("                                      per-hour PSI drift table and alarm timeline");
+    println!("  explain   --store DIR [--seq N] [--top K]");
+    println!(
+        "                                      render one stored verdict's provenance: identity,"
+    );
+    println!(
+        "                                      ground-truth label, vote margin, and the top-K"
+    );
+    println!("                                      feature attributions (needs a --explain run)");
     println!("  showdown  [--hours H] [--nodes N] [--seed S]");
     println!("                                      pseudo-honeypot vs random accounts");
     println!("  perf bench [--quick] [--only A,B] [--samples N] [--warmup N] [--out-dir DIR]");
@@ -428,11 +462,21 @@ fn exec_config(args: &Args) -> ExecConfig {
 }
 
 fn sim_config(args: &Args) -> SimConfig {
+    let flip = args.get_u64(
+        "taste-flip",
+        pseudo_honeypot::store::manifest::NO_TASTE_FLIP,
+    );
     SimConfig {
         seed: args.get_u64("seed", 42),
         num_organic: args.get_u64("organic", 2_000) as usize,
         num_campaigns: args.get_u64("campaigns", 6) as usize,
         accounts_per_campaign: args.get_u64("per-campaign", 20) as usize,
+        drift: (flip != pseudo_honeypot::store::manifest::NO_TASTE_FLIP).then(|| {
+            pseudo_honeypot::sim::drift::DriftSchedule::flip_at(
+                flip,
+                pseudo_honeypot::sim::drift::inverted_tastes(),
+            )
+        }),
         ..Default::default()
     }
 }
@@ -488,6 +532,9 @@ fn simulate(args: &Args) {
 }
 
 fn sniff(args: &Args) -> i32 {
+    if args.has_flag("explain") {
+        pseudo_honeypot::core::observe::set_enabled(true);
+    }
     match args.options.get("store") {
         Some(dir) => sniff_stored(args, &PathBuf::from(dir)),
         None => {
@@ -648,6 +695,7 @@ fn engine_for(manifest: &Manifest) -> Engine {
         num_organic: manifest.organic as usize,
         num_campaigns: manifest.campaigns as usize,
         accounts_per_campaign: manifest.per_campaign as usize,
+        drift: manifest.drift_schedule(),
         ..Default::default()
     })
 }
@@ -707,6 +755,10 @@ fn sniff_stored(args: &Args, dir: &Path) -> i32 {
             gt_hours: args.get_u64("gt-hours", 24),
             hours: args.get_u64("hours", 24),
             buffer_capacity: pseudo_honeypot::sim::api::DEFAULT_QUEUE_CAPACITY as u64,
+            taste_flip: args.get_u64(
+                "taste-flip",
+                pseudo_honeypot::store::manifest::NO_TASTE_FLIP,
+            ),
         },
     };
 
@@ -817,6 +869,11 @@ fn sniff_stored(args: &Args, dir: &Path) -> i32 {
     // (per-hour metrics and run-level `stage.*`/`span.*`/`hist.*`
     // aggregates), so `inspect` can render the run later without
     // re-executing anything.
+    if pseudo_honeypot::core::observe::is_enabled() {
+        // Before the journal snapshot: finalizing the open drift window
+        // may raise its last alarms.
+        pseudo_honeypot::core::observe::drift_finalize();
+    }
     let journal = ph_telemetry::journal_snapshot();
     let points = ph_telemetry::run_series_points(manifest.hours.saturating_sub(1));
     store
@@ -841,6 +898,25 @@ fn sniff_stored(args: &Args, dir: &Path) -> i32 {
             trace.events.len(),
             dir.display(),
             trace.dropped
+        );
+    }
+    if pseudo_honeypot::core::observe::is_enabled() {
+        // The decision-observability twin of journal/series: one framed
+        // explanation per stored record (join on seq) plus the per-hour
+        // drift scores and alarm timeline — `explain` and
+        // `inspect --drift` render both from the store alone.
+        let explanations = pseudo_honeypot::core::observe::explanations();
+        pseudo_honeypot::store::write_explain(dir, &explanations)
+            .unwrap_or_else(|e| die("explain write failed", e));
+        let (drift_hours, drift_alarms) = pseudo_honeypot::core::observe::drift_results();
+        pseudo_honeypot::store::write_drift(dir, &drift_hours, &drift_alarms)
+            .unwrap_or_else(|e| die("drift write failed", e));
+        log_info!(
+            "observe: {} explanations, {} drift windows, {} alarms persisted to {}",
+            explanations.len(),
+            drift_hours.len(),
+            drift_alarms.len(),
+            dir.display()
         );
     }
     if args.has_flag("verify") {
@@ -1020,8 +1096,12 @@ fn inspect(args: &Args) {
     } else {
         print_stage_throughput(&series);
         print_stall_quantiles(&series);
+        print_margin_quantiles(&series);
         print_span_tree(&series);
         print_journal_tail(&journal, tail);
+    }
+    if args.has_flag("drift") {
+        print_drift(&dir, top);
     }
     if args.has_flag("timeline") {
         let trace = pseudo_honeypot::store::read_trace(&dir)
@@ -1084,6 +1164,181 @@ fn print_stall_quantiles(series: &[ph_telemetry::SeriesPoint]) {
             cell(*p99, 3)
         );
     }
+}
+
+/// Verdict-margin quantiles from the persisted `hist.verdict.margin.*`
+/// series points — how decisive the classifier's calls were.
+fn print_margin_quantiles(series: &[ph_telemetry::SeriesPoint]) {
+    let value_of = |metric: &str| {
+        series
+            .iter()
+            .find(|p| p.name == format!("hist.verdict.margin.{metric}"))
+            .map(|p| p.value)
+    };
+    let Some(count) = value_of("count").filter(|&c| c > 0.0) else {
+        return;
+    };
+    let cell = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.4}"),
+        None => "-".to_string(),
+    };
+    println!(
+        "\nverdict margin |2·score − 1| ({} verdicts):",
+        count as u64
+    );
+    println!(
+        "  mean {}  p50 {}  p95 {}  p99 {}",
+        cell(value_of("mean")),
+        cell(value_of("p50")),
+        cell(value_of("p95")),
+        cell(value_of("p99"))
+    );
+}
+
+/// `inspect --drift`: the per-hour per-feature drift table, the most
+/// drifted features, and the alarm timeline — all from `drift.log`.
+fn print_drift(dir: &Path, top: usize) {
+    use pseudo_honeypot::core::features::{feature_names, FEATURE_COUNT};
+    use pseudo_honeypot::core::observe::PSI_ALARM_THRESHOLD;
+    let (hours, alarms) = pseudo_honeypot::store::read_drift(dir)
+        .unwrap_or_else(|e| die("cannot read drift stream", e));
+    if hours.is_empty() {
+        println!(
+            "\n(no drift stream in this store — record the run with sniff --store DIR --explain)"
+        );
+        return;
+    }
+    let names = feature_names();
+    println!("\nper-hour feature drift (PSI against the train-time reference):");
+    println!(
+        "{:>4} {:>8} {:>10} {:>10}  worst feature",
+        "hour", "samples", "mean", "max"
+    );
+    for h in &hours {
+        let mean = h.psi.iter().sum::<f64>() / FEATURE_COUNT as f64;
+        let (worst, worst_psi) = h
+            .psi
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((0, 0.0));
+        println!(
+            "{:>4} {:>8} {:>10.4} {:>10.4}  {}",
+            h.hour, h.samples, mean, worst_psi, names[worst]
+        );
+    }
+    let mut per_feature: Vec<(usize, f64)> = (0..FEATURE_COUNT)
+        .map(|f| (f, hours.iter().map(|h| h.psi[f]).fold(0.0, f64::max)))
+        .collect();
+    per_feature.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("\nmost drifted features (max hourly PSI):");
+    for (f, psi) in per_feature.into_iter().take(top) {
+        println!("  {:<40} {psi:.4}", names[f]);
+    }
+    println!("\ndrift alarms (feature PSI > {PSI_ALARM_THRESHOLD}):");
+    if alarms.is_empty() {
+        println!("  (none)");
+    }
+    for a in &alarms {
+        println!(
+            "  hour {:>3}: {} (psi {:.3})",
+            a.hour, names[a.feature as usize], a.psi
+        );
+    }
+}
+
+/// `explain --store DIR [--seq N] [--top K]`: renders one stored
+/// verdict's provenance — tweet identity and stored ground-truth label
+/// from the segment log, score/margin/baseline and the top-K feature
+/// attributions from `explain.log` — without re-executing anything.
+fn explain(args: &Args) {
+    let Some(dir) = args.options.get("store").map(PathBuf::from) else {
+        eprintln!("error: explain requires --store DIR");
+        std::process::exit(2);
+    };
+    let top = args.get_u64("top", 5) as usize;
+    let explanations = pseudo_honeypot::store::read_explain(&dir).unwrap_or_else(|e| {
+        die(
+            &format!("cannot read explain stream in {}", dir.display()),
+            e,
+        )
+    });
+    if explanations.is_empty() {
+        eprintln!(
+            "error: no explanations in {} — record the run with sniff --store DIR --explain",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    let explanation = match args.options.get("seq") {
+        Some(_) => {
+            let seq = args.get_u64("seq", 0);
+            explanations
+                .iter()
+                .find(|e| e.seq == seq)
+                .unwrap_or_else(|| {
+                    eprintln!(
+                        "error: no explanation with seq {seq} — the store holds seqs 0..{}",
+                        explanations.len()
+                    );
+                    std::process::exit(1);
+                })
+        }
+        // Default: the first spam verdict (the interesting kind), or the
+        // first record of an all-ham run.
+        None => explanations
+            .iter()
+            .find(|e| e.spam)
+            .unwrap_or(&explanations[0]),
+    };
+
+    let resumed = Store::open_resume(&dir, StoreConfig::default())
+        .unwrap_or_else(|e| die(&format!("cannot open store {}", dir.display()), e));
+    println!("== verdict {} of {} ==", explanation.seq, dir.display());
+    if let Some(c) = stored_records(&resumed.store).nth(explanation.seq as usize) {
+        println!(
+            "tweet {} by account {}, hour {} ({:?} on {})",
+            c.tweet.id.0,
+            c.tweet.author.0,
+            explanation.hour,
+            c.category,
+            c.slot.describe()
+        );
+        println!(
+            "ground truth (stored sidecar): {}",
+            if c.tweet.evaluation_sidecar_spam() {
+                "spam"
+            } else {
+                "ham"
+            }
+        );
+    }
+    println!(
+        "verdict: {} (score {:.4}, margin {:+.4}, forest baseline {:.4})",
+        if explanation.spam { "SPAM" } else { "ham" },
+        explanation.score,
+        explanation.margin,
+        explanation.baseline
+    );
+    let ranked = explanation.top_features(top);
+    let names = pseudo_honeypot::core::features::feature_names();
+    println!(
+        "\ntop {} feature attributions (signed probability delta):",
+        ranked.len()
+    );
+    for (f, delta) in ranked {
+        let bar_len = (delta.abs() * 40.0).round().min(20.0) as usize;
+        println!(
+            "  {:<40} {delta:>+8.4}  {}",
+            names[f],
+            if delta >= 0.0 { "+" } else { "-" }.repeat(bar_len)
+        );
+    }
+    println!(
+        "\n(attributions telescope: baseline {:.4} + deltas = score {:.4})",
+        explanation.baseline, explanation.score
+    );
 }
 
 /// The per-hour PGE table: one row per monitored hour with overall

@@ -45,6 +45,10 @@ fn manifest_from(args: &Args) -> Manifest {
         gt_hours: args.get_u64("gt-hours", 24),
         hours: args.get_u64("hours", 24),
         buffer_capacity: pseudo_honeypot::sim::api::DEFAULT_QUEUE_CAPACITY as u64,
+        taste_flip: args.get_u64(
+            "taste-flip",
+            pseudo_honeypot::store::manifest::NO_TASTE_FLIP,
+        ),
     }
 }
 
@@ -114,6 +118,7 @@ pub fn serve(args: &Args) -> i32 {
             .options
             .contains_key("stop-after")
             .then(|| args.get_u64("stop-after", 0)),
+        explain: args.has_flag("explain"),
     };
     let outcome = daemon::run(config)
         .unwrap_or_else(|e| die(&format!("serve failed on {}", dir.display()), e));

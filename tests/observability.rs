@@ -252,6 +252,237 @@ fn inspect_degrades_gracefully_without_telemetry_streams() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// All verdict-segment bytes of a store, concatenated in segment order.
+fn segment_bytes(dir: &Path) -> Vec<u8> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("store dir readable")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("segment-") && name.ends_with(".seg")).then_some(path)
+        })
+        .collect();
+    segments.sort();
+    let mut bytes = Vec::new();
+    for segment in segments {
+        bytes.extend(std::fs::read(segment).expect("segment readable"));
+    }
+    bytes
+}
+
+/// `--explain` is strictly additive: with the flag off nothing changes
+/// (no explain/drift streams appear), and turning it on leaves stdout
+/// and the verdict segments byte-identical — explanations ride beside
+/// the pipeline, never inside it.
+#[test]
+fn explain_off_is_the_pre_observability_run_and_on_is_additive() {
+    let dir = scratch("explain-additive");
+    let plain_store = dir.join("plain").join("run");
+    let explained_store = dir.join("explained").join("run");
+    // Relative --store from per-run parent dirs: the run summary prints
+    // the store path, which must not differ between the two invocations.
+    let sniff_in = |parent: &Path, extra: &[&str]| -> Output {
+        std::fs::create_dir_all(parent).expect("create store parent");
+        let mut args: Vec<&str> = QUICK_SNIFF.to_vec();
+        args.extend(["--store", "run", "--seed", "11"]);
+        args.extend(extra);
+        let out = Command::new(env!("CARGO_BIN_EXE_pseudo-honeypot"))
+            .args(&args)
+            .current_dir(parent)
+            .output()
+            .expect("failed to launch the pseudo-honeypot binary");
+        assert!(
+            out.status.success(),
+            "sniff {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+    let plain = sniff_in(&dir.join("plain"), &[]);
+    let explained = sniff_in(&dir.join("explained"), &["--explain"]);
+    assert_eq!(
+        explained.stdout, plain.stdout,
+        "--explain changed stdout bytes"
+    );
+    assert_eq!(
+        segment_bytes(&explained_store),
+        segment_bytes(&plain_store),
+        "--explain changed the verdict segments"
+    );
+    for name in ["explain.log", "drift.log"] {
+        assert!(
+            !plain_store.join(name).exists(),
+            "{name} written without --explain"
+        );
+        assert!(
+            explained_store.join(name).exists(),
+            "{name} missing with --explain"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Attributions and drift scores are deterministic across thread counts:
+/// `--threads 1` and `--threads 0` (all cores) produce byte-identical
+/// explain, drift, and journal streams.
+#[test]
+fn explain_and_drift_streams_are_thread_count_invariant() {
+    let dir = scratch("explain-threads");
+    let streams_for = |threads: &str| -> Vec<Vec<u8>> {
+        let store = dir.join(format!("t{threads}"));
+        quick_sniff(&[
+            "--store",
+            store.to_str().unwrap(),
+            "--seed",
+            "11",
+            "--taste-flip",
+            "4",
+            "--explain",
+            "--threads",
+            threads,
+        ]);
+        ["explain.log", "drift.log", "journal.log"]
+            .iter()
+            .map(|name| {
+                std::fs::read(store.join(name))
+                    .unwrap_or_else(|e| panic!("{name} unreadable at --threads {threads}: {e}"))
+            })
+            .collect()
+    };
+    assert_eq!(
+        streams_for("1"),
+        streams_for("0"),
+        "explain/drift/journal streams diverge across thread counts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `explain` renders a stored verdict's provenance — identity, ground
+/// truth, score/margin/baseline, named attributions — from the store
+/// alone, and fails politely when the stream or seq is absent.
+#[test]
+fn explain_subcommand_renders_from_the_store_alone() {
+    let dir = scratch("explain-cmd");
+    let store = dir.join("run");
+    quick_sniff(&[
+        "--store",
+        store.to_str().unwrap(),
+        "--seed",
+        "11",
+        "--explain",
+    ]);
+
+    let out = run(&["explain", "--store", store.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "explain failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(text.contains("== verdict "), "no verdict header: {text}");
+    assert!(text.contains("tweet "), "no tweet identity: {text}");
+    assert!(
+        text.contains("ground truth (stored sidecar):"),
+        "no ground-truth line: {text}"
+    );
+    assert!(
+        text.contains("score ") && text.contains("margin ") && text.contains("baseline"),
+        "no score/margin/baseline line: {text}"
+    );
+    assert!(
+        text.contains("feature attributions"),
+        "no attribution table: {text}"
+    );
+    assert!(
+        text.contains("attributions telescope"),
+        "no telescoping footnote: {text}"
+    );
+
+    // A seq past the stream is an error naming the valid range.
+    let missing = run(&[
+        "explain",
+        "--store",
+        store.to_str().unwrap(),
+        "--seq",
+        "99999999",
+    ]);
+    assert_eq!(missing.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&missing.stderr).contains("no explanation with seq"),
+        "unexpected stderr"
+    );
+
+    // A store recorded without --explain points at the flag.
+    let plain_store = dir.join("plain");
+    quick_sniff(&["--store", plain_store.to_str().unwrap(), "--seed", "11"]);
+    let bare = run(&["explain", "--store", plain_store.to_str().unwrap()]);
+    assert_eq!(bare.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&bare.stderr).contains("record the run with sniff"),
+        "no --explain hint"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `inspect --drift` renders the per-hour PSI table, the most drifted
+/// features, and the alarm timeline from `drift.log` — and degrades to a
+/// notice on stores recorded without `--explain`.
+#[test]
+fn inspect_drift_renders_the_psi_table_and_alarms() {
+    let dir = scratch("inspect-drift");
+    let store = dir.join("run");
+    quick_sniff(&[
+        "--store",
+        store.to_str().unwrap(),
+        "--seed",
+        "11",
+        "--taste-flip",
+        "4",
+        "--explain",
+    ]);
+    let out = run(&[
+        "inspect",
+        "--store",
+        store.to_str().unwrap(),
+        "--drift",
+        "--quiet",
+    ]);
+    assert!(
+        out.status.success(),
+        "inspect --drift failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(
+        text.contains("per-hour feature drift"),
+        "no drift table: {text}"
+    );
+    assert!(
+        text.contains("most drifted features"),
+        "no drifted-feature ranking: {text}"
+    );
+    assert!(text.contains("drift alarms"), "no alarm timeline: {text}");
+
+    let plain_store = dir.join("plain");
+    quick_sniff(&["--store", plain_store.to_str().unwrap(), "--seed", "11"]);
+    let bare = run(&[
+        "inspect",
+        "--store",
+        plain_store.to_str().unwrap(),
+        "--drift",
+        "--quiet",
+    ]);
+    assert!(
+        bare.status.success(),
+        "inspect --drift must degrade, not fail"
+    );
+    assert!(
+        String::from_utf8_lossy(&bare.stdout).contains("no drift stream in this store"),
+        "missing degradation notice"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `inspect` without `--store` is a usage error.
 #[test]
 fn inspect_requires_store() {

@@ -26,6 +26,7 @@ fn manifest() -> Manifest {
         gt_hours: 3,
         hours: 6,
         buffer_capacity: pseudo_honeypot::sim::api::DEFAULT_QUEUE_CAPACITY as u64,
+        taste_flip: pseudo_honeypot::store::manifest::NO_TASTE_FLIP,
     }
 }
 
@@ -44,6 +45,7 @@ fn config(dir: &Path, resume: bool, stop_after: Option<u64>) -> ServeConfig {
         loadgen: Some(LoadgenConfig { rate: 0.0 }),
         stop: Arc::new(AtomicBool::new(false)),
         stop_after_hours: stop_after,
+        explain: false,
     }
 }
 

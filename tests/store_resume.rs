@@ -31,6 +31,7 @@ fn manifest() -> Manifest {
         gt_hours: 0,
         hours: HOURS,
         buffer_capacity: pseudo_honeypot::sim::api::DEFAULT_QUEUE_CAPACITY as u64,
+        taste_flip: pseudo_honeypot::store::manifest::NO_TASTE_FLIP,
     }
 }
 
