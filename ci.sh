@@ -306,6 +306,68 @@ print(f"    {len(lines)} explained NDJSON verdicts parse as strict JSON")
 EOF
 echo "    explain + drift streams render offline, alarms raised"
 
+echo "==> service health smoke (--slo breach + SIGQUIT flight dump + inspect --flight)"
+# A throttled soak must breach its latency SLO (/healthz 503 with the
+# rule as the reason), dump the flight recorder on SIGQUIT without
+# stopping, recover once the throttled hours' backlog drains, exit 0,
+# and leave a store whose flight timeline renders offline.
+"$BIN" serve --store "$SMOKE/health" --seed 9 --organic 300 --campaigns 2 \
+    --gt-hours 2 --hours 60 --loadgen --rate 1000 --http 127.0.0.1:0 \
+    --slo p99:400 --throttle-ms 900 --throttle-hours 3 --quiet > /dev/null &
+HEALTH_PID=$!
+for _ in $(seq 1 600); do
+    [ -s "$SMOKE/health/ENDPOINTS" ] && break
+    kill -0 "$HEALTH_PID" 2>/dev/null || { echo "health serve died before binding"; exit 1; }
+    sleep 0.1
+done
+[ -s "$SMOKE/health/ENDPOINTS" ] || { echo "no health ENDPOINTS file within 60 s"; exit 1; }
+HHTTP=$(sed -n 's/^http=//p' "$SMOKE/health/ENDPOINTS")
+python3 - "$HHTTP" "$HEALTH_PID" <<'EOF'
+import os, signal, sys, time, urllib.error, urllib.request
+addr, pid = sys.argv[1], int(sys.argv[2])
+deadline = time.time() + 120
+saw_degraded = saw_recovery = saw_gauges = sent_quit = False
+while time.time() < deadline:
+    try:
+        urllib.request.urlopen(f"http://{addr}/healthz", timeout=5).read()
+        if saw_degraded:
+            saw_recovery = True
+            if not saw_gauges:
+                body = urllib.request.urlopen(
+                    f"http://{addr}/metrics", timeout=5).read().decode()
+                saw_gauges = "ph_serve_latency_ms_p99" in body
+    except urllib.error.HTTPError as e:
+        if e.code == 503:
+            reason = e.read().decode()
+            assert "slo.p99" in reason, f"degraded without the rule: {reason!r}"
+            saw_degraded = True
+            if not sent_quit:
+                # Mid-incident SIGQUIT: dump the flight recorder, keep serving.
+                os.kill(pid, signal.SIGQUIT)
+                sent_quit = True
+    except Exception:
+        pass  # daemon finishing; the shell's wait checks its exit code
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        break
+    time.sleep(0.01)
+assert saw_degraded, "the SLO breach never degraded /healthz"
+assert saw_recovery, "/healthz never recovered to 200"
+assert saw_gauges, "no serve.latency_ms quantile gauges in /metrics"
+print("    SLO breach degraded /healthz, gauges scraped, recovery observed")
+EOF
+rc=0
+wait "$HEALTH_PID" || rc=$?
+[ "$rc" -eq 0 ] || { echo "health serve run failed with exit $rc"; exit 1; }
+[ -s "$SMOKE/health/flight.log" ] || { echo "SIGQUIT left no flight.log"; exit 1; }
+"$BIN" inspect --store "$SMOKE/health" --flight --quiet > "$SMOKE/flight.out"
+grep -q "flight recorder:" "$SMOKE/flight.out" \
+    || { echo "inspect --flight rendered no timeline"; exit 1; }
+grep -q "slo_breach" "$SMOKE/flight.out" \
+    || { echo "the breach is missing from the flight timeline"; exit 1; }
+echo "    flight recorder dumped on SIGQUIT and renders offline"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -265,6 +265,12 @@ fn record_hour_telemetry(
         collected: collected_this_hour,
         dropped: dropped_this_hour,
     });
+    // Alert rules are evaluated at every hour boundary — batch and
+    // streaming alike. With none installed this is one relaxed atomic
+    // load; transitions are edge-triggered, so callers that re-evaluate
+    // after recording more per-hour data (the daemon does, once latency
+    // for the hour is known) see exactly one event per transition.
+    ph_telemetry::alert_evaluate(hour_index);
     if ph_telemetry::progress_enabled() {
         ph_telemetry::progress_update(&format!(
             "{} hour {}/{} · {} tweets · {} shed",

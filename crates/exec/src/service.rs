@@ -32,6 +32,7 @@ use crate::channel;
 use crate::merge::{Reorder, Seq};
 use crate::shard::shard_of;
 use crate::stage::{ExecConfig, Stage};
+use crate::watchdog::{heartbeat, Heartbeat};
 
 /// Error returned by [`LongLivedStage::process_batch`] when the worker
 /// pool has died (a worker or the merger exited early).
@@ -74,6 +75,9 @@ pub struct LongLivedStage<In, Out> {
     threads: usize,
     shard_key: Box<dyn Fn(&In) -> u64 + Send>,
     backend: Backend<In, Out>,
+    /// Stall-detection pulse (see [`crate::watchdog`]): batch-in-flight
+    /// bracketing from the caller's thread, progress bumps from workers.
+    heartbeat: Arc<Heartbeat>,
 }
 
 impl<In, Out> LongLivedStage<In, Out>
@@ -92,6 +96,7 @@ where
         S: Stage<In, Out> + Send + 'static,
     {
         let threads = exec.resolve_threads();
+        let hb = heartbeat(name);
         if threads <= 1 {
             return Self {
                 name: name.to_string(),
@@ -99,6 +104,7 @@ where
                 threads: 1,
                 shard_key: Box::new(shard_key),
                 backend: Backend::Sequential(Box::new(make_stage(0))),
+                heartbeat: hb,
             };
         }
 
@@ -114,6 +120,7 @@ where
             let mut stage = make_stage(worker);
             let stage_name = name.to_string();
             let dead = Arc::clone(&dead);
+            let worker_hb = Arc::clone(&hb);
             handles.push(std::thread::spawn(move || {
                 // If the stage panics mid-batch the merger can never
                 // assemble the full output; the guard flags the pool and
@@ -136,6 +143,7 @@ where
                             item: stage.process(record.item),
                         })
                         .collect();
+                    worker_hb.bump();
                     if output_tx.send(outputs).is_err() {
                         break;
                     }
@@ -185,6 +193,7 @@ where
                 handles,
                 dead,
             }),
+            heartbeat: hb,
         }
     }
 
@@ -199,10 +208,22 @@ where
     pub fn process_batch(&mut self, items: Vec<In>) -> Result<Vec<Out>, PoolDied> {
         let total = items.len() as u64;
         let start = Instant::now();
+        // Batch bracketing: `busy` between here and the end of the call,
+        // so an external watchdog can tell "stalled mid-batch" (progress
+        // flat while busy) from "idle between batches".
+        self.heartbeat.begin_batch();
+        let hb = BatchDone(&self.heartbeat);
         let outputs = match &mut self.backend {
             Backend::Sequential(stage) => {
                 let _prof = ph_prof::scope(&self.name);
-                items.into_iter().map(|item| stage.process(item)).collect()
+                items
+                    .into_iter()
+                    .map(|item| {
+                        let out = stage.process(item);
+                        hb.0.bump();
+                        out
+                    })
+                    .collect()
             }
             Backend::Sharded(pool) => {
                 if pool.dead.load(Ordering::Acquire) {
@@ -285,6 +306,16 @@ impl<In, Out> Drop for LongLivedStage<In, Out> {
                 let _ = handle.join();
             }
         }
+    }
+}
+
+/// Lowers the heartbeat's batch-in-flight flag on every exit path of
+/// [`LongLivedStage::process_batch`], including the error returns.
+struct BatchDone<'a>(&'a Heartbeat);
+
+impl Drop for BatchDone<'_> {
+    fn drop(&mut self) {
+        self.0.end_batch();
     }
 }
 

@@ -1,0 +1,160 @@
+//! Per-stage heartbeats for stall detection.
+//!
+//! A long-lived daemon can hang in ways a batch job cannot: a stage
+//! worker deadlocks, an input channel wedges, a downstream sink blocks
+//! forever. Heartbeats make progress *observable* without making it
+//! expensive: every [`crate::LongLivedStage`] registers one
+//! [`Heartbeat`] per stage name and
+//!
+//! - raises `active` while a batch is in flight
+//!   ([`Heartbeat::begin_batch`] / [`Heartbeat::end_batch`]), and
+//! - bumps a monotone `progress` counter per processed chunk
+//!   ([`Heartbeat::bump`]) — relaxed atomic adds, nothing more.
+//!
+//! An external watchdog (ph-serve's) samples [`heartbeats_snapshot`] on
+//! a wall-clock tick: a stage that is *active* whose progress counter
+//! has not moved across N consecutive ticks is stalled; an *idle* stage
+//! (between batches) is never stalled, however long the gap — daemons
+//! legitimately sit idle between hour boundaries.
+//!
+//! The registry is process-global (like every telemetry registry in the
+//! workspace) so the watchdog needs no plumbing through stage owners,
+//! and heartbeats carry no wall-clock data themselves — sampling
+//! cadence is entirely the watchdog's concern.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One stage's progress pulse.
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    progress: AtomicU64,
+    active: AtomicU64,
+}
+
+impl Heartbeat {
+    /// Marks a batch in flight (re-entrant: nested/parallel batches
+    /// stack).
+    pub fn begin_batch(&self) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the batch done; with no batch in flight the stage cannot
+    /// stall.
+    pub fn end_batch(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one unit of progress (a processed chunk or item).
+    pub fn bump(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The monotone progress counter.
+    #[must_use]
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Whether a batch is currently in flight.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.active.load(Ordering::Relaxed) > 0
+    }
+}
+
+/// One sampled heartbeat, as the watchdog sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeartbeatSnapshot {
+    /// Stage name.
+    pub stage: String,
+    /// Monotone progress counter at sample time.
+    pub progress: u64,
+    /// Whether a batch was in flight at sample time.
+    pub busy: bool,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Arc<Heartbeat>>> {
+    static GLOBAL: OnceLock<Mutex<HashMap<String, Arc<Heartbeat>>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetches (registering on first use) the heartbeat for `stage`.
+pub fn heartbeat(stage: &str) -> Arc<Heartbeat> {
+    let mut map = registry().lock().expect("heartbeat registry poisoned");
+    Arc::clone(map.entry(stage.to_string()).or_default())
+}
+
+/// Samples every registered heartbeat, sorted by stage name.
+#[must_use]
+pub fn heartbeats_snapshot() -> Vec<HeartbeatSnapshot> {
+    let map = registry().lock().expect("heartbeat registry poisoned");
+    let mut out: Vec<HeartbeatSnapshot> = map
+        .iter()
+        .map(|(stage, hb)| HeartbeatSnapshot {
+            stage: stage.clone(),
+            progress: hb.progress(),
+            busy: hb.busy(),
+        })
+        .collect();
+    out.sort_by(|a, b| a.stage.cmp(&b.stage));
+    out
+}
+
+/// Drops every registered heartbeat (existing handles stay valid but
+/// are no longer sampled). Test hygiene only.
+pub fn heartbeats_reset() {
+    registry()
+        .lock()
+        .expect("heartbeat registry poisoned")
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_tracks_progress_and_batch_state() {
+        let hb = heartbeat("test.watchdog.basic");
+        assert!(!hb.busy());
+        hb.begin_batch();
+        assert!(hb.busy());
+        let before = hb.progress();
+        hb.bump();
+        hb.bump();
+        assert_eq!(hb.progress(), before + 2);
+        hb.end_batch();
+        assert!(!hb.busy());
+    }
+
+    #[test]
+    fn registry_shares_instances_and_snapshot_is_sorted() {
+        let a = heartbeat("test.watchdog.zz");
+        let b = heartbeat("test.watchdog.zz");
+        assert!(Arc::ptr_eq(&a, &b));
+        heartbeat("test.watchdog.aa").bump();
+        let snap = heartbeats_snapshot();
+        let ours: Vec<&HeartbeatSnapshot> = snap
+            .iter()
+            .filter(|s| s.stage.starts_with("test.watchdog."))
+            .collect();
+        assert!(ours.len() >= 2);
+        let names: Vec<&str> = ours.iter().map(|s| s.stage.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn nested_batches_stack() {
+        let hb = heartbeat("test.watchdog.nested");
+        hb.begin_batch();
+        hb.begin_batch();
+        hb.end_batch();
+        assert!(hb.busy(), "outer batch still in flight");
+        hb.end_batch();
+        assert!(!hb.busy());
+    }
+}

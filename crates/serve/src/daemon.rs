@@ -53,7 +53,7 @@ use ph_core::monitor::{
 };
 use ph_exec::ExecConfig;
 use ph_store::{Manifest, Store, StoreConfig, StoreWriter};
-use ph_telemetry::{log_info, log_warn};
+use ph_telemetry::{log_info, log_warn, TelemetryEvent};
 use ph_twitter_sim::engine::{Engine, SimConfig};
 use ph_twitter_sim::tweet::{Tweet, TweetId};
 use ph_twitter_sim::wire::StreamFrame;
@@ -62,7 +62,9 @@ use crate::http::MetricsServer;
 use crate::listener::{BindAddr, Listener};
 use crate::loadgen::{spawn_feed, FeedConfig};
 use crate::queue::IngestQueue;
+use crate::slo::SloTarget;
 use crate::verdict::VerdictWriter;
+use crate::watchdog::{Watchdog, WatchdogConfig};
 
 /// How long one queue pop waits before the stop flag is re-checked.
 const POP_TIMEOUT: Duration = Duration::from_millis(100);
@@ -71,11 +73,33 @@ const POP_TIMEOUT: Duration = Duration::from_millis(100);
 /// addresses (`ingest=…`, `http=…`) once the daemon is accepting.
 pub const ENDPOINTS_FILE: &str = "ENDPOINTS";
 
+/// Drop guard pairing [`ph_exec::Heartbeat::begin_batch`] with
+/// `end_batch` across the `?`-heavy hour-boundary block.
+struct HourDone<'a>(&'a ph_exec::Heartbeat);
+
+impl Drop for HourDone<'_> {
+    fn drop(&mut self) {
+        self.0.end_batch();
+    }
+}
+
 /// In-daemon load generation settings.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadgenConfig {
     /// Target events/second; `0` = unpaced.
     pub rate: f64,
+}
+
+/// A deterministic per-hour slowdown for health soak tests: the daemon
+/// sleeps `ms` milliseconds inside each of the first `hours` hour
+/// boundaries, inflating ingest→verdict latency enough to breach a
+/// tight SLO — and then recovers, because later hours are unthrottled.
+#[derive(Debug, Clone, Copy)]
+pub struct ThrottleConfig {
+    /// Sleep per throttled hour, in milliseconds.
+    pub ms: u64,
+    /// Hours `0..hours` are throttled; the rest run at full speed.
+    pub hours: u64,
 }
 
 /// Everything [`run`] needs.
@@ -111,6 +135,16 @@ pub struct ServeConfig {
     /// `top_features` fields), per-feature drift monitoring, and the
     /// `explain.log`/`drift.log` streams persisted beside the journal.
     pub explain: bool,
+    /// Ingest→verdict latency SLO (`--slo p99:250`): stamp queued
+    /// frames, record per-hour latency quantiles, and alert when the
+    /// targeted quantile breaches. `None` = off, zero-cost.
+    pub slo: Option<SloTarget>,
+    /// Stage-watchdog sensitivity: declare a busy stage stalled after
+    /// this many 250 ms samples without progress. `0` disables the
+    /// watchdog.
+    pub watchdog_ticks: u64,
+    /// Test-only deterministic slowdown; see [`ThrottleConfig`].
+    pub throttle: Option<ThrottleConfig>,
 }
 
 /// What a daemon session did.
@@ -268,6 +302,21 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
     if config.explain {
         ph_core::observe::set_enabled(true);
     }
+    // Service-health setup. Each session starts healthy with a fresh
+    // flight ring; the SLO alert rule (when targeted) replaces any
+    // rule set a previous in-process session installed.
+    crate::health::reset();
+    ph_telemetry::flight_reset();
+    crate::slo::set_enabled(config.slo.is_some());
+    if let Some(target) = &config.slo {
+        ph_telemetry::alert_reset();
+        ph_telemetry::alert_install(target.rule());
+        log_info!(
+            "serve: latency SLO armed — hourly {} must stay ≤ {} ms",
+            target.label,
+            target.target_ms
+        );
+    }
     let (mut store, prior, state, manifest) = open_store(&config)?;
 
     let exec = config.exec.clone();
@@ -341,14 +390,42 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
         ));
     }
 
+    let mut watchdog = if config.watchdog_ticks > 0 {
+        Some(Watchdog::spawn(
+            WatchdogConfig {
+                ticks: config.watchdog_ticks,
+                ..WatchdogConfig::default()
+            },
+            Some(config.dir.clone()),
+        ))
+    } else {
+        None
+    };
+    // The daemon loop's own heartbeat: busy while an hour boundary is
+    // being processed, progressing once per completed hour — so a hang
+    // inside classify/flush trips the watchdog like any exec stage.
+    let hour_hb = ph_exec::heartbeat("serve.hour");
+
     let mut monitor = StreamMonitor::resume(runner, manifest.hours, state);
     let session_start_hour = monitor.state().next_hour;
     let mut stopped_early = false;
     let mut producer_done = false;
     let mut buffered: Vec<Tweet> = Vec::new();
+    let mut ingest_ticks: HashMap<TweetId, u64> = HashMap::new();
     {
         let mut writer: StoreWriter<'_> = store.writer(&prior);
         while !monitor.complete() {
+            if crate::signal::take_dump_request() {
+                // SIGQUIT = dump-and-continue: snapshot the flight ring
+                // into the store, keep serving.
+                match ph_store::write_flight(&config.dir, &ph_telemetry::flight_snapshot()) {
+                    Ok(()) => log_info!(
+                        "serve: SIGQUIT — flight recorder dumped to {}",
+                        config.dir.join(ph_store::FLIGHT_FILE).display()
+                    ),
+                    Err(e) => log_warn!("serve: flight dump failed: {e}"),
+                }
+            }
             let hours_this_session = monitor.state().next_hour - session_start_hour;
             if config.stop.load(Ordering::SeqCst)
                 || config
@@ -358,7 +435,7 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
                 stopped_early = true;
                 break;
             }
-            let Some(frame) = queue.pop_timeout(POP_TIMEOUT) else {
+            let Some((frame, ingest_tick)) = queue.pop_timeout(POP_TIMEOUT) else {
                 if producer_done && config.loadgen.is_some() && queue.depth() == 0 {
                     // Our own producer finished early (it errors out on
                     // a drain, never silently under-delivers) — without
@@ -369,7 +446,12 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
                 continue;
             };
             match frame {
-                StreamFrame::Tweet(tweet) => buffered.push(tweet),
+                StreamFrame::Tweet(tweet) => {
+                    if ingest_tick != 0 {
+                        ingest_ticks.insert(tweet.id, ingest_tick);
+                    }
+                    buffered.push(tweet);
+                }
                 StreamFrame::Shutdown => producer_done = true,
                 StreamFrame::HourBoundary { hour } => {
                     match hour.cmp(&monitor.state().next_hour) {
@@ -378,6 +460,7 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
                             // hours (it restarted from an older cursor):
                             // drop the duplicate hour wholesale.
                             buffered.clear();
+                            ingest_ticks.clear();
                         }
                         CmpOrdering::Greater => {
                             return Err(io::Error::new(
@@ -389,6 +472,17 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
                             ));
                         }
                         CmpOrdering::Equal => {
+                            hour_hb.begin_batch();
+                            // Releases "busy" even when an error below
+                            // propagates out of the loop — a stale busy
+                            // heartbeat would false-trip a later
+                            // session's watchdog.
+                            let _hour_done = HourDone(&hour_hb);
+                            if let Some(throttle) = &config.throttle {
+                                if hour < throttle.hours {
+                                    std::thread::sleep(Duration::from_millis(throttle.ms));
+                                }
+                            }
                             monitor.begin_hour(&mut engine);
                             // Re-stamp evaluation sidecars from the
                             // replica's oracle — the wire carries none.
@@ -424,6 +518,38 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
                                 }
                             }
                             verdicts.flush()?;
+                            if config.slo.is_some() {
+                                // The verdicts are durable — the
+                                // ingest→verdict clock stops here.
+                                let now = crate::slo::tick_now_ns();
+                                let taken = std::mem::take(&mut ingest_ticks);
+                                let latencies: Vec<f64> = batch
+                                    .iter()
+                                    .filter_map(|c| taken.get(&c.tweet.id))
+                                    .map(|&tick| now.saturating_sub(tick) as f64 / 1e6)
+                                    .collect();
+                                crate::slo::record_hour(hour, &latencies);
+                                // Re-evaluate now that this hour's
+                                // quantiles exist; transitions are
+                                // edge-triggered, so the earlier
+                                // in-monitor evaluation cannot have
+                                // consumed them.
+                                for event in ph_telemetry::alert_evaluate(hour) {
+                                    match event {
+                                        TelemetryEvent::SloBreach {
+                                            rule, value, limit, ..
+                                        } => crate::health::degrade(
+                                            &rule,
+                                            &format!("{value:.1} ms > {limit:.1} ms limit"),
+                                        ),
+                                        TelemetryEvent::SloRecovered { rule, .. } => {
+                                            crate::health::clear(&rule);
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                            }
+                            hour_hb.bump();
                             ph_telemetry::counter("serve.verdicts").add(batch.len() as u64);
                             ph_telemetry::gauge("serve.hours_done")
                                 .set(monitor.state().next_hour as f64);
@@ -453,6 +579,9 @@ pub fn run(config: ServeConfig) -> io::Result<ServeOutcome> {
         }
     }
     monitor.finish(manifest.buffer_capacity as usize);
+    if let Some(dog) = watchdog.as_mut() {
+        dog.shutdown();
+    }
     listener.shutdown();
     drop(http);
     streaming.close(tap);

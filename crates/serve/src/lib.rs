@@ -25,7 +25,18 @@
 //! - [`signal`] converts SIGINT/SIGTERM into a cooperative stop flag;
 //!   the daemon drains at the next hour boundary, forces a checkpoint,
 //!   and a later `--resume` continues mid-run with a byte-identical
-//!   verdict stream.
+//!   verdict stream. SIGQUIT is separate: it requests a flight-recorder
+//!   dump and the daemon keeps running.
+//! - [`slo`] is the ingest→verdict latency SLO: `--slo p99:250` stamps
+//!   every queued frame with a monotonic tick, folds per-hour latency
+//!   quantiles into gauges/series, and installs an alert rule over the
+//!   targeted quantile. Off, the residue is one relaxed atomic load.
+//! - [`health`] is the keyed degradation set behind `/healthz`: the
+//!   watchdog and the SLO alert raise and clear named reasons, and the
+//!   probe flips 200 ⇄ 503 accordingly.
+//! - [`watchdog`] samples [`ph_exec`] stage heartbeats on a wall-clock
+//!   cadence and declares a busy-but-flatlined stage stalled: journal
+//!   event, degraded health, and a flight-recorder dump into the store.
 //!
 //! The crate-level invariant is the workspace's usual one, extended to
 //! service lifetimes: *stop anywhere, resume, and the concatenated
@@ -38,14 +49,19 @@
 #![deny(unsafe_code)]
 
 pub mod daemon;
+pub mod health;
 pub mod http;
 pub mod listener;
 pub mod loadgen;
 pub mod queue;
 pub mod signal;
+pub mod slo;
 pub mod verdict;
+pub mod watchdog;
 
-pub use daemon::{run, LoadgenConfig, ServeConfig, ServeOutcome};
+pub use daemon::{run, LoadgenConfig, ServeConfig, ServeOutcome, ThrottleConfig};
 pub use http::MetricsServer;
 pub use listener::BindAddr;
 pub use queue::IngestQueue;
+pub use slo::SloTarget;
+pub use watchdog::{Watchdog, WatchdogConfig};

@@ -249,11 +249,11 @@ mod tests {
         drop(conn);
         assert!(matches!(
             queue.pop_timeout(Duration::from_secs(5)),
-            Some(StreamFrame::HourBoundary { hour: 3 })
+            Some((StreamFrame::HourBoundary { hour: 3 }, _))
         ));
         assert!(matches!(
             queue.pop_timeout(Duration::from_secs(5)),
-            Some(StreamFrame::Shutdown)
+            Some((StreamFrame::Shutdown, _))
         ));
         listener.shutdown();
     }
@@ -273,7 +273,7 @@ mod tests {
         drop(conn);
         assert!(matches!(
             queue.pop_timeout(Duration::from_secs(5)),
-            Some(StreamFrame::HourBoundary { hour: 9 })
+            Some((StreamFrame::HourBoundary { hour: 9 }, _))
         ));
         listener.shutdown();
         assert!(!path.exists(), "socket file not cleaned up");

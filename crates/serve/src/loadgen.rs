@@ -19,7 +19,7 @@
 //! entirely — the daemon rebuilds evaluation sidecars from its own
 //! replica engine.
 
-use std::io::{self, Write as _};
+use std::io::{self, Write};
 use std::time::{Duration, Instant};
 
 use ph_store::Manifest;
@@ -28,6 +28,57 @@ use ph_twitter_sim::engine::{Engine, SimConfig};
 use ph_twitter_sim::wire::{write_stream_frame, StreamFrame};
 
 use crate::listener::{connect, BindAddr};
+
+/// How often [`connect_with_retry`] tries before giving up.
+pub const CONNECT_ATTEMPTS: u32 = 8;
+
+/// First retry delay; doubles per attempt, capped at
+/// [`CONNECT_BACKOFF_CAP`].
+pub const CONNECT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Ceiling on the exponential backoff between connect attempts.
+pub const CONNECT_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Whether a connect failure is worth retrying: the daemon may simply
+/// not be listening *yet* (racing a fresh daemon's bind, or a Unix
+/// socket path not created yet).
+fn connect_retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::NotFound
+            | io::ErrorKind::AddrNotAvailable
+    )
+}
+
+/// [`connect`] with bounded exponential backoff: up to
+/// [`CONNECT_ATTEMPTS`] tries, 50 ms doubling to a 2 s cap (≈6.3 s
+/// total), retrying only the not-listening-yet error kinds. Anything
+/// else — and the last attempt's failure — propagates unchanged.
+///
+/// # Errors
+///
+/// The final attempt's error once retries are exhausted, or the first
+/// non-retryable connect failure.
+pub fn connect_with_retry(addr: &BindAddr) -> io::Result<Box<dyn Write + Send>> {
+    let mut delay = CONNECT_BACKOFF;
+    for attempt in 1..=CONNECT_ATTEMPTS {
+        match connect(addr) {
+            Ok(out) => return Ok(out),
+            Err(e) if attempt < CONNECT_ATTEMPTS && connect_retryable(&e) => {
+                log_warn!(
+                    "feed: connect to {addr} failed ({e}); retry {attempt}/{} in {:?}",
+                    CONNECT_ATTEMPTS - 1,
+                    delay
+                );
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(CONNECT_BACKOFF_CAP);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("the final attempt either returned or propagated")
+}
 
 /// What to generate and how fast.
 #[derive(Debug, Clone)]
@@ -75,7 +126,7 @@ pub fn feed(addr: &BindAddr, config: &FeedConfig) -> io::Result<FeedSummary> {
     let streaming = engine.streaming();
     let tap = streaming.firehose_with_capacity(m.buffer_capacity as usize);
 
-    let mut out = connect(addr)?;
+    let mut out = connect_with_retry(addr)?;
     log_info!(
         "loadgen: feeding hours {}..{} to {addr} at {}",
         config.start_hour,
@@ -130,4 +181,43 @@ pub fn spawn_feed(addr: BindAddr, config: FeedConfig) -> std::thread::JoinHandle
         ),
         Err(e) => log_warn!("loadgen stopped: {e}"),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_retries_until_a_late_binding_listener_appears() {
+        let path = std::env::temp_dir().join(format!("ph-feed-retry-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let bind_path = path.clone();
+        // The listener shows up only after the first attempts have
+        // already failed with NotFound.
+        let listener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            let listener = std::os::unix::net::UnixListener::bind(&bind_path).unwrap();
+            let _conn = listener.accept().unwrap();
+        });
+        let addr = BindAddr::Unix(path.clone());
+        let mut out = connect_with_retry(&addr).expect("retry should outlast the late bind");
+        out.flush().unwrap();
+        drop(out);
+        listener.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn only_not_listening_yet_errors_are_retryable() {
+        for kind in [
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::NotFound,
+            io::ErrorKind::AddrNotAvailable,
+        ] {
+            assert!(connect_retryable(&io::Error::from(kind)), "{kind:?}");
+        }
+        assert!(!connect_retryable(&io::Error::from(
+            io::ErrorKind::PermissionDenied
+        )));
+    }
 }

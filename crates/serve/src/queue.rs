@@ -7,6 +7,14 @@
 //! frames (hour boundaries, shutdown) are never shed: losing a tweet
 //! degrades the collection, losing a boundary would desynchronize the
 //! replica engine from the producer.
+//!
+//! This is also where the latency SLO's clock starts: with
+//! [`crate::slo`] enabled, [`push`](IngestQueue::push) stamps each
+//! frame with a monotonic ingest tick ([`crate::slo::tick_now_ns`])
+//! that rides alongside it to [`pop_timeout`](IngestQueue::pop_timeout),
+//! so ingest→verdict latency covers queueing as well as
+//! classification. Disabled (the default), the stamp is one relaxed
+//! atomic load and a constant `0`.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -15,7 +23,7 @@ use std::time::Duration;
 use ph_twitter_sim::wire::StreamFrame;
 
 struct Inner {
-    frames: VecDeque<StreamFrame>,
+    frames: VecDeque<(StreamFrame, u64)>,
     shed: u64,
     shed_unclaimed: u64,
 }
@@ -48,12 +56,17 @@ impl IngestQueue {
     /// over capacity momentarily (there is at most one boundary per
     /// producer hour — they cannot accumulate unboundedly).
     pub fn push(&self, frame: StreamFrame) {
+        let tick = if crate::slo::is_enabled() {
+            crate::slo::tick_now_ns()
+        } else {
+            0
+        };
         let mut inner = self.inner.lock().expect("ingest queue poisoned");
         if inner.frames.len() >= self.capacity && matches!(frame, StreamFrame::Tweet(_)) {
             let oldest_tweet = inner
                 .frames
                 .iter()
-                .position(|f| matches!(f, StreamFrame::Tweet(_)));
+                .position(|(f, _)| matches!(f, StreamFrame::Tweet(_)));
             // When only control frames are buffered, admit the tweet
             // anyway rather than shedding a boundary.
             if let Some(at) = oldest_tweet {
@@ -62,16 +75,17 @@ impl IngestQueue {
                 inner.shed_unclaimed += 1;
             }
         }
-        inner.frames.push_back(frame);
+        inner.frames.push_back((frame, tick));
         ph_telemetry::gauge("serve.ingest.depth").set(inner.frames.len() as f64);
         drop(inner);
         self.ready.notify_one();
     }
 
-    /// Dequeues the next frame, waiting up to `timeout` for one to
-    /// arrive. `None` means the wait timed out — the caller polls its
-    /// stop flag and comes back.
-    pub fn pop_timeout(&self, timeout: Duration) -> Option<StreamFrame> {
+    /// Dequeues the next frame and its ingest tick (0 when SLO stamping
+    /// is off), waiting up to `timeout` for one to arrive. `None` means
+    /// the wait timed out — the caller polls its stop flag and comes
+    /// back.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<(StreamFrame, u64)> {
         let mut inner = self.inner.lock().expect("ingest queue poisoned");
         if inner.frames.is_empty() {
             let (guard, _timeout_result) = self
@@ -149,8 +163,8 @@ mod tests {
         assert_eq!(q.shed_count(), 1);
         assert_eq!(q.take_shed(), 1);
         assert_eq!(q.take_shed(), 0);
-        let a = q.pop_timeout(Duration::from_millis(10)).unwrap();
-        let b = q.pop_timeout(Duration::from_millis(10)).unwrap();
+        let (a, _) = q.pop_timeout(Duration::from_millis(10)).unwrap();
+        let (b, _) = q.pop_timeout(Duration::from_millis(10)).unwrap();
         assert_eq!((id_of(&a), id_of(&b)), (2, 3));
     }
 
@@ -163,9 +177,10 @@ mod tests {
         assert_eq!(q.shed_count(), 1);
         assert!(matches!(
             q.pop_timeout(Duration::from_millis(10)),
-            Some(StreamFrame::HourBoundary { hour: 0 })
+            Some((StreamFrame::HourBoundary { hour: 0 }, _))
         ));
-        assert_eq!(id_of(&q.pop_timeout(Duration::from_millis(10)).unwrap()), 2);
+        let (frame, _) = q.pop_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(id_of(&frame), 2);
     }
 
     #[test]
@@ -184,6 +199,23 @@ mod tests {
         });
         let got = q.pop_timeout(Duration::from_secs(5));
         pusher.join().unwrap();
-        assert!(matches!(got, Some(StreamFrame::Shutdown)));
+        assert!(matches!(got, Some((StreamFrame::Shutdown, _))));
+    }
+
+    #[test]
+    fn ticks_are_zero_when_slo_is_off_and_monotone_when_on() {
+        let q = IngestQueue::new(8);
+        crate::slo::set_enabled(false);
+        q.push(tweet(1));
+        let (_, tick) = q.pop_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(tick, 0);
+        crate::slo::set_enabled(true);
+        q.push(tweet(2));
+        q.push(tweet(3));
+        crate::slo::set_enabled(false);
+        let (_, a) = q.pop_timeout(Duration::from_millis(10)).unwrap();
+        let (_, b) = q.pop_timeout(Duration::from_millis(10)).unwrap();
+        assert!(a >= 1, "stamped tick must be nonzero");
+        assert!(b >= a, "ticks are monotone in push order");
     }
 }

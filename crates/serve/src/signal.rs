@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 const SIGINT: i32 = 2;
+const SIGQUIT: i32 = 3;
 const SIGTERM: i32 = 15;
 
 /// The shared flag handed to pollers. Lives in a `OnceLock` because the
@@ -23,6 +24,11 @@ static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
 /// static so [`triggered`] never depends on initialization order.
 static DELIVERED: AtomicBool = AtomicBool::new(false);
 
+/// Raised by the SIGQUIT handler: a request to dump the flight
+/// recorder, *not* to stop. The daemon polls [`take_dump_request`]
+/// between frames, writes `flight.log`, and keeps running.
+static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
 fn flag() -> &'static Arc<AtomicBool> {
     FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)))
 }
@@ -32,6 +38,10 @@ extern "C" fn handle(_signum: i32) {
     if let Some(stop) = FLAG.get() {
         stop.store(true, Ordering::SeqCst);
     }
+}
+
+extern "C" fn handle_quit(_signum: i32) {
+    DUMP_REQUESTED.store(true, Ordering::SeqCst);
 }
 
 #[allow(unsafe_code)]
@@ -63,6 +73,19 @@ pub fn install() -> Arc<AtomicBool> {
 #[must_use]
 pub fn triggered() -> bool {
     DELIVERED.load(Ordering::SeqCst) || flag().load(Ordering::SeqCst)
+}
+
+/// Registers the SIGQUIT handler that raises the flight-dump request
+/// flag. Idempotent. Kept separate from [`install`] so the dump hook
+/// can exist without hijacking SIGINT/SIGTERM (e.g. in tests).
+pub fn install_dump() {
+    sys::install(SIGQUIT, handle_quit);
+}
+
+/// Consumes a pending flight-dump request (SIGQUIT since the last
+/// call), returning whether one was pending.
+pub fn take_dump_request() -> bool {
+    DUMP_REQUESTED.swap(false, Ordering::SeqCst)
 }
 
 #[cfg(test)]

@@ -1,0 +1,203 @@
+//! The stage watchdog: wall-clock sampling of ph-exec heartbeats.
+//!
+//! A background thread samples [`ph_exec::heartbeats_snapshot`] every
+//! `interval`. A stage that is *busy* (a batch in flight) whose
+//! progress counter has not moved for `ticks` consecutive samples is
+//! declared stalled: the watchdog emits a
+//! [`ph_telemetry::TelemetryEvent::StageStalled`] journal event
+//! (diagnostic — it reaches the flight recorder and the in-process
+//! journal, never `journal.log`), flips `/healthz` to degraded via
+//! [`crate::health`], and dumps the flight ring into the store so the
+//! hang is diagnosable even if the process is later killed -9. When the
+//! stage makes progress again (or goes idle), the degradation clears
+//! and a recovery note lands in the flight ring.
+//!
+//! Idle stages never trip: a daemon legitimately sits between hour
+//! boundaries for as long as the producer pleases. Only "busy and
+//! flatlined" is a stall.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ph_telemetry::{journal_emit, log_warn, TelemetryEvent};
+
+use crate::health;
+
+/// When to declare a stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Consecutive no-progress samples (of a busy stage) before the
+    /// trip.
+    pub ticks: u64,
+    /// Sampling interval.
+    pub interval: Duration,
+}
+
+impl Default for WatchdogConfig {
+    /// 40 ticks × 250 ms: a stage must sit busy-but-flat for 10 s.
+    fn default() -> Self {
+        WatchdogConfig {
+            ticks: 40,
+            interval: Duration::from_millis(250),
+        }
+    }
+}
+
+#[derive(Default)]
+struct StageState {
+    last_progress: u64,
+    stale_ticks: u64,
+    tripped: bool,
+}
+
+/// A running watchdog thread. Dropping (or [`shutdown`](Watchdog::shutdown))
+/// stops and joins it.
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts sampling. `dump_dir` is the store directory the flight
+    /// ring is dumped into on a trip (`None` = record events only).
+    #[must_use]
+    pub fn spawn(config: WatchdogConfig, dump_dir: Option<PathBuf>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut states: HashMap<String, StageState> = HashMap::new();
+            while !loop_stop.load(Ordering::SeqCst) {
+                std::thread::sleep(config.interval);
+                for hb in ph_exec::heartbeats_snapshot() {
+                    let state = states.entry(hb.stage.clone()).or_default();
+                    let flat = hb.progress == state.last_progress;
+                    state.last_progress = hb.progress;
+                    if hb.busy && flat {
+                        state.stale_ticks += 1;
+                        if state.stale_ticks >= config.ticks && !state.tripped {
+                            state.tripped = true;
+                            journal_emit(TelemetryEvent::StageStalled {
+                                stage: hb.stage.clone(),
+                                ticks: state.stale_ticks,
+                            });
+                            log_warn!(
+                                "watchdog: stage '{}' stalled ({} ticks without progress)",
+                                hb.stage,
+                                state.stale_ticks
+                            );
+                            health::degrade(
+                                &format!("watchdog.{}", hb.stage),
+                                &format!(
+                                    "stage stalled: no progress across {} ticks",
+                                    state.stale_ticks
+                                ),
+                            );
+                            if let Some(dir) = &dump_dir {
+                                if let Err(e) =
+                                    ph_store::write_flight(dir, &ph_telemetry::flight_snapshot())
+                                {
+                                    log_warn!("watchdog: flight dump failed: {e}");
+                                }
+                            }
+                        }
+                    } else {
+                        state.stale_ticks = 0;
+                        if state.tripped {
+                            state.tripped = false;
+                            ph_telemetry::flight_note(
+                                "stage_recovered",
+                                &format!("stage '{}' making progress again", hb.stage),
+                            );
+                            health::clear(&format!("watchdog.{}", hb.stage));
+                        }
+                    }
+                }
+            }
+        });
+        Watchdog {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampling loop and joins the thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> WatchdogConfig {
+        WatchdogConfig {
+            ticks: 3,
+            interval: Duration::from_millis(5),
+        }
+    }
+
+    fn wait_until(what: &str, mut ok: impl FnMut() -> bool) {
+        for _ in 0..400 {
+            if ok() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn busy_flatlined_stage_trips_then_recovers() {
+        let _guard = crate::health::tests::lock();
+        crate::health::reset();
+        let dir = std::env::temp_dir().join(format!("ph-serve-watchdog-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stage = "test.serve.watchdog";
+        let hb = ph_exec::heartbeat(stage);
+        let mut dog = Watchdog::spawn(fast(), Some(dir.clone()));
+
+        // Idle: never trips, however long we wait.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(crate::health::status(), None);
+
+        // Busy and flat: trips, degrades, and dumps the flight ring.
+        hb.begin_batch();
+        wait_until("the watchdog trip", || {
+            crate::health::status().is_some_and(|s| s.contains(stage))
+        });
+        assert!(
+            ph_telemetry::journal_snapshot().iter().any(|e| matches!(
+                &e.event,
+                TelemetryEvent::StageStalled { stage: s, .. } if s == stage
+            )),
+            "StageStalled journal event missing"
+        );
+        wait_until("the flight dump", || {
+            ph_store::read_flight(&dir)
+                .is_ok_and(|entries| entries.iter().any(|e| e.kind == "stage_stalled"))
+        });
+
+        // Progress: clears the degradation.
+        hb.bump();
+        wait_until("the recovery", || crate::health::status().is_none());
+        hb.end_batch();
+        dog.shutdown();
+        dog.shutdown(); // idempotent
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -42,6 +42,7 @@ pub mod checkpoint;
 mod codec;
 pub mod crc;
 pub mod decision;
+pub mod flight;
 pub mod log;
 pub mod manifest;
 pub mod record;
@@ -53,6 +54,9 @@ pub use checkpoint::{Checkpoint, CheckpointLog};
 pub use decision::{
     decode_drift_frame, decode_explanation, encode_drift_frame, encode_explanation, read_drift,
     read_explain, write_drift, write_explain, DriftFrame, DRIFT_FILE, EXPLAIN_FILE,
+};
+pub use flight::{
+    decode_flight_entry, encode_flight_entry, read_flight, write_flight, FLIGHT_FILE, FLIGHT_MAGIC,
 };
 pub use log::{CollectedReader, LogReader, RecoveryReport, SegmentLog};
 pub use manifest::Manifest;

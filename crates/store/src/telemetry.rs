@@ -56,6 +56,9 @@ const EVENT_SEGMENT_ROLL: u8 = 4;
 const EVENT_SHARD_STALL: u8 = 5;
 const EVENT_DRIFT_ALARM: u8 = 6;
 const EVENT_DRIFT_RETRAIN: u8 = 7;
+const EVENT_SLO_BREACH: u8 = 8;
+const EVENT_SLO_RECOVERED: u8 = 9;
+const EVENT_STAGE_STALLED: u8 = 10;
 
 /// Encodes one journal entry into a frame payload.
 #[must_use]
@@ -122,6 +125,35 @@ pub fn encode_journal_entry(entry: &JournalEntry) -> Vec<u8> {
             put_u64(&mut buf, *shard);
             put_u64(&mut buf, *depth);
         }
+        TelemetryEvent::SloBreach {
+            hour,
+            rule,
+            value,
+            limit,
+        } => {
+            put_u8(&mut buf, EVENT_SLO_BREACH);
+            put_u64(&mut buf, *hour);
+            put_str(&mut buf, rule);
+            put_f64(&mut buf, *value);
+            put_f64(&mut buf, *limit);
+        }
+        TelemetryEvent::SloRecovered {
+            hour,
+            rule,
+            value,
+            limit,
+        } => {
+            put_u8(&mut buf, EVENT_SLO_RECOVERED);
+            put_u64(&mut buf, *hour);
+            put_str(&mut buf, rule);
+            put_f64(&mut buf, *value);
+            put_f64(&mut buf, *limit);
+        }
+        TelemetryEvent::StageStalled { stage, ticks } => {
+            put_u8(&mut buf, EVENT_STAGE_STALLED);
+            put_str(&mut buf, stage);
+            put_u64(&mut buf, *ticks);
+        }
     }
     buf
 }
@@ -173,6 +205,22 @@ pub fn decode_journal_entry(payload: &[u8]) -> Result<JournalEntry, StoreDecodeE
             round: take_u64(&mut buf)?,
             psi_before: take_f64(&mut buf)?,
             psi_after: take_f64(&mut buf)?,
+        },
+        EVENT_SLO_BREACH => TelemetryEvent::SloBreach {
+            hour: take_u64(&mut buf)?,
+            rule: take_str(&mut buf)?,
+            value: take_f64(&mut buf)?,
+            limit: take_f64(&mut buf)?,
+        },
+        EVENT_SLO_RECOVERED => TelemetryEvent::SloRecovered {
+            hour: take_u64(&mut buf)?,
+            rule: take_str(&mut buf)?,
+            value: take_f64(&mut buf)?,
+            limit: take_f64(&mut buf)?,
+        },
+        EVENT_STAGE_STALLED => TelemetryEvent::StageStalled {
+            stage: take_str(&mut buf)?,
+            ticks: take_u64(&mut buf)?,
         },
         value => {
             return Err(StoreDecodeError::BadDiscriminant {

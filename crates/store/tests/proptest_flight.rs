@@ -1,0 +1,54 @@
+//! Property coverage of the flight-recording codec (`flight.log`),
+//! mirroring `proptest_decision.rs`: entries round-trip exactly for
+//! arbitrary timestamps and arbitrary (including non-ASCII and empty)
+//! strings, and the decoder never panics on truncated, bit-flipped, or
+//! arbitrary byte soup.
+
+use ph_store::{decode_flight_entry, encode_flight_entry};
+use ph_telemetry::FlightEntry;
+use proptest::prelude::*;
+
+fn entry() -> impl Strategy<Value = FlightEntry> {
+    (any::<u64>(), ".{0,40}", ".{0,120}").prop_map(|(at_ms, kind, detail)| FlightEntry {
+        at_ms,
+        kind,
+        detail,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn entries_roundtrip_exactly(e in entry()) {
+        let decoded = decode_flight_entry(&encode_flight_entry(&e)).expect("roundtrip");
+        prop_assert_eq!(decoded, e);
+    }
+
+    #[test]
+    fn truncated_entries_error_not_panic(e in entry()) {
+        let bytes = encode_flight_entry(&e);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_flight_entry(&bytes[..cut]).is_err(),
+                "prefix of {} bytes decoded as a full flight entry",
+                cut
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(e in entry(), flip in any::<u64>()) {
+        // A flipped bit may still decode (a timestamp bit); the
+        // contract is only that the decoder returns instead of panics.
+        let mut bytes = encode_flight_entry(&e);
+        let i = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[i / 8] ^= 1 << (i % 8);
+        let _ = decode_flight_entry(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_flight_entry(&bytes);
+    }
+}

@@ -99,6 +99,41 @@ pub enum TelemetryEvent {
         /// Channel depth observed (equals the channel capacity).
         depth: u64,
     },
+    /// An installed alert rule's condition became true at an hour
+    /// boundary (see [`crate::alert`]). Carries wall-clock-derived
+    /// quantities (e.g. latency quantiles), so diagnostic only — never
+    /// persisted.
+    SloBreach {
+        /// Engine hour the rule was evaluated at.
+        hour: u64,
+        /// Rule name (`"slo.p99"`, …).
+        rule: String,
+        /// The evaluated series value that crossed the limit.
+        value: f64,
+        /// The rule's configured limit.
+        limit: f64,
+    },
+    /// A previously firing alert rule's condition cleared. Diagnostic
+    /// only — never persisted.
+    SloRecovered {
+        /// Engine hour the rule was evaluated at.
+        hour: u64,
+        /// Rule name.
+        rule: String,
+        /// The evaluated series value, now back under the limit.
+        value: f64,
+        /// The rule's configured limit.
+        limit: f64,
+    },
+    /// A long-lived stage stopped making progress mid-batch (watchdog
+    /// heartbeat flatlined). Wall-clock-dependent; diagnostic only —
+    /// never persisted.
+    StageStalled {
+        /// Stage name as passed to `ph_exec::LongLivedStage::new`.
+        stage: String,
+        /// Consecutive watchdog ticks without progress before the trip.
+        ticks: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -114,6 +149,9 @@ impl TelemetryEvent {
             TelemetryEvent::DriftAlarm { .. } => "drift_alarm",
             TelemetryEvent::DriftRetrain { .. } => "drift_retrain",
             TelemetryEvent::ShardStall { .. } => "shard_stall",
+            TelemetryEvent::SloBreach { .. } => "slo_breach",
+            TelemetryEvent::SloRecovered { .. } => "slo_recovered",
+            TelemetryEvent::StageStalled { .. } => "stage_stalled",
         }
     }
 
@@ -121,7 +159,13 @@ impl TelemetryEvent {
     /// be persisted into a store (see module docs).
     #[must_use]
     pub fn is_deterministic(&self) -> bool {
-        !matches!(self, TelemetryEvent::ShardStall { .. })
+        !matches!(
+            self,
+            TelemetryEvent::ShardStall { .. }
+                | TelemetryEvent::SloBreach { .. }
+                | TelemetryEvent::SloRecovered { .. }
+                | TelemetryEvent::StageStalled { .. }
+        )
     }
 
     /// One-line human rendering (used by `inspect` and progress).
@@ -161,6 +205,21 @@ impl TelemetryEvent {
                 shard,
                 depth,
             } => format!("stage '{stage}' shard {shard} stalled at depth {depth}"),
+            TelemetryEvent::SloBreach {
+                hour,
+                rule,
+                value,
+                limit,
+            } => format!("hour {hour}: alert '{rule}' breached ({value:.3} > {limit:.3})"),
+            TelemetryEvent::SloRecovered {
+                hour,
+                rule,
+                value,
+                limit,
+            } => format!("hour {hour}: alert '{rule}' recovered ({value:.3} <= {limit:.3})"),
+            TelemetryEvent::StageStalled { stage, ticks } => {
+                format!("stage '{stage}' stalled: no progress across {ticks} watchdog ticks")
+            }
         }
     }
 }
@@ -191,6 +250,11 @@ fn journal() -> &'static Journal {
 /// Appends an event to the process journal and returns its sequence
 /// number. Sequence numbers are monotone in emission order.
 pub fn journal_emit(event: TelemetryEvent) -> u64 {
+    // Every journal event — deterministic or diagnostic — also lands in
+    // the flight-recorder ring with a wall-clock stamp, so a post-mortem
+    // dump holds the run's recent history even though the persisted
+    // journal filters the diagnostic subset.
+    crate::flight::flight_note(event.kind(), &event.describe());
     let journal = journal();
     let mut entries = journal.entries.lock().expect("journal lock poisoned");
     // Seq is assigned under the same lock that orders the Vec, so the

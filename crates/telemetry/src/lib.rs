@@ -31,6 +31,14 @@
 //! - **Time series** ([`series`]): fixed-capacity rings of per-engine-
 //!   hour buckets — per-hour collection volume, shed counts,
 //!   per-attribute PGE inputs.
+//! - **Alert rules** ([`alert_install`], [`alert_evaluate`]): a small
+//!   deterministic threshold / multi-window burn-rate evaluator over the
+//!   per-hour series, emitting `SloBreach`/`SloRecovered` journal events
+//!   and `alert.*` gauges at hour boundaries.
+//! - **A flight recorder** ([`flight_note`], [`flight_snapshot`]): a
+//!   fixed-capacity ring of recent journal events and notes,
+//!   wall-clock stamped, dumped into a store (`flight.log`) on SIGQUIT,
+//!   watchdog trip, or panic for post-mortem diagnosis.
 //! - **Prometheus export** ([`to_prometheus`]): the same snapshot in
 //!   text-exposition format (CLI `--metrics-format prom`).
 //! - **Live progress** ([`set_progress`], [`progress_update`]):
@@ -45,7 +53,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alert;
 mod event;
+mod flight;
 mod json;
 mod logger;
 mod metrics;
@@ -56,7 +66,12 @@ mod report;
 mod series;
 mod spans;
 
+pub use alert::{
+    alert_active, alert_evaluate, alert_install, alert_reset, rule_fires, rule_value, AlertKind,
+    AlertRule,
+};
 pub use event::{journal_emit, journal_reset, journal_snapshot, JournalEntry, TelemetryEvent};
+pub use flight::{flight_note, flight_reset, flight_snapshot, FlightEntry, FLIGHT_CAPACITY};
 pub use logger::{log_args, set_max_level, set_quiet, Level, ParseLevelError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use progress::{progress_bar, progress_done, progress_enabled, progress_update, set_progress};

@@ -7,9 +7,10 @@
 //!                           [--store DIR] [--resume] [--crash-after H]
 //! pseudo-honeypot serve     --store DIR [--listen ADDR] [--http ADDR]
 //!                           [--resume] [--loadgen] [--rate R]
+//!                           [--slo pQQ:MS] [--watchdog-ticks N]
 //! pseudo-honeypot feed      --connect ADDR [--hours H] [--start-hour H] [--rate R]
 //! pseudo-honeypot replay    --store DIR
-//! pseudo-honeypot inspect   --store DIR [--top K] [--tail N] [--timeline]
+//! pseudo-honeypot inspect   --store DIR [--top K] [--tail N] [--timeline] [--flight]
 //! pseudo-honeypot showdown  [--hours H] [--nodes N] [--seed S]
 //! pseudo-honeypot perf bench [--quick] [--only NAMES] [--out-dir DIR]
 //! pseudo-honeypot perf diff OLD.json NEW.json
@@ -132,6 +133,10 @@ fn main() {
                     "stop-after",
                     "threads",
                     "taste-flip",
+                    "slo",
+                    "watchdog-ticks",
+                    "throttle-ms",
+                    "throttle-hours",
                 ]),
                 &["resume", "loadgen", "explain"],
             );
@@ -150,7 +155,11 @@ fn main() {
             replay(&args);
         }
         Some("inspect") => {
-            validate_options(&args, &["store", "top", "tail"], &["timeline", "drift"]);
+            validate_options(
+                &args,
+                &["store", "top", "tail", "window"],
+                &["timeline", "drift", "flight"],
+            );
             inspect(&args);
         }
         Some("explain") => {
@@ -379,6 +388,30 @@ fn usage() {
         "            [--resume]                continue a drained run from its last checkpoint"
     );
     println!("            [--stop-after H]          drain after H hours this session (exit 5)");
+    println!(
+        "            [--slo pQQ:MS]            latency SLO: hourly pQQ ingest→verdict latency must"
+    );
+    println!(
+        "                                      stay ≤ MS ms (QQ ∈ 50/95/99); breaches raise an"
+    );
+    println!(
+        "                                      alert, degrade /healthz to 503, and recover when"
+    );
+    println!("                                      the quantile cools (serve.latency_ms metrics)");
+    println!(
+        "            [--watchdog-ticks N]      declare a busy stage stalled after N 250 ms samples"
+    );
+    println!(
+        "                                      without progress (0 = off): journal event, degraded"
+    );
+    println!("                                      /healthz, flight-recorder dump into the store");
+    println!("            [--throttle-ms MS [--throttle-hours H]]");
+    println!(
+        "                                      test-only: sleep MS inside each of the first H hour"
+    );
+    println!(
+        "                                      boundaries to provoke an SLO breach + recovery"
+    );
     println!("            [--explain]               NDJSON verdicts gain margin + top_features;");
     println!(
         "                                      explain.log/drift.log persisted beside the journal"
@@ -389,6 +422,7 @@ fn usage() {
     println!("                                      firehose to a daemon's ingest socket");
     println!("  replay    --store DIR               re-run labeling + classification from a stored log alone");
     println!("  inspect   --store DIR [--top K] [--tail N] [--timeline] [--drift]");
+    println!("            [--flight [--window SECS]]");
     println!(
         "                                      render a stored run's per-hour PGE, top attributes,"
     );
@@ -399,7 +433,11 @@ fn usage() {
     println!(
         "                                      trace's critical-path analysis; --drift adds the"
     );
-    println!("                                      per-hour PSI drift table and alarm timeline");
+    println!("                                      per-hour PSI drift table and alarm timeline;");
+    println!(
+        "                                      --flight renders the flight recorder's last-SECS"
+    );
+    println!("                                      timeline (dumped on SIGQUIT/watchdog/panic)");
     println!("  explain   --store DIR [--seq N] [--top K]");
     println!(
         "                                      render one stored verdict's provenance: identity,"
@@ -1103,6 +1141,9 @@ fn inspect(args: &Args) {
     if args.has_flag("drift") {
         print_drift(&dir, top);
     }
+    if args.has_flag("flight") {
+        print_flight(&dir, args.get_u64("window", 60));
+    }
     if args.has_flag("timeline") {
         let trace = pseudo_honeypot::store::read_trace(&dir)
             .unwrap_or_else(|e| die("cannot read trace stream", e));
@@ -1244,6 +1285,38 @@ fn print_drift(dir: &Path, top: usize) {
         println!(
             "  hour {:>3}: {} (psi {:.3})",
             a.hour, names[a.feature as usize], a.psi
+        );
+    }
+}
+
+/// `inspect --flight [--window SECS]`: the flight recorder's timeline —
+/// the ring of recent journal/trace notes the daemon dumped on SIGQUIT,
+/// a watchdog trip, or a panic. Entries are shown relative to the
+/// newest one (`t-0.000s`), windowed to the last SECS seconds, so the
+/// moments before an incident read top-to-bottom from the store alone.
+fn print_flight(dir: &Path, window_secs: u64) {
+    let entries = pseudo_honeypot::store::read_flight(dir)
+        .unwrap_or_else(|e| die("cannot read flight stream", e));
+    if entries.is_empty() {
+        println!(
+            "\n(no flight recording in this store — the daemon dumps one on SIGQUIT, a stage-watchdog trip, or a panic)"
+        );
+        return;
+    }
+    let latest = entries.iter().map(|e| e.at_ms).max().unwrap_or(0);
+    let cutoff = latest.saturating_sub(window_secs.saturating_mul(1000));
+    let shown: Vec<_> = entries.iter().filter(|e| e.at_ms >= cutoff).collect();
+    println!(
+        "\nflight recorder: {} entries captured; showing the last {window_secs}s ({}):",
+        entries.len(),
+        shown.len()
+    );
+    for entry in shown {
+        println!(
+            "  t-{:>8.3}s  {:<16} {}",
+            (latest - entry.at_ms) as f64 / 1000.0,
+            entry.kind,
+            entry.detail
         );
     }
 }

@@ -4,7 +4,9 @@
 //! `perf bench` runs a fixed matrix of pipeline scenarios — the monitor
 //! hour loop, feature extraction (pure + finish), clustering sketches,
 //! Random-Forest train/classify, store append/read, the daemon's ingest
-//! path (wire decode + bounded-queue churn), and the end-to-end sniff at
+//! path (wire decode + bounded-queue churn), its hour-boundary SLO
+//! accounting (latency quantiles + alert evaluation), and the
+//! end-to-end sniff at
 //! `--threads 1` and `--threads 0` — each with warmup
 //! iterations followed by repeated timed samples, and writes one
 //! `BENCH_<scenario>.json` per scenario (schema documented in
@@ -38,7 +40,7 @@ use pseudo_honeypot::core::labeling::clustering::{
 use pseudo_honeypot::core::labeling::pipeline::{label_collection_with, PipelineConfig};
 use pseudo_honeypot::core::labeling::LabeledCollection;
 use pseudo_honeypot::core::monitor::{CollectedTweet, Runner, RunnerConfig};
-use pseudo_honeypot::serve::IngestQueue;
+use pseudo_honeypot::serve::{slo, IngestQueue};
 use pseudo_honeypot::sim::engine::{Engine, SimConfig};
 use pseudo_honeypot::sim::wire::{read_stream_frame, write_stream_frame, StreamFrame};
 use pseudo_honeypot::store::{encode_collected, CollectedReader, SegmentLog};
@@ -374,6 +376,7 @@ const SCENARIOS: &[&str] = &[
     "store_append",
     "store_read",
     "serve_ingest",
+    "serve_latency",
     "sniff_e2e_t1",
     "sniff_e2e_t0",
 ];
@@ -585,6 +588,48 @@ fn run_scenario(
                     frames += 1;
                 }
                 assert_eq!(frames, fixture.collected.len() + 1, "short stream");
+            })
+        }
+        "serve_latency" => {
+            // The daemon's hour-boundary SLO accounting, isolated from
+            // the pipeline: per sample, every hour records its latency
+            // batch (cumulative histogram, exact quantile gauges, the
+            // per-hour series) and the alert engine evaluates the armed
+            // rule against it. Batches are synthesized outside the
+            // timed region from the seed; odd hours spike past the
+            // limit so both the fire and recover transitions run.
+            let target = slo::SloTarget::parse("p99:250").expect("static SLO spec");
+            let per_hour = sizes.organic.max(1);
+            let mut state = sizes.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let batches: Vec<Vec<f64>> = (0..sizes.hours.max(3))
+                .map(|hour| {
+                    (0..per_hour)
+                        .map(|_| {
+                            let base = (next() % 200) as f64;
+                            if hour % 2 == 1 {
+                                base + 300.0
+                            } else {
+                                base
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            measure(warmup, samples, || {
+                ph_telemetry::alert_reset();
+                ph_telemetry::alert_install(target.rule());
+                let mut transitions = 0usize;
+                for (hour, batch) in batches.iter().enumerate() {
+                    black_box(slo::record_hour(hour as u64, batch));
+                    transitions += ph_telemetry::alert_evaluate(hour as u64).len();
+                }
+                assert!(transitions >= 2, "the alert engine never transitioned");
             })
         }
         "sniff_e2e_t1" => measure(warmup, samples, || end_to_end(sizes, 1)),

@@ -5,9 +5,20 @@
 //! pseudo-honeypot serve --store DIR [--hours H] [--gt-hours H] [--seed S]
 //!                       [--listen ADDR] [--http ADDR|none] [--verdicts FILE]
 //!                       [--resume] [--loadgen] [--rate R] [--stop-after H]
+//!                       [--slo pQQ:MS] [--watchdog-ticks N]
+//!                       [--throttle-ms MS [--throttle-hours H]]
 //! pseudo-honeypot feed  --connect ADDR [--hours H] [--start-hour H]
 //!                       [--gt-hours H] [--seed S] [--rate R]
 //! ```
+//!
+//! Service health: `--slo` arms the ingest→verdict latency SLO (per-hour
+//! quantiles in `serve.latency_ms.*`, a breach degrades `/healthz` to
+//! 503 and recovers when the quantile cools), `--watchdog-ticks` arms
+//! the stage watchdog, SIGQUIT dumps the flight recorder into the store
+//! without stopping, and a panic dumps the same ring before dying —
+//! `inspect --flight` renders any of those dumps later. `feed` retries
+//! its connect with bounded exponential backoff so it can race a daemon
+//! that is still binding; exhausted retries exit 2 with a hint.
 //!
 //! `serve` binds an ingest socket (TCP `host:port` or, for anything
 //! containing a `/`, a Unix-socket path), runs monitor → extract →
@@ -18,11 +29,13 @@
 //! rebuilds the deterministic engine and streams its firehose at an
 //! open-loop `--rate` (events/second; 0 = unpaced).
 
+use std::io;
 use std::path::PathBuf;
 
 use ph_telemetry::log_warn;
-use pseudo_honeypot::serve::daemon::{LoadgenConfig, ServeConfig};
+use pseudo_honeypot::serve::daemon::{LoadgenConfig, ServeConfig, ThrottleConfig};
 use pseudo_honeypot::serve::loadgen::FeedConfig;
+use pseudo_honeypot::serve::slo::SloTarget;
 use pseudo_honeypot::serve::{daemon, loadgen, signal, BindAddr};
 use pseudo_honeypot::store::{Manifest, StoreConfig};
 
@@ -101,6 +114,34 @@ pub fn serve(args: &Args) -> i32 {
         Some(addr) => Some(addr.to_string()),
         None => Some("127.0.0.1:0".to_string()),
     };
+    let slo = args.options.get("slo").map(|spec| {
+        SloTarget::parse(spec).unwrap_or_else(|e| {
+            eprintln!("error: --slo {e}");
+            std::process::exit(2);
+        })
+    });
+    let throttle = args
+        .options
+        .contains_key("throttle-ms")
+        .then(|| ThrottleConfig {
+            ms: args.get_u64("throttle-ms", 0),
+            // Default: throttle every hour — pass --throttle-hours to
+            // get the breach-then-recover shape.
+            hours: args.get_u64("throttle-hours", u64::MAX),
+        });
+
+    // SIGQUIT is the operator's "what is the daemon doing right now":
+    // it dumps the flight recorder into the store and keeps serving. A
+    // panic dumps the same ring before dying, so the incident's last
+    // moments survive the process.
+    signal::install_dump();
+    let panic_dir = dir.clone();
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let _ = pseudo_honeypot::store::write_flight(&panic_dir, &ph_telemetry::flight_snapshot());
+        default_hook(info);
+    }));
+
     let config = ServeConfig {
         dir: dir.clone(),
         manifest,
@@ -119,6 +160,9 @@ pub fn serve(args: &Args) -> i32 {
             .contains_key("stop-after")
             .then(|| args.get_u64("stop-after", 0)),
         explain: args.has_flag("explain"),
+        slo,
+        watchdog_ticks: args.get_u64("watchdog-ticks", 0),
+        throttle,
     };
     let outcome = daemon::run(config)
         .unwrap_or_else(|e| die(&format!("serve failed on {}", dir.display()), e));
@@ -161,8 +205,25 @@ pub fn feed(args: &Args) -> i32 {
         end_hour: manifest.hours,
         rate: rate_from(args),
     };
-    let summary =
-        loadgen::feed(&addr, &config).unwrap_or_else(|e| die(&format!("feed to {addr} failed"), e));
+    let summary = match loadgen::feed(&addr, &config) {
+        Ok(summary) => summary,
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::NotFound
+                    | io::ErrorKind::AddrNotAvailable
+            ) =>
+        {
+            // Retries are exhausted (connect_with_retry already backed
+            // off for ~6 s) — the daemon simply isn't there. That's a
+            // usage problem, not a runtime failure.
+            eprintln!("error: no daemon listening at {addr} ({e})");
+            eprintln!("hint: start one first — pseudo-honeypot serve --store DIR --listen {addr}");
+            std::process::exit(2);
+        }
+        Err(e) => die(&format!("feed to {addr} failed"), e),
+    };
     println!(
         "feed: delivered {} tweets over {} hours to {addr}",
         summary.tweets, summary.hours

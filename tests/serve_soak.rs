@@ -46,6 +46,9 @@ fn config(dir: &Path, resume: bool, stop_after: Option<u64>) -> ServeConfig {
         stop: Arc::new(AtomicBool::new(false)),
         stop_after_hours: stop_after,
         explain: false,
+        slo: None,
+        watchdog_ticks: 0,
+        throttle: None,
     }
 }
 
